@@ -1,0 +1,46 @@
+"""Figure B — accuracy vs network depth (over-smoothing behaviour).
+
+Sweeps the number of DHGCN blocks.  Expected shape: 2-3 blocks are optimal;
+very deep stacks lose accuracy because repeated hypergraph smoothing washes
+out discriminative features (the classic over-smoothing effect), and a single
+block underfits relative to the best depth on structure-heavy data.
+"""
+
+import numpy as np
+from common import N_SEEDS, bench_train_config, dataset_factory, dhgcn_factory, emit
+
+from repro.core import DHGCNConfig
+from repro.training import run_experiment
+from repro.training.results import ResultTable
+
+DATASET = "cora-cocitation"
+DEPTHS = [1, 2, 3, 4, 6]
+
+
+def run_fig_depth():
+    factory = dataset_factory(DATASET)
+    table = ResultTable(
+        ["layers", "test accuracy", "mean"],
+        title=f"Figure B: accuracy vs number of DHGCN blocks on {DATASET}",
+    )
+    means = []
+    for depth in DEPTHS:
+        config = DHGCNConfig(n_layers=depth)
+        experiment = run_experiment(
+            f"{depth} layers", dhgcn_factory(config), factory,
+            n_seeds=N_SEEDS, master_seed=0, train_config=bench_train_config(),
+        )
+        means.append(experiment.mean_test_accuracy)
+        table.add_row([depth, experiment.formatted_accuracy(), experiment.mean_test_accuracy])
+    return table, means
+
+
+def test_fig_depth(benchmark):
+    table, means = benchmark.pedantic(run_fig_depth, rounds=1, iterations=1)
+    emit(table, "figB_depth")
+
+    best_depth = DEPTHS[int(np.argmax(means))]
+    # The optimum sits at a shallow depth and the deepest stack is not the best.
+    assert best_depth <= 4
+    assert means[-1] <= max(means) + 1e-9
+    assert max(means) - means[-1] >= -0.01

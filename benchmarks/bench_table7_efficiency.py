@@ -1,0 +1,54 @@
+"""Table 7 — efficiency comparison.
+
+Reports per-epoch time, total training time and parameter count for every
+method on the Cora co-citation stand-in.  Expected shape: dynamic-topology
+models (DHGNN, DHGCN) cost a small constant factor over the static HGNN
+because of the periodic k-NN/k-means reconstruction; DHGCN's dual channel
+roughly doubles its parameter count.
+"""
+
+from common import all_method_factories, bench_train_config, dataset_factory, emit
+
+from repro.training import run_experiment
+from repro.training.results import ResultTable
+
+DATASET = "cora-cocitation"
+
+
+def run_table7():
+    factory = dataset_factory(DATASET)
+    table = ResultTable(
+        ["method", "parameters", "epoch time (ms)", "train time (s)", "test accuracy"],
+        title=f"Table 7: efficiency on {DATASET} ({bench_train_config().epochs} epochs)",
+    )
+    results = {}
+    for method, model_factory in all_method_factories(include_gat=True).items():
+        experiment = run_experiment(
+            method, model_factory, factory,
+            seeds=[0], train_config=bench_train_config(),
+        )
+        results[method] = experiment
+        table.add_row(
+            [
+                method,
+                experiment.n_parameters,
+                round(experiment.mean_epoch_time * 1000.0, 1),
+                round(experiment.mean_train_time, 2),
+                experiment.formatted_accuracy(),
+            ]
+        )
+    return table, results
+
+
+def test_table7_efficiency(benchmark):
+    table, results = benchmark.pedantic(run_table7, rounds=1, iterations=1)
+    emit(table, "table7_efficiency")
+
+    hgnn_epoch = results["HGNN"].mean_epoch_time
+    dhgcn_epoch = results["DHGCN (ours)"].mean_epoch_time
+    # Dynamic construction costs extra time, but bounded (well under 30x here;
+    # the paper family reports a small constant factor).
+    assert dhgcn_epoch >= hgnn_epoch
+    assert dhgcn_epoch <= 40.0 * hgnn_epoch
+    # Dual-channel blocks roughly double the parameters of single-channel HGNN.
+    assert results["DHGCN (ours)"].n_parameters > results["HGNN"].n_parameters

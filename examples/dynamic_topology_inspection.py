@@ -1,0 +1,65 @@
+"""Inspect how the dynamic hypergraph evolves during training.
+
+Run with::
+
+    python examples/dynamic_topology_inspection.py
+
+Trains DHGCN on a feature-only (visual-object-like) dataset — the regime where
+the hypergraph must be constructed from data — and reports, at several points
+during training, how class-consistent the dynamically constructed hyperedges
+are.  As the node embeddings become label-informed, the dynamic topology's
+hyperedge homophily rises above that of the static feature-space k-NN
+hypergraph the model started from.
+"""
+
+from __future__ import annotations
+
+from repro import DHGCN, DHGCNConfig, TrainConfig, Trainer, get_dataset
+from repro.hypergraph import hyperedge_homophily
+
+
+def main() -> None:
+    dataset = get_dataset("modelnet40", seed=0, n_nodes=500)
+    print(f"dataset: {dataset}")
+
+    static_homophily = hyperedge_homophily(dataset.hypergraph, dataset.labels)
+    print(f"static (feature k-NN) hypergraph homophily: {static_homophily:.3f}")
+
+    config = DHGCNConfig(hidden_dim=32, k_neighbors=4, n_clusters=8, refresh_period=5)
+    model = DHGCN(dataset.n_features, dataset.n_classes, config, seed=0)
+
+    checkpoints = [20, 40, 80]
+    previous_epochs = 0
+    print("\ntraining in stages and probing the dynamic topology:")
+    for checkpoint in checkpoints:
+        epochs = checkpoint - previous_epochs
+        previous_epochs = checkpoint
+        trainer = Trainer(model, dataset, TrainConfig(epochs=epochs, patience=None))
+        result = trainer.train()
+
+        # Rebuild the dynamic hypergraph from the deepest embedding the model
+        # has produced so far, and measure how class-pure its hyperedges are.
+        reference = None
+        for embedding in reversed(model._block_inputs):
+            if embedding is not None:
+                reference = embedding
+                break
+        dynamic = model.builder.build_hypergraph(reference)
+        dynamic_homophily = hyperedge_homophily(dynamic, dataset.labels)
+        print(
+            f"  after {checkpoint:3d} epochs: "
+            f"test accuracy {result.test_accuracy:.3f}, "
+            f"dynamic hyperedge homophily {dynamic_homophily:.3f} "
+            f"(static was {static_homophily:.3f}), "
+            f"gates {[round(g, 2) for g in model.gate_values()]}"
+        )
+
+    print(
+        "\nExpected shape: dynamic homophily starts near the static value (it is\n"
+        "built from raw features at first) and rises as training progresses,\n"
+        "which is exactly why rebuilding the topology from learned embeddings helps."
+    )
+
+
+if __name__ == "__main__":
+    main()

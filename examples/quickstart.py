@@ -1,0 +1,53 @@
+"""Quickstart: train DHGCN on a co-citation benchmark in ~30 lines.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script loads the Cora-like co-citation stand-in, trains the Dynamic
+Hypergraph Convolutional Network and prints train/validation/test accuracy
+together with a comparison against the static-hypergraph HGNN baseline.
+"""
+
+from __future__ import annotations
+
+from repro import DHGCN, DHGCNConfig, HGNN, TrainConfig, Trainer, get_dataset
+
+
+def main() -> None:
+    # 1. Load a dataset by name (deterministic given the seed).
+    dataset = get_dataset("cora-cocitation", seed=0)
+    print(f"dataset: {dataset}")
+    print(f"split sizes (train/val/test): {dataset.split.sizes}")
+
+    train_config = TrainConfig(epochs=150, lr=0.01, weight_decay=5e-4, patience=40)
+
+    # 2. Train the paper's model: static + dynamic hypergraph channels.
+    model = DHGCN(
+        dataset.n_features,
+        dataset.n_classes,
+        DHGCNConfig(hidden_dim=32, k_neighbors=4, n_clusters=4, refresh_period=5),
+        seed=0,
+    )
+    result = Trainer(model, dataset, train_config).train()
+    print(
+        f"\nDHGCN   test accuracy: {result.test_accuracy:.4f} "
+        f"(best val {result.best_val_accuracy:.4f} at epoch {result.best_epoch}, "
+        f"{result.n_parameters} parameters, {result.train_time:.1f}s)"
+    )
+    print(f"DHGCN   static-channel gate per block: "
+          f"{[round(g, 3) for g in model.gate_values()]}")
+    print(f"DHGCN   dynamic hypergraphs built during training: "
+          f"{model.dynamic_hypergraphs_built()}")
+
+    # 3. Compare against the static-hypergraph baseline under the same budget.
+    baseline = HGNN(dataset.n_features, dataset.n_classes, hidden_dim=32, seed=0)
+    baseline_result = Trainer(baseline, dataset, train_config).train()
+    print(f"HGNN    test accuracy: {baseline_result.test_accuracy:.4f}")
+
+    margin = result.test_accuracy - baseline_result.test_accuracy
+    print(f"\nDHGCN - HGNN margin: {margin:+.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Structure-noise robustness study (miniature of Figure D).
+
+Run with::
+
+    python examples/robustness_study.py
+
+Progressively corrupts the static hypergraph of a co-citation dataset and
+compares how the static-topology HGNN and the dynamic DHGCN degrade.  The
+qualitative claim of the paper is that dynamic construction makes the model
+far less dependent on the quality of the pre-constructed hypergraph.
+"""
+
+from __future__ import annotations
+
+from repro import DHGCN, DHGCNConfig, HGNN, TrainConfig, Trainer, get_dataset
+from repro.hypergraph.construction import corrupt_hyperedges
+from repro.training.results import ResultTable
+
+
+def train_accuracy(model, dataset, epochs=80) -> float:
+    return Trainer(model, dataset, TrainConfig(epochs=epochs, patience=None)).train().test_accuracy
+
+
+def main() -> None:
+    base = get_dataset("cora-cocitation", seed=0, n_nodes=400)
+    table = ResultTable(
+        ["corrupted fraction", "HGNN", "DHGCN", "DHGCN advantage"],
+        title="Structure-noise robustness (single seed)",
+    )
+
+    for noise in (0.0, 0.25, 0.5, 0.75, 1.0):
+        corrupted = base.with_hypergraph(corrupt_hyperedges(base.hypergraph, noise, seed=0))
+        hgnn_accuracy = train_accuracy(
+            HGNN(base.n_features, base.n_classes, seed=0), corrupted
+        )
+        dhgcn_accuracy = train_accuracy(
+            DHGCN(base.n_features, base.n_classes, DHGCNConfig(), seed=0), corrupted
+        )
+        table.add_row(
+            [
+                f"{noise:.0%}",
+                round(hgnn_accuracy, 4),
+                round(dhgcn_accuracy, 4),
+                round(dhgcn_accuracy - hgnn_accuracy, 4),
+            ]
+        )
+        print(f"corruption {noise:.0%}: HGNN {hgnn_accuracy:.3f}  DHGCN {dhgcn_accuracy:.3f}")
+
+    print()
+    print(table.to_markdown())
+    print(
+        "\nExpected shape: the advantage column grows with the corruption level —\n"
+        "the dynamic channel rebuilds usable structure from the feature space while\n"
+        "HGNN is stuck with the corrupted hyperedges."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can be installed in editable mode on machines whose tooling predates
+PEP 660 editable wheels (``pip install -e . --no-use-pep517``) and in offline
+environments that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Post-hoc analysis tools: embedding quality, classification reports, gate tracking."""
+
+from repro.analysis.embedding import (
+    class_separation_ratio,
+    extract_embeddings,
+    pca_project,
+    silhouette_score,
+)
+from repro.analysis.report import classification_report, per_class_accuracy
+from repro.analysis.tracking import GateTracker, TopologyTracker
+
+__all__ = [
+    "extract_embeddings",
+    "pca_project",
+    "silhouette_score",
+    "class_separation_ratio",
+    "classification_report",
+    "per_class_accuracy",
+    "GateTracker",
+    "TopologyTracker",
+]

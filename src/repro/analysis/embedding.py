@@ -1,0 +1,100 @@
+"""Embedding-space analysis: extraction, PCA projection and cluster quality scores.
+
+These tools back the qualitative analysis of *why* dynamic construction helps:
+as training progresses the hidden embeddings separate the classes better, so
+the hyperedges rebuilt from them become more class-consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.errors import ShapeError
+from repro.models.base import BaseNodeClassifier
+from repro.utils.validation import check_1d_labels
+
+
+def extract_embeddings(model: BaseNodeClassifier, features: np.ndarray) -> np.ndarray:
+    """Run the model in evaluation mode and return its output representation.
+
+    For the classifiers in this library the forward output is the logit
+    matrix, which doubles as the deepest node embedding; models that expose
+    intermediate block inputs (DHGCN, DHGNN) additionally keep per-layer
+    embeddings internally.
+    """
+    model.eval()
+    with no_grad():
+        output = model(Tensor(np.asarray(features, dtype=np.float64)))
+    return output.data.copy()
+
+
+def pca_project(embeddings: np.ndarray, n_components: int = 2) -> np.ndarray:
+    """Project embeddings to ``n_components`` dimensions via PCA (SVD).
+
+    A dependency-free stand-in for the t-SNE plots of the paper family:
+    enough to verify visually (or numerically, through
+    :func:`class_separation_ratio`) that classes separate.
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if embeddings.ndim != 2:
+        raise ShapeError(f"embeddings must be 2-D, got shape {embeddings.shape}")
+    if not 1 <= n_components <= embeddings.shape[1]:
+        raise ValueError(
+            f"n_components must be in [1, {embeddings.shape[1]}], got {n_components}"
+        )
+    centred = embeddings - embeddings.mean(axis=0, keepdims=True)
+    _, _, rows_of_v = np.linalg.svd(centred, full_matrices=False)
+    return centred @ rows_of_v[:n_components].T
+
+
+def silhouette_score(embeddings: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient of the labelled clustering in embedding space.
+
+    Ranges from -1 (wrong clustering) to +1 (dense, well-separated clusters).
+    Classes with a single member are skipped (their silhouette is undefined).
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = check_1d_labels(np.asarray(labels), embeddings.shape[0])
+    unique = np.unique(labels)
+    if unique.size < 2:
+        raise ValueError("silhouette_score requires at least two classes")
+    distances = cdist(embeddings, embeddings)
+
+    scores = []
+    for node in range(embeddings.shape[0]):
+        same = labels == labels[node]
+        same[node] = False
+        if not same.any():
+            continue
+        intra = distances[node, same].mean()
+        inter = np.inf
+        for other in unique:
+            if other == labels[node]:
+                continue
+            members = labels == other
+            inter = min(inter, distances[node, members].mean())
+        denominator = max(intra, inter)
+        if denominator > 0:
+            scores.append((inter - intra) / denominator)
+    if not scores:
+        raise ValueError("silhouette_score could not be computed for any node")
+    return float(np.mean(scores))
+
+
+def class_separation_ratio(embeddings: np.ndarray, labels: np.ndarray) -> float:
+    """Ratio of between-class to within-class scatter (higher = better separated)."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = check_1d_labels(np.asarray(labels), embeddings.shape[0])
+    overall_mean = embeddings.mean(axis=0)
+    within = 0.0
+    between = 0.0
+    for cls in np.unique(labels):
+        members = embeddings[labels == cls]
+        class_mean = members.mean(axis=0)
+        within += float(np.sum((members - class_mean) ** 2))
+        between += members.shape[0] * float(np.sum((class_mean - overall_mean) ** 2))
+    if within == 0.0:
+        return float("inf") if between > 0 else 0.0
+    return between / within

@@ -1,0 +1,60 @@
+"""Classification reports: per-class accuracy, precision/recall/F1 tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.training.metrics import confusion_matrix
+from repro.training.results import ResultTable
+from repro.utils.validation import check_1d_labels
+
+
+def per_class_accuracy(predictions: np.ndarray, targets: np.ndarray, n_classes: int | None = None) -> np.ndarray:
+    """Recall of every class (nan-free: classes with no samples get 0)."""
+    predictions = check_1d_labels(np.asarray(predictions))
+    targets = check_1d_labels(np.asarray(targets))
+    matrix = confusion_matrix(predictions, targets, n_classes)
+    support = matrix.sum(axis=1).astype(np.float64)
+    correct = np.diag(matrix).astype(np.float64)
+    return np.divide(correct, support, out=np.zeros_like(correct), where=support > 0)
+
+
+def classification_report(
+    predictions: np.ndarray,
+    targets: np.ndarray,
+    n_classes: int | None = None,
+    class_names: list[str] | None = None,
+) -> ResultTable:
+    """Per-class precision / recall / F1 / support as a :class:`ResultTable`."""
+    predictions = check_1d_labels(np.asarray(predictions))
+    targets = check_1d_labels(np.asarray(targets))
+    matrix = confusion_matrix(predictions, targets, n_classes)
+    n_classes = matrix.shape[0]
+    if class_names is None:
+        class_names = [f"class {cls}" for cls in range(n_classes)]
+    if len(class_names) != n_classes:
+        raise ValueError(
+            f"class_names must have {n_classes} entries, got {len(class_names)}"
+        )
+
+    true_positive = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+    precision = np.divide(true_positive, predicted, out=np.zeros_like(true_positive), where=predicted > 0)
+    recall = np.divide(true_positive, actual, out=np.zeros_like(true_positive), where=actual > 0)
+    denominator = precision + recall
+    f1 = np.divide(2 * precision * recall, denominator, out=np.zeros_like(true_positive), where=denominator > 0)
+
+    table = ResultTable(["class", "precision", "recall", "f1", "support"], title="classification report")
+    for cls in range(n_classes):
+        table.add_row([class_names[cls], precision[cls], recall[cls], f1[cls], int(actual[cls])])
+    table.add_row(
+        [
+            "macro avg",
+            float(precision[actual > 0].mean()) if (actual > 0).any() else 0.0,
+            float(recall[actual > 0].mean()) if (actual > 0).any() else 0.0,
+            float(f1[actual > 0].mean()) if (actual > 0).any() else 0.0,
+            int(actual.sum()),
+        ]
+    )
+    return table

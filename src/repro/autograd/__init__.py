@@ -1,0 +1,79 @@
+"""A small reverse-mode automatic-differentiation engine on top of numpy.
+
+This package replaces ``torch.autograd``/``torch.nn.functional`` for the
+purposes of this reproduction.  The central object is :class:`Tensor`, which
+wraps a :class:`numpy.ndarray`, records the operations applied to it and can
+back-propagate gradients with :meth:`Tensor.backward`.
+
+Design notes
+------------
+* Operations are implemented as :class:`Function` subclasses with explicit
+  ``forward``/``backward`` rules (see the ``ops_*`` modules).
+* Broadcasting is fully supported; gradients are "unbroadcast" (summed) back
+  to the original operand shapes.
+* Sparse propagation operators (hypergraph Laplacians, normalised adjacency
+  matrices) participate as *constants* through :func:`spmm`; gradients flow
+  through the dense feature operand only, which is exactly what GCN/HGNN-style
+  models need.
+* :func:`check_gradients` performs central-difference numerical checks and is
+  used heavily by the test-suite.
+"""
+
+from repro.autograd.function import Context, Function
+from repro.autograd.grad_check import check_gradients, numerical_gradient
+from repro.autograd.ops_activation import (
+    elu,
+    leaky_relu,
+    log_softmax,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+)
+from repro.autograd.ops_basic import add, div, exp, log, matmul, mul, neg, pow_, sqrt, sub
+from repro.autograd.ops_loss import cross_entropy, mse_loss, nll_loss
+from repro.autograd.ops_reduce import max_ as reduce_max
+from repro.autograd.ops_reduce import mean, sum_ as reduce_sum
+from repro.autograd.ops_shape import concat, gather_rows, reshape, transpose
+from repro.autograd.ops_sparse import spmm
+from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled, no_grad, zeros_like
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "zeros_like",
+    "no_grad",
+    "is_grad_enabled",
+    "Function",
+    "Context",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "pow_",
+    "exp",
+    "log",
+    "sqrt",
+    "matmul",
+    "reduce_sum",
+    "mean",
+    "reduce_max",
+    "reshape",
+    "transpose",
+    "concat",
+    "gather_rows",
+    "relu",
+    "leaky_relu",
+    "elu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "spmm",
+    "check_gradients",
+    "numerical_gradient",
+]

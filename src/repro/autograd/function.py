@@ -1,0 +1,122 @@
+"""The :class:`Function` protocol that every differentiable operation follows.
+
+A ``Function`` bundles a ``forward`` rule operating on raw numpy arrays and a
+``backward`` rule that maps the gradient of the output to gradients of each
+input.  :meth:`Function.apply` is the only entry point: it unwraps tensors,
+runs ``forward``, wraps the result and wires the backward graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import AutogradError
+
+
+class Context:
+    """Carries information from ``forward`` to ``backward``.
+
+    ``forward`` stores whatever arrays or python values it needs via
+    :meth:`save_for_backward` or plain attribute assignment on
+    :attr:`extras`.
+    """
+
+    __slots__ = ("_saved", "extras")
+
+    def __init__(self) -> None:
+        self._saved: tuple[Any, ...] = ()
+        self.extras: dict[str, Any] = {}
+
+    def save_for_backward(self, *values: Any) -> None:
+        """Remember ``values`` (typically numpy arrays) for the backward pass."""
+        self._saved = values
+
+    @property
+    def saved(self) -> tuple[Any, ...]:
+        """Values previously stored by :meth:`save_for_backward`."""
+        return self._saved
+
+
+class BackwardNode:
+    """A node of the backward graph: which function produced a tensor and from what."""
+
+    __slots__ = ("function", "ctx", "inputs")
+
+    def __init__(self, function: type["Function"], ctx: Context, inputs: Sequence[Any]) -> None:
+        self.function = function
+        self.ctx = ctx
+        # ``inputs`` keeps Tensor operands (for graph traversal) and ``None``
+        # placeholders for non-tensor operands so backward outputs align.
+        self.inputs = tuple(inputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"BackwardNode({self.function.__name__})"
+
+
+class Function:
+    """Base class for differentiable operations.
+
+    Subclasses implement ``forward(ctx, *raw_inputs, **kwargs)`` returning a
+    numpy array, and ``backward(ctx, grad_output)`` returning one gradient
+    array (or ``None``) per positional input of ``forward``.
+    """
+
+    @staticmethod
+    def forward(ctx: Context, *args: Any, **kwargs: Any) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def backward(ctx: Context, grad_output: np.ndarray) -> tuple[np.ndarray | None, ...]:
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *args: Any, **kwargs: Any) -> "Tensor":  # noqa: F821 - forward ref
+        from repro.autograd.tensor import Tensor, is_grad_enabled
+
+        raw_args = [arg.data if isinstance(arg, Tensor) else arg for arg in args]
+        ctx = Context()
+        output_data = cls.forward(ctx, *raw_args, **kwargs)
+        if not isinstance(output_data, np.ndarray):
+            output_data = np.asarray(output_data, dtype=np.float64)
+
+        requires_grad = is_grad_enabled() and any(
+            isinstance(arg, Tensor) and arg.requires_grad for arg in args
+        )
+        output = Tensor(output_data, requires_grad=requires_grad)
+        if requires_grad:
+            inputs = [arg if isinstance(arg, Tensor) else None for arg in args]
+            output._node = BackwardNode(cls, ctx, inputs)
+        return output
+
+    @classmethod
+    def run_backward(cls, node: BackwardNode, grad_output: np.ndarray) -> tuple[np.ndarray | None, ...]:
+        """Execute the backward rule of ``node`` and validate its arity."""
+        grads = cls.backward(node.ctx, grad_output)
+        if not isinstance(grads, tuple):
+            grads = (grads,)
+        if len(grads) != len(node.inputs):
+            raise AutogradError(
+                f"{cls.__name__}.backward returned {len(grads)} gradients for "
+                f"{len(node.inputs)} inputs"
+            )
+        return grads
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` so that it matches ``shape`` after numpy broadcasting.
+
+    This is the adjoint of broadcasting: axes that were added are summed out
+    and axes that were stretched from length 1 are summed back to length 1.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum out leading axes that broadcasting added.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum axes that were stretched from 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)

@@ -1,0 +1,85 @@
+"""Numerical gradient checking via central differences.
+
+Used throughout the test-suite to validate every analytic backward rule and
+every model's end-to-end gradient.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Estimate ``d func(inputs) / d inputs[wrt]`` by central differences.
+
+    ``func`` must return a scalar :class:`Tensor`.
+    """
+    target = inputs[wrt]
+    grad = np.zeros_like(target.data)
+    flat_data = target.data.reshape(-1)
+    flat_grad = grad.reshape(-1)
+    for position in range(flat_data.size):
+        original = flat_data[position]
+        flat_data[position] = original + epsilon
+        upper = float(func(*inputs).data)
+        flat_data[position] = original - epsilon
+        lower = float(func(*inputs).data)
+        flat_data[position] = original
+        flat_grad[position] = (upper - lower) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradients(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    epsilon: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> bool:
+    """Check analytic gradients of ``func`` against numerical estimates.
+
+    Parameters
+    ----------
+    func:
+        Callable mapping the input tensors to a scalar :class:`Tensor`.
+    inputs:
+        Input tensors; those with ``requires_grad=True`` are checked.
+
+    Returns
+    -------
+    bool
+        ``True`` when every checked gradient matches within tolerance.
+
+    Raises
+    ------
+    AssertionError
+        With a descriptive message when a gradient mismatch is found.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    output = func(*inputs)
+    if output.size != 1:
+        raise ValueError("check_gradients requires func to return a scalar tensor")
+    output.backward()
+
+    for position, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(func, inputs, position, epsilon=epsilon)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            max_err = float(np.max(np.abs(analytic - numeric)))
+            raise AssertionError(
+                f"Gradient mismatch for input {position}: max abs error {max_err:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

@@ -1,0 +1,154 @@
+"""Activation functions (ReLU family, sigmoid/tanh, softmax/log-softmax)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.autograd.function import Context, Function
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+class ReLU(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray) -> np.ndarray:
+        mask = a > 0
+        ctx.extras["mask"] = mask
+        return a * mask
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        return (grad * ctx.extras["mask"],)
+
+
+class LeakyReLU(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, negative_slope: float = 0.01) -> np.ndarray:
+        ctx.extras["mask"] = a > 0
+        ctx.extras["slope"] = float(negative_slope)
+        return np.where(a > 0, a, a * negative_slope)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        mask = ctx.extras["mask"]
+        slope = ctx.extras["slope"]
+        return (grad * np.where(mask, 1.0, slope),)
+
+
+class ELU(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+        out = np.where(a > 0, a, alpha * (np.exp(a) - 1.0))
+        ctx.extras["input"] = a
+        ctx.extras["alpha"] = float(alpha)
+        ctx.extras["output"] = out
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        a = ctx.extras["input"]
+        alpha = ctx.extras["alpha"]
+        out = ctx.extras["output"]
+        return (grad * np.where(a > 0, 1.0, out + alpha),)
+
+
+class Sigmoid(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-a))
+        ctx.extras["output"] = out
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        out = ctx.extras["output"]
+        return (grad * out * (1.0 - out),)
+
+
+class Tanh(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray) -> np.ndarray:
+        out = np.tanh(a)
+        ctx.extras["output"] = out
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        out = ctx.extras["output"]
+        return (grad * (1.0 - out * out),)
+
+
+def _stable_softmax(a: np.ndarray, axis: int) -> np.ndarray:
+    shifted = a - np.max(a, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+class Softmax(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, axis: int = -1) -> np.ndarray:
+        out = _stable_softmax(a, axis)
+        ctx.extras["output"] = out
+        ctx.extras["axis"] = axis
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        out = ctx.extras["output"]
+        axis = ctx.extras["axis"]
+        dot = np.sum(grad * out, axis=axis, keepdims=True)
+        return (out * (grad - dot),)
+
+
+class LogSoftmax(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, axis: int = -1) -> np.ndarray:
+        shifted = a - np.max(a, axis=axis, keepdims=True)
+        log_sum = np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+        out = shifted - log_sum
+        ctx.extras["softmax"] = np.exp(out)
+        ctx.extras["axis"] = axis
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        softmax = ctx.extras["softmax"]
+        axis = ctx.extras["axis"]
+        grad_sum = np.sum(grad, axis=axis, keepdims=True)
+        return (grad - softmax * grad_sum,)
+
+
+def relu(a: Any) -> Tensor:
+    """Rectified linear unit: ``max(x, 0)``."""
+    return ReLU.apply(as_tensor(a))
+
+
+def leaky_relu(a: Any, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU with slope ``negative_slope`` for negative inputs."""
+    return LeakyReLU.apply(as_tensor(a), negative_slope=float(negative_slope))
+
+
+def elu(a: Any, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit."""
+    return ELU.apply(as_tensor(a), alpha=float(alpha))
+
+
+def sigmoid(a: Any) -> Tensor:
+    """Logistic sigmoid."""
+    return Sigmoid.apply(as_tensor(a))
+
+
+def tanh(a: Any) -> Tensor:
+    """Hyperbolic tangent."""
+    return Tanh.apply(as_tensor(a))
+
+
+def softmax(a: Any, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    return Softmax.apply(as_tensor(a), axis=int(axis))
+
+
+def log_softmax(a: Any, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    return LogSoftmax.apply(as_tensor(a), axis=int(axis))

@@ -1,0 +1,201 @@
+"""Elementwise and matrix arithmetic operations with their gradients."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.autograd.function import Context, Function, unbroadcast
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.errors import ShapeError
+
+
+class Add(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        ctx.extras["shapes"] = (a.shape, b.shape)
+        return a + b
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        shape_a, shape_b = ctx.extras["shapes"]
+        return unbroadcast(grad, shape_a), unbroadcast(grad, shape_b)
+
+
+class Sub(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        ctx.extras["shapes"] = (a.shape, b.shape)
+        return a - b
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        shape_a, shape_b = ctx.extras["shapes"]
+        return unbroadcast(grad, shape_a), unbroadcast(-grad, shape_b)
+
+
+class Mul(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        ctx.save_for_backward(a, b)
+        return a * b
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        a, b = ctx.saved
+        return unbroadcast(grad * b, a.shape), unbroadcast(grad * a, b.shape)
+
+
+class Div(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        ctx.save_for_backward(a, b)
+        return a / b
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        a, b = ctx.saved
+        grad_a = unbroadcast(grad / b, a.shape)
+        grad_b = unbroadcast(-grad * a / (b * b), b.shape)
+        return grad_a, grad_b
+
+
+class Neg(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray) -> np.ndarray:
+        return -a
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        return (-grad,)
+
+
+class Pow(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, exponent: float) -> np.ndarray:
+        ctx.save_for_backward(a)
+        ctx.extras["exponent"] = float(exponent)
+        return a ** float(exponent)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        (a,) = ctx.saved
+        exponent = ctx.extras["exponent"]
+        return (grad * exponent * a ** (exponent - 1.0), None)
+
+
+class Exp(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray) -> np.ndarray:
+        out = np.exp(a)
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        (out,) = ctx.saved
+        return (grad * out,)
+
+
+class Log(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray) -> np.ndarray:
+        ctx.save_for_backward(a)
+        return np.log(a)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        (a,) = ctx.saved
+        return (grad / a,)
+
+
+class Sqrt(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray) -> np.ndarray:
+        out = np.sqrt(a)
+        ctx.save_for_backward(out)
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        (out,) = ctx.saved
+        return (grad / (2.0 * out),)
+
+
+class MatMul(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if not 1 <= a.ndim <= 2 or not 1 <= b.ndim <= 2:
+            raise ShapeError(
+                f"matmul supports 1-D and 2-D operands, got ranks {a.ndim} and {b.ndim}"
+            )
+        ctx.save_for_backward(a, b)
+        return a @ b
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        a, b = ctx.saved
+        if a.ndim == 2 and b.ndim == 2:
+            return grad @ b.T, a.T @ grad
+        if a.ndim == 1 and b.ndim == 2:
+            # (k,) @ (k, n) -> (n,)
+            return grad @ b.T, np.outer(a, grad)
+        if a.ndim == 2 and b.ndim == 1:
+            # (m, k) @ (k,) -> (m,)
+            return np.outer(grad, b), a.T @ grad
+        if a.ndim == 1 and b.ndim == 1:
+            return grad * b, grad * a
+        raise ShapeError(
+            f"matmul backward does not support operand ranks {a.ndim} and {b.ndim}"
+        )
+
+
+def add(a: Any, b: Any) -> Tensor:
+    """Elementwise (broadcasting) addition."""
+    return Add.apply(as_tensor(a), as_tensor(b))
+
+
+def sub(a: Any, b: Any) -> Tensor:
+    """Elementwise (broadcasting) subtraction."""
+    return Sub.apply(as_tensor(a), as_tensor(b))
+
+
+def mul(a: Any, b: Any) -> Tensor:
+    """Elementwise (broadcasting) multiplication."""
+    return Mul.apply(as_tensor(a), as_tensor(b))
+
+
+def div(a: Any, b: Any) -> Tensor:
+    """Elementwise (broadcasting) division."""
+    return Div.apply(as_tensor(a), as_tensor(b))
+
+
+def neg(a: Any) -> Tensor:
+    """Elementwise negation."""
+    return Neg.apply(as_tensor(a))
+
+
+def pow_(a: Any, exponent: float) -> Tensor:
+    """Raise ``a`` to a (constant) scalar ``exponent``."""
+    return Pow.apply(as_tensor(a), float(exponent))
+
+
+def exp(a: Any) -> Tensor:
+    """Elementwise exponential."""
+    return Exp.apply(as_tensor(a))
+
+
+def log(a: Any) -> Tensor:
+    """Elementwise natural logarithm."""
+    return Log.apply(as_tensor(a))
+
+
+def sqrt(a: Any) -> Tensor:
+    """Elementwise square root."""
+    return Sqrt.apply(as_tensor(a))
+
+
+def matmul(a: Any, b: Any) -> Tensor:
+    """Matrix multiplication (1-D and 2-D operands)."""
+    return MatMul.apply(as_tensor(a), as_tensor(b))

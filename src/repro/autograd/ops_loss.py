@@ -1,0 +1,105 @@
+"""Loss functions used by the training harness.
+
+The transductive node-classification setting trains on a *subset* of nodes
+(the labelled mask), so every classification loss accepts an optional
+``mask``/index argument restricting which rows contribute.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.autograd.function import Context, Function
+from repro.autograd.ops_activation import log_softmax
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.errors import ShapeError
+
+
+class NLLLoss(Function):
+    """Negative log-likelihood over rows selected by ``index``.
+
+    Expects *log-probabilities* (the output of :func:`log_softmax`).
+    """
+
+    @staticmethod
+    def forward(ctx: Context, log_probs: np.ndarray, targets: np.ndarray,
+                index: np.ndarray | None = None) -> np.ndarray:
+        if log_probs.ndim != 2:
+            raise ShapeError(f"log_probs must be 2-D, got shape {log_probs.shape}")
+        targets = np.asarray(targets, dtype=np.int64)
+        if index is None:
+            index = np.arange(log_probs.shape[0], dtype=np.int64)
+        else:
+            index = np.asarray(index, dtype=np.int64)
+        if index.size == 0:
+            raise ValueError("nll_loss received an empty index set")
+        selected_targets = targets[index] if targets.shape[0] == log_probs.shape[0] else targets
+        if selected_targets.shape[0] != index.shape[0]:
+            raise ShapeError(
+                "targets must either align with log_probs rows or with the index subset"
+            )
+        picked = log_probs[index, selected_targets]
+        ctx.extras["index"] = index
+        ctx.extras["targets"] = selected_targets
+        ctx.extras["shape"] = log_probs.shape
+        return np.asarray(-np.mean(picked))
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        index = ctx.extras["index"]
+        targets = ctx.extras["targets"]
+        shape = ctx.extras["shape"]
+        full = np.zeros(shape, dtype=np.float64)
+        full[index, targets] = -1.0 / index.shape[0]
+        return (full * grad, None, None)
+
+
+class MSELoss(Function):
+    @staticmethod
+    def forward(ctx: Context, prediction: np.ndarray, target: np.ndarray) -> np.ndarray:
+        if prediction.shape != target.shape:
+            raise ShapeError(
+                f"mse_loss shapes differ: {prediction.shape} vs {target.shape}"
+            )
+        diff = prediction - target
+        ctx.extras["diff"] = diff
+        return np.asarray(np.mean(diff * diff))
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        diff = ctx.extras["diff"]
+        return (grad * 2.0 * diff / diff.size, None)
+
+
+def nll_loss(log_probs: Any, targets: Any, index: Any = None) -> Tensor:
+    """Mean negative log-likelihood of ``targets`` under ``log_probs``.
+
+    Parameters
+    ----------
+    log_probs:
+        ``(n, c)`` log-probabilities.
+    targets:
+        Integer class labels, either length ``n`` or length ``len(index)``.
+    index:
+        Optional integer node indices restricting the loss to a subset
+        (the labelled training nodes in transductive learning).
+    """
+    if isinstance(targets, Tensor):
+        targets = targets.data
+    if isinstance(index, Tensor):
+        index = index.data
+    return NLLLoss.apply(as_tensor(log_probs), np.asarray(targets), index)
+
+
+def cross_entropy(logits: Any, targets: Any, index: Any = None) -> Tensor:
+    """Cross-entropy of integer ``targets`` given unnormalised ``logits``."""
+    return nll_loss(log_softmax(logits, axis=-1), targets, index)
+
+
+def mse_loss(prediction: Any, target: Any) -> Tensor:
+    """Mean squared error between ``prediction`` and a constant ``target``."""
+    if isinstance(target, Tensor):
+        target = target.data
+    return MSELoss.apply(as_tensor(prediction), np.asarray(target, dtype=np.float64))

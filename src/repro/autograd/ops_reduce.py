@@ -1,0 +1,129 @@
+"""Reduction operations (sum, mean, max/min) and their gradients."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.autograd.function import Context, Function
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+def _expand_reduced(grad: np.ndarray, input_shape: tuple[int, ...],
+                    axis: int | tuple[int, ...] | None, keepdims: bool) -> np.ndarray:
+    """Broadcast a reduced gradient back to ``input_shape``."""
+    if axis is None:
+        return np.broadcast_to(grad, input_shape).astype(np.float64)
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    axes = tuple(a % len(input_shape) for a in axes)
+    if not keepdims:
+        for a in sorted(axes):
+            grad = np.expand_dims(grad, axis=a)
+    return np.broadcast_to(grad, input_shape).astype(np.float64)
+
+
+class Sum(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        ctx.extras["input_shape"] = a.shape
+        ctx.extras["axis"] = axis
+        ctx.extras["keepdims"] = keepdims
+        return np.sum(a, axis=axis, keepdims=keepdims)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        expanded = _expand_reduced(
+            grad, ctx.extras["input_shape"], ctx.extras["axis"], ctx.extras["keepdims"]
+        )
+        return (expanded,)
+
+
+class Mean(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        ctx.extras["input_shape"] = a.shape
+        ctx.extras["axis"] = axis
+        ctx.extras["keepdims"] = keepdims
+        return np.mean(a, axis=axis, keepdims=keepdims)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        input_shape = ctx.extras["input_shape"]
+        axis = ctx.extras["axis"]
+        if axis is None:
+            count = int(np.prod(input_shape)) if input_shape else 1
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([input_shape[a % len(input_shape)] for a in axes]))
+        expanded = _expand_reduced(grad, input_shape, axis, ctx.extras["keepdims"])
+        return (expanded / max(count, 1),)
+
+
+class Max(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        out = np.max(a, axis=axis, keepdims=keepdims)
+        ctx.save_for_backward(a)
+        ctx.extras["axis"] = axis
+        ctx.extras["keepdims"] = keepdims
+        ctx.extras["output"] = out
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        (a,) = ctx.saved
+        axis = ctx.extras["axis"]
+        keepdims = ctx.extras["keepdims"]
+        out = ctx.extras["output"]
+        expanded_out = _expand_reduced(np.asarray(out), a.shape, axis, keepdims)
+        expanded_grad = _expand_reduced(np.asarray(grad), a.shape, axis, keepdims)
+        mask = (a == expanded_out).astype(np.float64)
+        # Split gradient evenly between ties so the op stays a valid subgradient.
+        normaliser = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+        normaliser = np.where(normaliser == 0, 1.0, normaliser)
+        return (expanded_grad * mask / normaliser,)
+
+
+class Min(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+        out = np.min(a, axis=axis, keepdims=keepdims)
+        ctx.save_for_backward(a)
+        ctx.extras["axis"] = axis
+        ctx.extras["keepdims"] = keepdims
+        ctx.extras["output"] = out
+        return out
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        (a,) = ctx.saved
+        axis = ctx.extras["axis"]
+        keepdims = ctx.extras["keepdims"]
+        out = ctx.extras["output"]
+        expanded_out = _expand_reduced(np.asarray(out), a.shape, axis, keepdims)
+        expanded_grad = _expand_reduced(np.asarray(grad), a.shape, axis, keepdims)
+        mask = (a == expanded_out).astype(np.float64)
+        normaliser = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+        normaliser = np.where(normaliser == 0, 1.0, normaliser)
+        return (expanded_grad * mask / normaliser,)
+
+
+def sum_(a: Any, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> Tensor:
+    """Sum of tensor elements over the given axis."""
+    return Sum.apply(as_tensor(a), axis=axis, keepdims=keepdims)
+
+
+def mean(a: Any, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> Tensor:
+    """Mean of tensor elements over the given axis."""
+    return Mean.apply(as_tensor(a), axis=axis, keepdims=keepdims)
+
+
+def max_(a: Any, axis: int | None = None, keepdims: bool = False) -> Tensor:
+    """Maximum of tensor elements over the given axis (ties share gradient)."""
+    return Max.apply(as_tensor(a), axis=axis, keepdims=keepdims)
+
+
+def min_(a: Any, axis: int | None = None, keepdims: bool = False) -> Tensor:
+    """Minimum of tensor elements over the given axis (ties share gradient)."""
+    return Min.apply(as_tensor(a), axis=axis, keepdims=keepdims)

@@ -1,0 +1,142 @@
+"""Shape manipulation operations: reshape, transpose, indexing, concatenation."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.autograd.function import Context, Function
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+class Reshape(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+        ctx.extras["input_shape"] = a.shape
+        return a.reshape(shape)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        return (grad.reshape(ctx.extras["input_shape"]), None)
+
+
+class Transpose(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, axes: tuple[int, ...] | None) -> np.ndarray:
+        ctx.extras["axes"] = axes
+        ctx.extras["ndim"] = a.ndim
+        return np.transpose(a, axes)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        axes = ctx.extras["axes"]
+        if axes is None:
+            return (np.transpose(grad), None)
+        inverse = np.argsort(axes)
+        return (np.transpose(grad, inverse), None)
+
+
+class GetItem(Function):
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, index: Any) -> np.ndarray:
+        ctx.extras["index"] = index
+        ctx.extras["input_shape"] = a.shape
+        out = a[index]
+        return np.asarray(out, dtype=np.float64)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        full = np.zeros(ctx.extras["input_shape"], dtype=np.float64)
+        np.add.at(full, ctx.extras["index"], grad)
+        return (full, None)
+
+
+class GatherRows(Function):
+    """Select rows of a 2-D tensor by integer index (``X[idx]`` with accumulation)."""
+
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, index: np.ndarray) -> np.ndarray:
+        index = np.asarray(index, dtype=np.int64)
+        ctx.extras["index"] = index
+        ctx.extras["input_shape"] = a.shape
+        return a[index]
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        full = np.zeros(ctx.extras["input_shape"], dtype=np.float64)
+        np.add.at(full, ctx.extras["index"], grad)
+        return (full, None)
+
+
+class Concat(Function):
+    @staticmethod
+    def forward(ctx: Context, *arrays_and_axis: Any) -> np.ndarray:
+        *arrays, axis = arrays_and_axis
+        ctx.extras["axis"] = axis
+        ctx.extras["sizes"] = [np.asarray(a).shape[axis] for a in arrays]
+        return np.concatenate(arrays, axis=axis)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        axis = ctx.extras["axis"]
+        sizes = ctx.extras["sizes"]
+        splits = np.cumsum(sizes)[:-1]
+        grads = np.split(grad, splits, axis=axis)
+        return tuple(grads) + (None,)
+
+
+class Stack(Function):
+    @staticmethod
+    def forward(ctx: Context, *arrays_and_axis: Any) -> np.ndarray:
+        *arrays, axis = arrays_and_axis
+        ctx.extras["axis"] = axis
+        ctx.extras["count"] = len(arrays)
+        return np.stack(arrays, axis=axis)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        axis = ctx.extras["axis"]
+        count = ctx.extras["count"]
+        pieces = np.split(grad, count, axis=axis)
+        return tuple(np.squeeze(piece, axis=axis) for piece in pieces) + (None,)
+
+
+def reshape(a: Any, shape: Sequence[int]) -> Tensor:
+    """Reshape ``a`` to ``shape`` (differentiable view)."""
+    return Reshape.apply(as_tensor(a), tuple(int(s) for s in shape))
+
+
+def transpose(a: Any, axes: tuple[int, ...] | None = None) -> Tensor:
+    """Transpose ``a`` (full reverse when ``axes`` is None)."""
+    return Transpose.apply(as_tensor(a), None if axes is None else tuple(axes))
+
+
+def getitem(a: Any, index: Any) -> Tensor:
+    """Differentiable numpy-style indexing/slicing."""
+    if isinstance(index, Tensor):
+        index = index.data.astype(np.int64)
+    return GetItem.apply(as_tensor(a), index)
+
+
+def gather_rows(a: Any, index: Any) -> Tensor:
+    """Differentiable row selection ``a[index]`` for integer index arrays."""
+    if isinstance(index, Tensor):
+        index = index.data
+    return GatherRows.apply(as_tensor(a), np.asarray(index, dtype=np.int64))
+
+
+def concat(tensors: Sequence[Any], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    if not tensors:
+        raise ValueError("concat expects at least one tensor")
+    return Concat.apply(*tensors, int(axis))
+
+
+def stack(tensors: Sequence[Any], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    if not tensors:
+        raise ValueError("stack expects at least one tensor")
+    return Stack.apply(*tensors, int(axis))

@@ -1,0 +1,68 @@
+"""Sparse-times-dense products for propagation operators.
+
+Graph and hypergraph convolutions repeatedly multiply a fixed propagation
+operator (normalised adjacency ``Â`` or hypergraph operator
+``Dv^-1/2 H W De^-1 Hᵀ Dv^-1/2``) with a dense, differentiable feature matrix.
+The operator itself is structural data, not a parameter, so :func:`spmm`
+treats it as a constant and back-propagates through the dense operand only:
+
+    Y = S X        =>        dL/dX = Sᵀ dL/dY
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.function import Context, Function
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.errors import ShapeError
+
+
+class SparseMatMul(Function):
+    @staticmethod
+    def forward(ctx: Context, x: np.ndarray, operator: Any) -> np.ndarray:
+        if x.ndim != 2:
+            raise ShapeError(f"spmm expects a 2-D dense operand, got shape {x.shape}")
+        if operator.shape[1] != x.shape[0]:
+            raise ShapeError(
+                f"operator shape {operator.shape} incompatible with features {x.shape}"
+            )
+        ctx.extras["operator"] = operator
+        result = operator @ x
+        if sp.issparse(result):
+            result = result.toarray()
+        return np.asarray(result, dtype=np.float64)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        operator = ctx.extras["operator"]
+        grad_x = operator.T @ grad
+        if sp.issparse(grad_x):
+            grad_x = grad_x.toarray()
+        return (np.asarray(grad_x, dtype=np.float64), None)
+
+
+def spmm(operator: Any, x: Any) -> Tensor:
+    """Multiply a constant (sparse or dense) ``operator`` with tensor ``x``.
+
+    Parameters
+    ----------
+    operator:
+        ``(m, n)`` scipy sparse matrix or numpy array.  Treated as a constant:
+        no gradient is computed for it.
+    x:
+        ``(n, d)`` dense :class:`Tensor` (or array) carrying gradients.
+
+    Returns
+    -------
+    Tensor
+        ``(m, d)`` result of ``operator @ x``.
+    """
+    if not (sp.issparse(operator) or isinstance(operator, np.ndarray)):
+        operator = np.asarray(operator, dtype=np.float64)
+    if isinstance(operator, np.ndarray) and operator.ndim != 2:
+        raise ShapeError(f"operator must be 2-D, got shape {operator.shape}")
+    return SparseMatMul.apply(as_tensor(x), operator)

@@ -1,0 +1,362 @@
+"""The :class:`Tensor` class: a numpy array with reverse-mode autodiff."""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.errors import AutogradError
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the backward graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables graph recording (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+class Tensor:
+    """A dense array that tracks the operations applied to it.
+
+    Parameters
+    ----------
+    data:
+        Anything :func:`numpy.asarray` accepts.  Floating point data is kept
+        as ``float64`` for numerically robust gradient checks.
+    requires_grad:
+        When ``True`` the tensor participates in the backward graph and
+        receives a ``.grad`` array after :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_node")
+
+    def __init__(self, data: Any, requires_grad: bool = False) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        array = np.asarray(data)
+        if array.dtype == object:
+            raise TypeError("Tensor data must be numeric")
+        if np.issubdtype(array.dtype, np.floating):
+            array = array.astype(np.float64, copy=False)
+        else:
+            array = array.astype(np.float64)
+        self.data: np.ndarray = array
+        self.grad: np.ndarray | None = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._node = None  # BackwardNode set by Function.apply
+
+    # ------------------------------------------------------------------ #
+    # Basic introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    @property
+    def is_leaf(self) -> bool:
+        """A leaf tensor was created by the user, not by an operation."""
+        return self._node is None
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (a view, not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the single element of a scalar tensor as a python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._item_error()
+
+    def _item_error(self) -> float:
+        raise ValueError(f"item() requires a tensor with one element, got shape {self.shape}")
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but outside the backward graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a deep copy (detached from the graph)."""
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: np.ndarray | float | None = None) -> None:
+        """Back-propagate gradients from this tensor to every ancestor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to 1 for scalar tensors (the common ``loss.backward()``).
+        """
+        if not self.requires_grad:
+            raise AutogradError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise AutogradError("backward() without an explicit gradient needs a scalar tensor")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).astype(np.float64)
+
+        order = self._topological_order()
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        tensors: dict[int, Tensor] = {id(self): self}
+
+        for tensor in order:
+            tensor_grad = grads.pop(id(tensor), None)
+            if tensor_grad is None:
+                continue
+            if tensor.requires_grad:
+                tensor.grad = tensor_grad if tensor.grad is None else tensor.grad + tensor_grad
+            node = tensor._node
+            if node is None:
+                continue
+            input_grads = node.function.run_backward(node, tensor_grad)
+            for parent, parent_grad in zip(node.inputs, input_grads):
+                if parent is None or parent_grad is None:
+                    continue
+                if not parent.requires_grad and parent._node is None:
+                    continue
+                parent_grad = np.asarray(parent_grad, dtype=np.float64)
+                if parent_grad.shape != parent.data.shape:
+                    raise AutogradError(
+                        f"{node.function.__name__}.backward produced gradient of shape "
+                        f"{parent_grad.shape} for input of shape {parent.data.shape}"
+                    )
+                key = id(parent)
+                tensors[key] = parent
+                if key in grads:
+                    grads[key] = grads[key] + parent_grad
+                else:
+                    grads[key] = parent_grad
+
+    def _topological_order(self) -> list["Tensor"]:
+        """Return tensors reachable from ``self`` in reverse topological order."""
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            tensor, processed = stack.pop()
+            if processed:
+                order.append(tensor)
+                continue
+            if id(tensor) in visited:
+                continue
+            visited.add(id(tensor))
+            stack.append((tensor, True))
+            if tensor._node is not None:
+                for parent in tensor._node.inputs:
+                    if parent is not None and id(parent) not in visited:
+                        stack.append((parent, False))
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic operators (delegating to Function subclasses)
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: Any) -> "Tensor":
+        from repro.autograd.ops_basic import add
+
+        return add(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Any) -> "Tensor":
+        from repro.autograd.ops_basic import sub
+
+        return sub(self, other)
+
+    def __rsub__(self, other: Any) -> "Tensor":
+        from repro.autograd.ops_basic import sub
+
+        return sub(other, self)
+
+    def __mul__(self, other: Any) -> "Tensor":
+        from repro.autograd.ops_basic import mul
+
+        return mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Any) -> "Tensor":
+        from repro.autograd.ops_basic import div
+
+        return div(self, other)
+
+    def __rtruediv__(self, other: Any) -> "Tensor":
+        from repro.autograd.ops_basic import div
+
+        return div(other, self)
+
+    def __neg__(self) -> "Tensor":
+        from repro.autograd.ops_basic import neg
+
+        return neg(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        from repro.autograd.ops_basic import pow_
+
+        return pow_(self, exponent)
+
+    def __matmul__(self, other: Any) -> "Tensor":
+        from repro.autograd.ops_basic import matmul
+
+        return matmul(self, other)
+
+    def __getitem__(self, index: Any) -> "Tensor":
+        from repro.autograd.ops_shape import getitem
+
+        return getitem(self, index)
+
+    # Comparisons return plain numpy boolean arrays (non-differentiable).
+    def __eq__(self, other: Any) -> np.ndarray:  # type: ignore[override]
+        return self.data == _raw(other)
+
+    def __ne__(self, other: Any) -> np.ndarray:  # type: ignore[override]
+        return self.data != _raw(other)
+
+    def __lt__(self, other: Any) -> np.ndarray:
+        return self.data < _raw(other)
+
+    def __le__(self, other: Any) -> np.ndarray:
+        return self.data <= _raw(other)
+
+    def __gt__(self, other: Any) -> np.ndarray:
+        return self.data > _raw(other)
+
+    def __ge__(self, other: Any) -> np.ndarray:
+        return self.data >= _raw(other)
+
+    __hash__ = object.__hash__
+
+    # ------------------------------------------------------------------ #
+    # Convenience methods mirroring the functional API
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        from repro.autograd.ops_reduce import sum_
+
+        return sum_(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        from repro.autograd.ops_reduce import mean
+
+        return mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        from repro.autograd.ops_reduce import max_
+
+        return max_(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        from repro.autograd.ops_shape import reshape
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return reshape(self, shape)
+
+    def transpose(self, axes: tuple[int, ...] | None = None) -> "Tensor":
+        from repro.autograd.ops_shape import transpose
+
+        return transpose(self, axes)
+
+    def exp(self) -> "Tensor":
+        from repro.autograd.ops_basic import exp
+
+        return exp(self)
+
+    def log(self) -> "Tensor":
+        from repro.autograd.ops_basic import log
+
+        return log(self)
+
+    def sqrt(self) -> "Tensor":
+        from repro.autograd.ops_basic import sqrt
+
+        return sqrt(self)
+
+    def relu(self) -> "Tensor":
+        from repro.autograd.ops_activation import relu
+
+        return relu(self)
+
+    def sigmoid(self) -> "Tensor":
+        from repro.autograd.ops_activation import sigmoid
+
+        return sigmoid(self)
+
+    def tanh(self) -> "Tensor":
+        from repro.autograd.ops_activation import tanh
+
+        return tanh(self)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        from repro.autograd.ops_activation import softmax
+
+        return softmax(self, axis=axis)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        from repro.autograd.ops_activation import log_softmax
+
+        return log_softmax(self, axis=axis)
+
+    def argmax(self, axis: int | None = None) -> np.ndarray:
+        """Non-differentiable argmax over the underlying data."""
+        return np.argmax(self.data, axis=axis)
+
+
+def _raw(value: Any) -> Any:
+    return value.data if isinstance(value, Tensor) else value
+
+
+def as_tensor(value: Any, requires_grad: bool = False) -> Tensor:
+    """Coerce ``value`` into a :class:`Tensor` (no copy when already a tensor)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+def zeros_like(tensor: Tensor | np.ndarray, requires_grad: bool = False) -> Tensor:
+    """A tensor of zeros with the same shape as ``tensor``."""
+    data = tensor.data if isinstance(tensor, Tensor) else np.asarray(tensor)
+    return Tensor(np.zeros_like(data, dtype=np.float64), requires_grad=requires_grad)

@@ -1,0 +1,142 @@
+"""Command-line interface.
+
+Three sub-commands mirror the common workflows::
+
+    python -m repro.cli datasets
+    python -m repro.cli train   --dataset cora-cocitation --model dhgcn --epochs 150
+    python -m repro.cli compare --datasets cora-cocitation citeseer-cocitation \
+                                --models gcn hgnn dhgcn --seeds 2
+
+The CLI intentionally stays thin: every command is a few calls into the public
+API, so scripts and notebooks can do exactly the same things programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro import (
+    DHGCN,
+    DHGCNConfig,
+    DHGNN,
+    GAT,
+    GCN,
+    HGNN,
+    MLP,
+    HyperGCN,
+    TrainConfig,
+    Trainer,
+    available_datasets,
+    compare_methods,
+    get_dataset,
+)
+from repro.models import SGC, ChebNet, HGNNP
+
+MODEL_REGISTRY: dict[str, Callable] = {
+    "mlp": lambda ds, seed, hidden: MLP(ds.n_features, ds.n_classes, hidden_dim=hidden, seed=seed),
+    "sgc": lambda ds, seed, hidden: SGC(ds.n_features, ds.n_classes, seed=seed),
+    "gcn": lambda ds, seed, hidden: GCN(ds.n_features, ds.n_classes, hidden_dim=hidden, seed=seed),
+    "chebnet": lambda ds, seed, hidden: ChebNet(ds.n_features, ds.n_classes, hidden_dim=hidden, seed=seed),
+    "gat": lambda ds, seed, hidden: GAT(ds.n_features, ds.n_classes, seed=seed),
+    "hgnn": lambda ds, seed, hidden: HGNN(ds.n_features, ds.n_classes, hidden_dim=hidden, seed=seed),
+    "hgnnp": lambda ds, seed, hidden: HGNNP(ds.n_features, ds.n_classes, hidden_dim=hidden, seed=seed),
+    "hypergcn": lambda ds, seed, hidden: HyperGCN(ds.n_features, ds.n_classes, hidden_dim=hidden, seed=seed),
+    "dhgnn": lambda ds, seed, hidden: DHGNN(ds.n_features, ds.n_classes, hidden_dim=hidden, seed=seed),
+    "dhgcn": lambda ds, seed, hidden: DHGCN(
+        ds.n_features, ds.n_classes, DHGCNConfig(hidden_dim=hidden), seed=seed
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list the registered benchmark datasets")
+
+    train = subparsers.add_parser("train", help="train one model on one dataset")
+    train.add_argument("--dataset", required=True, help="registered dataset name")
+    train.add_argument("--model", required=True, choices=sorted(MODEL_REGISTRY), help="model name")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--epochs", type=int, default=200)
+    train.add_argument("--lr", type=float, default=0.01)
+    train.add_argument("--weight-decay", type=float, default=5e-4)
+    train.add_argument("--hidden-dim", type=int, default=32)
+    train.add_argument("--patience", type=int, default=50)
+    train.add_argument("--nodes", type=int, default=None, help="override dataset size")
+
+    compare = subparsers.add_parser("compare", help="compare several models on several datasets")
+    compare.add_argument("--datasets", nargs="+", required=True)
+    compare.add_argument("--models", nargs="+", required=True, choices=sorted(MODEL_REGISTRY))
+    compare.add_argument("--seeds", type=int, default=2, help="number of seeds per cell")
+    compare.add_argument("--epochs", type=int, default=100)
+    compare.add_argument("--hidden-dim", type=int, default=32)
+    compare.add_argument("--nodes", type=int, default=None, help="override dataset size")
+    return parser
+
+
+def _command_datasets() -> int:
+    for name in available_datasets():
+        print(name)
+    return 0
+
+
+def _command_train(args: argparse.Namespace) -> int:
+    overrides = {"n_nodes": args.nodes} if args.nodes else {}
+    dataset = get_dataset(args.dataset, seed=args.seed, **overrides)
+    model = MODEL_REGISTRY[args.model](dataset, args.seed, args.hidden_dim)
+    config = TrainConfig(
+        epochs=args.epochs,
+        lr=args.lr,
+        weight_decay=args.weight_decay,
+        patience=args.patience if args.patience > 0 else None,
+    )
+    result = Trainer(model, dataset, config).train()
+    print(f"dataset          : {dataset.name} ({dataset.n_nodes} nodes)")
+    print(f"model            : {args.model} ({result.n_parameters} parameters)")
+    print(f"best val accuracy: {result.best_val_accuracy:.4f} (epoch {result.best_epoch})")
+    print(f"test accuracy    : {result.test_accuracy:.4f}")
+    print(f"test macro-F1    : {result.test_macro_f1:.4f}")
+    print(f"train time       : {result.train_time:.1f}s "
+          f"({result.mean_epoch_time * 1000:.1f} ms/epoch)")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    overrides = {"n_nodes": args.nodes} if args.nodes else {}
+    methods = {
+        name: (lambda ds, seed, n=name: MODEL_REGISTRY[n](ds, seed, args.hidden_dim))
+        for name in args.models
+    }
+    datasets = {
+        name: (lambda seed, n=name: get_dataset(n, seed=seed, **overrides))
+        for name in args.datasets
+    }
+    table, _ = compare_methods(
+        methods,
+        datasets,
+        n_seeds=args.seeds,
+        train_config=TrainConfig(epochs=args.epochs, patience=None),
+        title="repro compare",
+    )
+    print()
+    print(table.to_markdown())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _command_datasets()
+    if args.command == "train":
+        return _command_train(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""The paper's contribution: the Dynamic Hypergraph Convolutional Network.
+
+Components
+----------
+* :class:`DHGCNConfig` — every architectural switch and hyper-parameter,
+  including the ablation flags used by the experiment suite.
+* :class:`DynamicHypergraphBuilder` — builds the dynamic topology (k-NN
+  hyperedges + k-means cluster hyperedges) and the compactness-based dynamic
+  hyperedge weights from a node embedding.
+* :class:`HypergraphConvolution` / :class:`DualChannelBlock` — the static /
+  dynamic two-channel convolution block with learnable gated fusion.
+* :class:`DHGCN` — the full model implementing the
+  :class:`repro.models.BaseNodeClassifier` interface.
+"""
+
+from repro.core.builder import DynamicHypergraphBuilder
+from repro.core.config import DHGCNConfig
+from repro.core.layers import DualChannelBlock, HypergraphConvolution
+from repro.core.model import DHGCN
+
+__all__ = [
+    "DHGCNConfig",
+    "DynamicHypergraphBuilder",
+    "HypergraphConvolution",
+    "DualChannelBlock",
+    "DHGCN",
+]

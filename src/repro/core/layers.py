@@ -1,0 +1,103 @@
+"""Convolution layers of DHGCN: single-channel conv and dual-channel block."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.autograd.ops_activation import sigmoid
+from repro.autograd.ops_sparse import spmm
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.errors import ConfigurationError
+from repro.nn import Linear
+from repro.nn.module import Module, Parameter
+
+
+class HypergraphConvolution(Module):
+    """One hypergraph convolution ``X' = Θ (X W + b)``.
+
+    The propagation operator ``Θ`` is passed at call time, so the same layer
+    serves both the static channel (fixed operator) and the dynamic channel
+    (operator rebuilt during training).
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed=None) -> None:
+        super().__init__()
+        self.linear = Linear(in_features, out_features, bias=bias, seed=seed)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+
+    def forward(self, features: Tensor, operator: Any) -> Tensor:
+        if operator is None:
+            raise ConfigurationError("HypergraphConvolution requires a propagation operator")
+        return spmm(operator, self.linear(as_tensor(features)))
+
+    def __repr__(self) -> str:
+        return f"HypergraphConvolution({self.in_features} -> {self.out_features})"
+
+
+class DualChannelBlock(Module):
+    """Static/dynamic two-channel hypergraph convolution with gated fusion.
+
+    ``out = g · Conv_static(X, Θ_s) + (1 - g) · Conv_dynamic(X, Θ_d)``
+
+    where the gate ``g = sigmoid(γ)`` is a learnable scalar (``fusion="gate"``)
+    or fixed to 0.5 (``fusion="sum"``).  Single-channel modes
+    (``"static_only"`` / ``"dynamic_only"``) serve the ablation study.
+    """
+
+    _MODES = ("gate", "sum", "static_only", "dynamic_only")
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        fusion: str = "gate",
+        seed=None,
+    ) -> None:
+        super().__init__()
+        if fusion not in self._MODES:
+            raise ConfigurationError(f"fusion must be one of {self._MODES}, got {fusion!r}")
+        self.fusion = fusion
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        if fusion in ("gate", "sum", "static_only"):
+            self.static_conv = HypergraphConvolution(in_features, out_features, seed=seed)
+        else:
+            self.static_conv = None
+        if fusion in ("gate", "sum", "dynamic_only"):
+            self.dynamic_conv = HypergraphConvolution(in_features, out_features, seed=seed)
+        else:
+            self.dynamic_conv = None
+        if fusion == "gate":
+            self.gate = Parameter(np.zeros(1))  # sigmoid(0) = 0.5 at initialisation
+        else:
+            self.gate = None
+
+    def gate_value(self) -> float:
+        """Current mixing weight of the static channel (diagnostics)."""
+        if self.fusion == "gate":
+            return float(1.0 / (1.0 + np.exp(-self.gate.data[0])))
+        if self.fusion == "sum":
+            return 0.5
+        return 1.0 if self.fusion == "static_only" else 0.0
+
+    def forward(self, features: Tensor, static_operator: Any, dynamic_operator: Any) -> Tensor:
+        features = as_tensor(features)
+        if self.fusion == "static_only":
+            return self.static_conv(features, static_operator)
+        if self.fusion == "dynamic_only":
+            return self.dynamic_conv(features, dynamic_operator)
+
+        static_out = self.static_conv(features, static_operator)
+        dynamic_out = self.dynamic_conv(features, dynamic_operator)
+        if self.fusion == "sum":
+            return static_out * 0.5 + dynamic_out * 0.5
+        gate = sigmoid(self.gate)
+        return static_out * gate + dynamic_out * (1.0 - gate)
+
+    def __repr__(self) -> str:
+        return (
+            f"DualChannelBlock({self.in_features} -> {self.out_features}, fusion={self.fusion!r})"
+        )

@@ -1,0 +1,51 @@
+"""Datasets: container types, splits and synthetic benchmark stand-ins.
+
+The public benchmarks used by the hypergraph-GNN literature (Cora/Citeseer/
+Pubmed co-citation, Cora/DBLP co-authorship, ModelNet40/NTU2012 visual
+objects, 20-Newsgroups) cannot be downloaded in this offline environment, so
+each one is replaced by a seeded synthetic generator that reproduces its
+*shape*: number of classes, feature style, hyperedge-size distribution and
+structure homophily.  See DESIGN.md §3 for the substitution table.
+"""
+
+from repro.data.citation import make_citeseer_like, make_cora_like, make_pubmed_like
+from repro.data.coauthorship import make_coauthorship, make_cora_coauthorship_like, make_dblp_like
+from repro.data.dataset import NodeClassificationDataset, Split
+from repro.data.io import load_dataset, save_dataset
+from repro.data.objects import make_modelnet_like, make_ntu2012_like, make_objects_like
+from repro.data.registry import available_datasets, get_dataset, register_dataset
+from repro.data.splits import label_rate_split, planetoid_split, stratified_split
+from repro.data.text import make_newsgroups_like
+from repro.data.transforms import (
+    add_feature_noise,
+    normalize_features,
+    row_normalize,
+    standardize_features,
+)
+
+__all__ = [
+    "NodeClassificationDataset",
+    "Split",
+    "planetoid_split",
+    "label_rate_split",
+    "stratified_split",
+    "make_cora_like",
+    "make_citeseer_like",
+    "make_pubmed_like",
+    "make_coauthorship",
+    "make_cora_coauthorship_like",
+    "make_dblp_like",
+    "make_objects_like",
+    "make_modelnet_like",
+    "make_ntu2012_like",
+    "make_newsgroups_like",
+    "row_normalize",
+    "normalize_features",
+    "standardize_features",
+    "add_feature_noise",
+    "get_dataset",
+    "register_dataset",
+    "available_datasets",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,189 @@
+"""Dataset container types for transductive node classification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.graph import Graph
+from repro.hypergraph.expansion import clique_expansion
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@dataclass(frozen=True)
+class Split:
+    """Train / validation / test node indices for transductive learning."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("train", "val", "test"):
+            indices = np.asarray(getattr(self, name), dtype=np.int64)
+            if indices.ndim != 1:
+                raise DatasetError(f"{name} indices must be 1-D")
+            if indices.size == 0:
+                raise DatasetError(f"{name} split must not be empty")
+            if np.unique(indices).size != indices.size:
+                raise DatasetError(f"{name} indices contain duplicates")
+            object.__setattr__(self, name, indices)
+        overlap_train_val = np.intersect1d(self.train, self.val)
+        overlap_train_test = np.intersect1d(self.train, self.test)
+        overlap_val_test = np.intersect1d(self.val, self.test)
+        if overlap_train_val.size or overlap_train_test.size or overlap_val_test.size:
+            raise DatasetError("train/val/test splits must be disjoint")
+
+    @property
+    def sizes(self) -> tuple[int, int, int]:
+        return int(self.train.size), int(self.val.size), int(self.test.size)
+
+    def check_within(self, n_nodes: int) -> None:
+        """Validate that every index refers to an existing node."""
+        for name in ("train", "val", "test"):
+            indices = getattr(self, name)
+            if indices.min() < 0 or indices.max() >= n_nodes:
+                raise DatasetError(f"{name} indices outside [0, {n_nodes})")
+
+
+@dataclass
+class NodeClassificationDataset:
+    """A transductive node-classification dataset.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (used in result tables).
+    features:
+        ``(n, d)`` node feature matrix.
+    labels:
+        ``(n,)`` integer class labels.
+    hypergraph:
+        The native relational structure as a :class:`Hypergraph` (the *static*
+        hypergraph models consume).  May have zero hyperedges for
+        feature-only datasets.
+    split:
+        Canonical train/val/test split.
+    graph:
+        Optional pairwise graph for GCN/GAT baselines; derived via clique
+        expansion of the hypergraph when not given explicitly.
+    metadata:
+        Free-form provenance information (generator parameters etc.).
+    """
+
+    name: str
+    features: np.ndarray
+    labels: np.ndarray
+    hypergraph: Hypergraph
+    split: Split
+    graph: Graph | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.features.ndim != 2:
+            raise DatasetError(f"features must be 2-D, got shape {self.features.shape}")
+        if self.labels.ndim != 1:
+            raise DatasetError(f"labels must be 1-D, got shape {self.labels.shape}")
+        if self.features.shape[0] != self.labels.shape[0]:
+            raise DatasetError(
+                f"features ({self.features.shape[0]}) and labels ({self.labels.shape[0]}) "
+                "must describe the same number of nodes"
+            )
+        if self.hypergraph.n_nodes != self.n_nodes:
+            raise DatasetError(
+                f"hypergraph covers {self.hypergraph.n_nodes} nodes, dataset has {self.n_nodes}"
+            )
+        if self.labels.min() < 0:
+            raise DatasetError("labels must be non-negative integers")
+        self.split.check_within(self.n_nodes)
+        if self.graph is not None and self.graph.n_nodes != self.n_nodes:
+            raise DatasetError(
+                f"graph covers {self.graph.n_nodes} nodes, dataset has {self.n_nodes}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.features.shape[1])
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.labels.max()) + 1
+
+    @property
+    def label_rate(self) -> float:
+        """Fraction of nodes whose label is visible during training."""
+        return float(self.split.train.size / self.n_nodes)
+
+    def pairwise_graph(self) -> Graph:
+        """Pairwise graph view (explicit graph, or clique expansion of the hypergraph)."""
+        if self.graph is not None:
+            return self.graph
+        return clique_expansion(self.hypergraph)
+
+    def class_distribution(self) -> np.ndarray:
+        """Number of nodes per class."""
+        return np.bincount(self.labels, minlength=self.n_classes)
+
+    def with_split(self, split: Split) -> "NodeClassificationDataset":
+        """Return a copy of the dataset with a different split."""
+        return NodeClassificationDataset(
+            name=self.name,
+            features=self.features,
+            labels=self.labels,
+            hypergraph=self.hypergraph,
+            split=split,
+            graph=self.graph,
+            metadata=dict(self.metadata),
+        )
+
+    def with_hypergraph(self, hypergraph: Hypergraph) -> "NodeClassificationDataset":
+        """Return a copy of the dataset with a different (e.g. corrupted) hypergraph."""
+        return NodeClassificationDataset(
+            name=self.name,
+            features=self.features,
+            labels=self.labels,
+            hypergraph=hypergraph,
+            split=self.split,
+            graph=self.graph,
+            metadata=dict(self.metadata),
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """Dictionary of dataset statistics (used by the dataset table)."""
+        from repro.hypergraph.metrics import hyperedge_homophily, hypergraph_statistics
+
+        stats = hypergraph_statistics(self.hypergraph)
+        stats.update(
+            {
+                "name": self.name,
+                "n_features": self.n_features,
+                "n_classes": self.n_classes,
+                "label_rate": round(self.label_rate, 4),
+                "train/val/test": self.split.sizes,
+                "hyperedge_homophily": (
+                    round(hyperedge_homophily(self.hypergraph, self.labels), 4)
+                    if self.hypergraph.n_hyperedges
+                    else None
+                ),
+            }
+        )
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeClassificationDataset(name={self.name!r}, n_nodes={self.n_nodes}, "
+            f"n_features={self.n_features}, n_classes={self.n_classes}, "
+            f"n_hyperedges={self.hypergraph.n_hyperedges})"
+        )

@@ -1,0 +1,97 @@
+"""Persistence for generated datasets.
+
+The synthetic generators are deterministic given a seed, but saving a
+realisation to disk is still useful for sharing exact experiment inputs and
+for caching large realisations between runs.  A dataset is stored as one
+``.npz`` archive (arrays) plus a ``.json`` sidecar (name, hyperedges, split
+and metadata).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import NodeClassificationDataset, Split
+from repro.errors import DatasetError
+from repro.graph.graph import Graph
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def save_dataset(dataset: NodeClassificationDataset, path: str | Path) -> Path:
+    """Serialise ``dataset`` under ``path`` (without extension).
+
+    Creates ``<path>.npz`` and ``<path>.json``; returns the JSON path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    np.savez_compressed(
+        path.with_suffix(".npz"),
+        features=dataset.features,
+        labels=dataset.labels,
+        train=dataset.split.train,
+        val=dataset.split.val,
+        test=dataset.split.test,
+        hyperedge_weights=dataset.hypergraph.weights,
+    )
+    sidecar = {
+        "name": dataset.name,
+        "n_nodes": dataset.n_nodes,
+        "hyperedges": [list(edge) for edge in dataset.hypergraph.hyperedges],
+        "graph_edges": None if dataset.graph is None else dataset.graph.edges,
+        "metadata": _jsonable(dataset.metadata),
+    }
+    json_path = path.with_suffix(".json")
+    json_path.write_text(json.dumps(sidecar, indent=2))
+    return json_path
+
+
+def load_dataset(path: str | Path) -> NodeClassificationDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    json_path = path.with_suffix(".json")
+    npz_path = path.with_suffix(".npz")
+    if not json_path.exists() or not npz_path.exists():
+        raise DatasetError(f"no saved dataset found at {path} (.json/.npz pair required)")
+
+    sidecar = json.loads(json_path.read_text())
+    with np.load(npz_path) as archive:
+        features = archive["features"]
+        labels = archive["labels"]
+        split = Split(train=archive["train"], val=archive["val"], test=archive["test"])
+        weights = archive["hyperedge_weights"]
+
+    hyperedges = [tuple(edge) for edge in sidecar["hyperedges"]]
+    hypergraph = Hypergraph(
+        int(sidecar["n_nodes"]), hyperedges, weights if len(hyperedges) else None
+    )
+    graph = None
+    if sidecar.get("graph_edges") is not None:
+        graph = Graph(int(sidecar["n_nodes"]), [tuple(edge) for edge in sidecar["graph_edges"]])
+    return NodeClassificationDataset(
+        name=sidecar["name"],
+        features=features,
+        labels=labels,
+        hypergraph=hypergraph,
+        split=split,
+        graph=graph,
+        metadata=sidecar.get("metadata", {}),
+    )
+
+
+def _jsonable(value):
+    """Best-effort conversion of metadata values to JSON-serialisable types."""
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value

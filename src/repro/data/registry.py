@@ -1,0 +1,67 @@
+"""Dataset registry: refer to benchmark stand-ins by name, like the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.data.citation import make_citeseer_like, make_cora_like, make_pubmed_like
+from repro.data.coauthorship import make_cora_coauthorship_like, make_dblp_like
+from repro.data.dataset import NodeClassificationDataset
+from repro.data.objects import make_modelnet_like, make_ntu2012_like
+from repro.data.text import make_newsgroups_like
+from repro.errors import RegistryError
+
+DatasetFactory = Callable[..., NodeClassificationDataset]
+
+_REGISTRY: dict[str, DatasetFactory] = {}
+
+
+def register_dataset(name: str, factory: DatasetFactory, *, overwrite: bool = False) -> None:
+    """Register a dataset factory under ``name``.
+
+    The factory must accept a ``seed`` keyword argument and return a
+    :class:`NodeClassificationDataset`.
+    """
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise RegistryError(f"dataset {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def available_datasets() -> list[str]:
+    """Sorted list of registered dataset names."""
+    return sorted(_REGISTRY)
+
+
+def get_dataset(name: str, seed: int | None = 0, **overrides: Any) -> NodeClassificationDataset:
+    """Instantiate a registered dataset by name.
+
+    Parameters
+    ----------
+    name:
+        Registered dataset name (case-insensitive).
+    seed:
+        Seed forwarded to the generator (datasets are fully deterministic
+        given the seed).
+    overrides:
+        Extra keyword arguments forwarded to the generator (e.g. ``n_nodes``).
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise RegistryError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        )
+    return _REGISTRY[key](seed=seed, **overrides)
+
+
+# --------------------------------------------------------------------------- #
+# Default registrations (the benchmarks the paper family evaluates on)
+# --------------------------------------------------------------------------- #
+register_dataset("cora-cocitation", make_cora_like)
+register_dataset("citeseer-cocitation", make_citeseer_like)
+register_dataset("pubmed-cocitation", make_pubmed_like)
+register_dataset("cora-coauthorship", make_cora_coauthorship_like)
+register_dataset("dblp-coauthorship", make_dblp_like)
+register_dataset("modelnet40", make_modelnet_like)
+register_dataset("ntu2012", make_ntu2012_like)
+register_dataset("newsgroups", make_newsgroups_like)

@@ -1,0 +1,132 @@
+"""Train/validation/test split strategies for transductive learning."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Split
+from repro.errors import DatasetError
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_1d_labels, check_fraction
+
+
+def planetoid_split(
+    labels: np.ndarray,
+    *,
+    train_per_class: int = 20,
+    n_val: int = 500,
+    n_test: int | None = None,
+    seed=None,
+) -> Split:
+    """Planetoid-style split: fixed labelled nodes per class, fixed val size.
+
+    This mirrors the protocol used by GCN/HGNN/HyperGCN papers: pick
+    ``train_per_class`` labelled nodes per class, then ``n_val`` validation
+    nodes and ``n_test`` test nodes from the remainder (all remaining nodes
+    when ``n_test`` is None).  Validation and test sizes are clipped to what
+    is available.
+    """
+    labels = check_1d_labels(np.asarray(labels))
+    rng = as_rng(seed)
+    if train_per_class <= 0:
+        raise DatasetError(f"train_per_class must be positive, got {train_per_class}")
+
+    classes = np.unique(labels)
+    train: list[int] = []
+    for cls in classes:
+        candidates = np.nonzero(labels == cls)[0]
+        if candidates.size <= train_per_class:
+            raise DatasetError(
+                f"class {int(cls)} has only {candidates.size} nodes, cannot take "
+                f"{train_per_class} for training and keep evaluation nodes"
+            )
+        train.extend(rng.choice(candidates, size=train_per_class, replace=False).tolist())
+    train_idx = np.array(sorted(train), dtype=np.int64)
+
+    remaining = np.setdiff1d(np.arange(labels.shape[0]), train_idx)
+    remaining = rng.permutation(remaining)
+    n_val_eff = min(int(n_val), max(remaining.size - 1, 1))
+    val_idx = np.sort(remaining[:n_val_eff]).astype(np.int64)
+    rest = remaining[n_val_eff:]
+    if n_test is not None:
+        rest = rest[: int(n_test)]
+    if rest.size == 0:
+        raise DatasetError("planetoid_split left no nodes for the test set")
+    test_idx = np.sort(rest).astype(np.int64)
+    return Split(train=train_idx, val=val_idx, test=test_idx)
+
+
+def label_rate_split(
+    labels: np.ndarray,
+    *,
+    label_rate: float,
+    val_fraction: float = 0.2,
+    seed=None,
+) -> Split:
+    """Split by global label rate (used in the label-scarcity experiment).
+
+    ``label_rate`` of all nodes become training nodes (stratified by class,
+    at least one per class), ``val_fraction`` of the remainder becomes
+    validation and the rest is the test set.
+    """
+    labels = check_1d_labels(np.asarray(labels))
+    check_fraction(label_rate, "label_rate", inclusive=False)
+    check_fraction(val_fraction, "val_fraction", inclusive=False)
+    rng = as_rng(seed)
+    n = labels.shape[0]
+    classes = np.unique(labels)
+
+    train: list[int] = []
+    target_total = max(int(round(label_rate * n)), classes.size)
+    per_class = np.maximum(
+        np.round(target_total * np.bincount(labels) / n).astype(int), 1
+    )
+    for cls in classes:
+        candidates = np.nonzero(labels == cls)[0]
+        take = min(per_class[cls], candidates.size - 1)
+        take = max(take, 1)
+        train.extend(rng.choice(candidates, size=take, replace=False).tolist())
+    train_idx = np.array(sorted(set(train)), dtype=np.int64)
+
+    remaining = rng.permutation(np.setdiff1d(np.arange(n), train_idx))
+    n_val = max(int(round(val_fraction * remaining.size)), 1)
+    if remaining.size <= n_val:
+        raise DatasetError("label_rate_split left no nodes for the test set")
+    val_idx = np.sort(remaining[:n_val]).astype(np.int64)
+    test_idx = np.sort(remaining[n_val:]).astype(np.int64)
+    return Split(train=train_idx, val=val_idx, test=test_idx)
+
+
+def stratified_split(
+    labels: np.ndarray,
+    *,
+    fractions: tuple[float, float, float] = (0.5, 0.25, 0.25),
+    seed=None,
+) -> Split:
+    """Class-stratified split by fractions (used by the visual-object datasets)."""
+    labels = check_1d_labels(np.asarray(labels))
+    if len(fractions) != 3:
+        raise DatasetError(f"fractions must have three entries, got {fractions}")
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise DatasetError(f"fractions must sum to 1, got {fractions}")
+    if any(fraction <= 0 for fraction in fractions):
+        raise DatasetError(f"fractions must be positive, got {fractions}")
+    rng = as_rng(seed)
+
+    train, val, test = [], [], []
+    for cls in np.unique(labels):
+        candidates = rng.permutation(np.nonzero(labels == cls)[0])
+        if candidates.size < 3:
+            raise DatasetError(f"class {int(cls)} needs at least 3 nodes for a stratified split")
+        n_train = max(int(round(fractions[0] * candidates.size)), 1)
+        n_val = max(int(round(fractions[1] * candidates.size)), 1)
+        n_train = min(n_train, candidates.size - 2)
+        n_val = min(n_val, candidates.size - n_train - 1)
+        train.extend(candidates[:n_train].tolist())
+        val.extend(candidates[n_train : n_train + n_val].tolist())
+        test.extend(candidates[n_train + n_val :].tolist())
+    return Split(
+        train=np.array(sorted(train), dtype=np.int64),
+        val=np.array(sorted(val), dtype=np.int64),
+        test=np.array(sorted(test), dtype=np.int64),
+    )

@@ -1,0 +1,142 @@
+"""Low-level feature and label samplers shared by the dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_fraction, check_positive
+
+
+def sample_class_sizes(n_nodes: int, n_classes: int, *, imbalance: float = 0.0, seed=None) -> np.ndarray:
+    """Split ``n_nodes`` into ``n_classes`` groups, optionally imbalanced.
+
+    ``imbalance`` = 0 gives (nearly) equal classes; larger values skew sizes
+    towards a geometric profile like real citation datasets.
+    """
+    check_positive(n_nodes, "n_nodes")
+    check_positive(n_classes, "n_classes")
+    check_fraction(imbalance, "imbalance")
+    if n_classes > n_nodes:
+        raise DatasetError(f"cannot split {n_nodes} nodes into {n_classes} classes")
+    weights = np.ones(n_classes)
+    if imbalance > 0:
+        ratio = 1.0 - 0.7 * imbalance
+        weights = np.array([ratio**k for k in range(n_classes)])
+    weights = weights / weights.sum()
+    sizes = np.maximum(np.floor(weights * n_nodes).astype(int), 1)
+    # Distribute the remainder deterministically to the largest classes first.
+    deficit = n_nodes - sizes.sum()
+    order = np.argsort(-weights)
+    position = 0
+    while deficit > 0:
+        sizes[order[position % n_classes]] += 1
+        deficit -= 1
+        position += 1
+    while deficit < 0:
+        candidate = order[position % n_classes]
+        if sizes[candidate] > 1:
+            sizes[candidate] -= 1
+            deficit += 1
+        position += 1
+    return sizes
+
+
+def labels_from_sizes(class_sizes: np.ndarray) -> np.ndarray:
+    """Expand per-class counts into a label vector ``[0,0,...,1,1,...]``."""
+    return np.concatenate(
+        [np.full(int(size), cls, dtype=np.int64) for cls, size in enumerate(class_sizes)]
+    )
+
+
+def sample_bag_of_words_features(
+    labels: np.ndarray,
+    n_features: int,
+    *,
+    words_per_class: int | None = None,
+    active_words: int = 15,
+    noise_words: int = 5,
+    confusion: float = 0.0,
+    seed=None,
+) -> np.ndarray:
+    """Sparse binary bag-of-words features correlated with the class topic.
+
+    Each class owns a block of "topic words"; a document activates
+    ``active_words`` draws mostly from its topic block plus ``noise_words``
+    uniformly random words.  With probability ``confusion`` each topic draw
+    comes from a *random* class's block instead, which controls how
+    discriminative raw features are on their own (real citation benchmarks
+    have weakly informative features — an MLP reaches only ~55-60% — and the
+    relational structure supplies the rest).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    rng = as_rng(seed)
+    n_nodes = labels.shape[0]
+    n_classes = int(labels.max()) + 1
+    check_positive(n_features, "n_features")
+    check_fraction(confusion, "confusion")
+    if words_per_class is None:
+        words_per_class = max(n_features // (2 * n_classes), 4)
+    if words_per_class * n_classes > n_features:
+        raise DatasetError(
+            f"n_features={n_features} too small for {n_classes} classes x {words_per_class} topic words"
+        )
+
+    features = np.zeros((n_nodes, n_features), dtype=np.float64)
+    for node in range(n_nodes):
+        for _ in range(active_words):
+            if confusion > 0.0 and rng.random() < confusion:
+                topic = int(rng.integers(0, n_classes))
+            else:
+                topic = int(labels[node])
+            word = int(rng.integers(topic * words_per_class, (topic + 1) * words_per_class))
+            features[node, word] = 1.0
+        random_words = rng.integers(0, n_features, size=noise_words)
+        features[node, random_words] = 1.0
+    return features
+
+
+def sample_gaussian_features(
+    labels: np.ndarray,
+    n_features: int,
+    *,
+    class_separation: float = 1.0,
+    within_class_std: float = 1.0,
+    seed=None,
+) -> np.ndarray:
+    """Gaussian mixture features: one random centre per class, isotropic noise."""
+    labels = np.asarray(labels, dtype=np.int64)
+    rng = as_rng(seed)
+    check_positive(n_features, "n_features")
+    check_positive(class_separation, "class_separation")
+    check_positive(within_class_std, "within_class_std")
+    n_classes = int(labels.max()) + 1
+    centres = rng.normal(0.0, class_separation, size=(n_classes, n_features))
+    noise = rng.normal(0.0, within_class_std, size=(labels.shape[0], n_features))
+    return centres[labels] + noise
+
+
+def sample_multiview_features(
+    labels: np.ndarray,
+    view_dims: tuple[int, ...],
+    *,
+    class_separation: float = 1.0,
+    within_class_std: float = 1.0,
+    seed=None,
+) -> np.ndarray:
+    """Concatenate several Gaussian views (mimics ModelNet40's GVCNN+MVCNN features)."""
+    if not view_dims:
+        raise DatasetError("view_dims must contain at least one view")
+    rng = as_rng(seed)
+    views = [
+        sample_gaussian_features(
+            labels,
+            dim,
+            class_separation=class_separation,
+            within_class_std=within_class_std,
+            seed=rng,
+        )
+        for dim in view_dims
+    ]
+    return np.concatenate(views, axis=1)

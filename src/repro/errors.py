@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class.  The hierarchy mirrors the package structure:
+shape/autograd issues, graph/hypergraph structural issues, configuration
+issues and data issues each get a dedicated subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An operation received tensors/arrays with incompatible shapes."""
+
+
+class AutogradError(ReproError, RuntimeError):
+    """Backward pass was used incorrectly (double backward, missing grad, ...)."""
+
+
+class GraphStructureError(ReproError, ValueError):
+    """A graph is structurally invalid (bad edge index, negative node id, ...)."""
+
+
+class HypergraphStructureError(ReproError, ValueError):
+    """A hypergraph is structurally invalid (empty hyperedge, bad incidence, ...)."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset is inconsistent (label/feature length mismatch, bad split, ...)."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A model or training configuration contains invalid values."""
+
+
+class TrainingError(ReproError, RuntimeError):
+    """The training loop reached an invalid state (NaN loss, no parameters, ...)."""
+
+
+class RegistryError(ReproError, KeyError):
+    """An unknown name was requested from a registry (datasets, models, ...)."""

@@ -1,0 +1,21 @@
+"""Plain (pairwise) graph substrate used by the GCN/GAT baselines."""
+
+from repro.graph.generators import erdos_renyi_graph, knn_graph, stochastic_block_model
+from repro.graph.graph import Graph
+from repro.graph.laplacian import (
+    gcn_normalized_adjacency,
+    normalized_laplacian,
+    random_walk_matrix,
+    unnormalized_laplacian,
+)
+
+__all__ = [
+    "Graph",
+    "gcn_normalized_adjacency",
+    "normalized_laplacian",
+    "unnormalized_laplacian",
+    "random_walk_matrix",
+    "erdos_renyi_graph",
+    "stochastic_block_model",
+    "knn_graph",
+]

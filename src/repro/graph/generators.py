@@ -1,0 +1,79 @@
+"""Synthetic graph generators (Erdős–Rényi, stochastic block model, k-NN graphs)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphStructureError
+from repro.graph.graph import Graph
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_fraction, check_positive, check_probability_matrix
+
+
+def erdos_renyi_graph(n_nodes: int, p: float, seed=None) -> Graph:
+    """G(n, p) random graph."""
+    check_positive(n_nodes, "n_nodes")
+    check_fraction(p, "p")
+    rng = as_rng(seed)
+    upper = np.triu(rng.random((n_nodes, n_nodes)) < p, k=1)
+    rows, cols = np.nonzero(upper)
+    return Graph(n_nodes, list(zip(rows.tolist(), cols.tolist())))
+
+
+def stochastic_block_model(
+    block_sizes: list[int],
+    probability_matrix: np.ndarray,
+    seed=None,
+) -> tuple[Graph, np.ndarray]:
+    """Stochastic block model.
+
+    Parameters
+    ----------
+    block_sizes:
+        Number of nodes in each block.
+    probability_matrix:
+        ``(k, k)`` symmetric matrix of edge probabilities between blocks.
+
+    Returns
+    -------
+    (Graph, labels):
+        The sampled graph and the block label of every node.
+    """
+    if not block_sizes or any(size <= 0 for size in block_sizes):
+        raise GraphStructureError(f"block_sizes must be positive, got {block_sizes}")
+    probability_matrix = check_probability_matrix(np.asarray(probability_matrix, dtype=float))
+    k = len(block_sizes)
+    if probability_matrix.shape != (k, k):
+        raise GraphStructureError(
+            f"probability_matrix must be ({k}, {k}), got {probability_matrix.shape}"
+        )
+    if not np.allclose(probability_matrix, probability_matrix.T):
+        raise GraphStructureError("probability_matrix must be symmetric")
+
+    rng = as_rng(seed)
+    labels = np.concatenate([np.full(size, block, dtype=np.int64) for block, size in enumerate(block_sizes)])
+    n_nodes = int(labels.shape[0])
+    edge_probabilities = probability_matrix[labels][:, labels]
+    upper = np.triu(rng.random((n_nodes, n_nodes)) < edge_probabilities, k=1)
+    rows, cols = np.nonzero(upper)
+    return Graph(n_nodes, list(zip(rows.tolist(), cols.tolist()))), labels
+
+
+def knn_graph(features: np.ndarray, k: int, *, include_self: bool = False) -> Graph:
+    """Symmetrised k-nearest-neighbour graph in Euclidean feature space."""
+    features = np.asarray(features, dtype=float)
+    if features.ndim != 2:
+        raise GraphStructureError(f"features must be 2-D, got shape {features.shape}")
+    check_positive(k, "k")
+    n_nodes = features.shape[0]
+    if k >= n_nodes:
+        raise GraphStructureError(f"k={k} must be smaller than the number of nodes {n_nodes}")
+    from repro.hypergraph.knn import knn_indices
+
+    neighbours = knn_indices(features, k, include_self=include_self)
+    edges = []
+    for node in range(n_nodes):
+        for neighbour in neighbours[node]:
+            if neighbour != node:
+                edges.append((node, int(neighbour)))
+    return Graph(n_nodes, edges)

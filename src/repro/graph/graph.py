@@ -1,0 +1,151 @@
+"""An undirected graph stored as an edge list with sparse adjacency views."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import GraphStructureError
+
+
+class Graph:
+    """Undirected graph over nodes ``0 .. n_nodes - 1``.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops and duplicate edges are
+        allowed in the input but deduplicated internally.
+    """
+
+    def __init__(self, n_nodes: int, edges: Iterable[tuple[int, int]] = ()) -> None:
+        if n_nodes <= 0:
+            raise GraphStructureError(f"n_nodes must be positive, got {n_nodes}")
+        self.n_nodes = int(n_nodes)
+        unique: set[tuple[int, int]] = set()
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if not (0 <= u < self.n_nodes and 0 <= v < self.n_nodes):
+                raise GraphStructureError(
+                    f"edge ({u}, {v}) references a node outside [0, {self.n_nodes})"
+                )
+            if u == v:
+                continue
+            unique.add((min(u, v), max(u, v)))
+        self._edges: list[tuple[int, int]] = sorted(unique)
+
+    # ------------------------------------------------------------------ #
+    # Structure accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        """Sorted list of unique undirected edges (u < v)."""
+        return list(self._edges)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._edges)
+
+    def degrees(self) -> np.ndarray:
+        """Node degrees (self-loops excluded)."""
+        degrees = np.zeros(self.n_nodes, dtype=np.int64)
+        for u, v in self._edges:
+            degrees[u] += 1
+            degrees[v] += 1
+        return degrees
+
+    def neighbors(self, node: int) -> list[int]:
+        """Sorted neighbours of ``node``."""
+        if not 0 <= node < self.n_nodes:
+            raise GraphStructureError(f"node {node} outside [0, {self.n_nodes})")
+        found = [v for u, v in self._edges if u == node] + [u for u, v in self._edges if v == node]
+        return sorted(found)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        if u == v:
+            return False
+        return (min(u, v), max(u, v)) in set(self._edges)
+
+    # ------------------------------------------------------------------ #
+    # Matrix views
+    # ------------------------------------------------------------------ #
+    def adjacency(self, self_loops: bool = False) -> sp.csr_matrix:
+        """Sparse symmetric adjacency matrix (optionally with self-loops)."""
+        if self._edges:
+            rows, cols = zip(*self._edges)
+            rows, cols = np.asarray(rows), np.asarray(cols)
+            data = np.ones(len(self._edges))
+            upper = sp.coo_matrix((data, (rows, cols)), shape=(self.n_nodes, self.n_nodes))
+            adjacency = upper + upper.T
+        else:
+            adjacency = sp.coo_matrix((self.n_nodes, self.n_nodes))
+        if self_loops:
+            adjacency = adjacency + sp.eye(self.n_nodes)
+        return adjacency.tocsr()
+
+    def edge_index(self) -> np.ndarray:
+        """``(2, 2m)`` directed edge index (both directions), PyG-style."""
+        if not self._edges:
+            return np.zeros((2, 0), dtype=np.int64)
+        us, vs = zip(*self._edges)
+        sources = np.concatenate([us, vs])
+        targets = np.concatenate([vs, us])
+        return np.stack([sources, targets]).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Conversions / constructors
+    # ------------------------------------------------------------------ #
+    def to_networkx(self) -> nx.Graph:
+        """Convert to a :class:`networkx.Graph` (node ids preserved)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.n_nodes))
+        graph.add_edges_from(self._edges)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph) -> "Graph":
+        """Build from a networkx graph with integer nodes ``0..n-1``."""
+        nodes = sorted(graph.nodes())
+        if nodes != list(range(len(nodes))):
+            mapping = {node: index for index, node in enumerate(nodes)}
+            graph = nx.relabel_nodes(graph, mapping)
+        return cls(max(len(nodes), 1), list(graph.edges()))
+
+    @classmethod
+    def from_adjacency(cls, adjacency: np.ndarray | sp.spmatrix) -> "Graph":
+        """Build from a (dense or sparse) symmetric adjacency matrix."""
+        if sp.issparse(adjacency):
+            adjacency = adjacency.tocoo()
+            pairs = [(int(u), int(v)) for u, v in zip(adjacency.row, adjacency.col) if u < v]
+            return cls(adjacency.shape[0], pairs)
+        adjacency = np.asarray(adjacency)
+        if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+            raise GraphStructureError(f"adjacency must be square, got shape {adjacency.shape}")
+        rows, cols = np.nonzero(adjacency)
+        pairs = [(int(u), int(v)) for u, v in zip(rows, cols) if u < v]
+        return cls(adjacency.shape[0], pairs)
+
+    @classmethod
+    def from_edge_list(cls, n_nodes: int, edges: Sequence[tuple[int, int]]) -> "Graph":
+        """Alias constructor mirroring :class:`Hypergraph`'s interface."""
+        return cls(n_nodes, edges)
+
+    def connected_components(self) -> list[list[int]]:
+        """Connected components as sorted node lists (uses networkx)."""
+        return [sorted(component) for component in nx.connected_components(self.to_networkx())]
+
+    def __repr__(self) -> str:
+        return f"Graph(n_nodes={self.n_nodes}, n_edges={self.n_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self.n_nodes == other.n_nodes and self._edges == other._edges
+
+    __hash__ = None  # type: ignore[assignment]

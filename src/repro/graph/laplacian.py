@@ -1,0 +1,50 @@
+"""Graph Laplacians and normalised propagation operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.graph import Graph
+
+
+def _degree_inverse_sqrt(adjacency: sp.spmatrix) -> sp.dia_matrix:
+    degrees = np.asarray(adjacency.sum(axis=1)).reshape(-1)
+    with np.errstate(divide="ignore"):
+        inverse_sqrt = 1.0 / np.sqrt(degrees)
+    inverse_sqrt[~np.isfinite(inverse_sqrt)] = 0.0
+    return sp.diags(inverse_sqrt)
+
+
+def gcn_normalized_adjacency(graph: Graph | sp.spmatrix, self_loops: bool = True) -> sp.csr_matrix:
+    """Kipf & Welling propagation operator ``D̂^-1/2 (A + I) D̂^-1/2``."""
+    adjacency = graph.adjacency(self_loops=False) if isinstance(graph, Graph) else sp.csr_matrix(graph)
+    if self_loops:
+        adjacency = adjacency + sp.eye(adjacency.shape[0])
+    d_inv_sqrt = _degree_inverse_sqrt(adjacency)
+    return (d_inv_sqrt @ adjacency @ d_inv_sqrt).tocsr()
+
+
+def unnormalized_laplacian(graph: Graph | sp.spmatrix) -> sp.csr_matrix:
+    """Combinatorial Laplacian ``L = D - A``."""
+    adjacency = graph.adjacency() if isinstance(graph, Graph) else sp.csr_matrix(graph)
+    degrees = np.asarray(adjacency.sum(axis=1)).reshape(-1)
+    return (sp.diags(degrees) - adjacency).tocsr()
+
+
+def normalized_laplacian(graph: Graph | sp.spmatrix) -> sp.csr_matrix:
+    """Symmetric normalised Laplacian ``I - D^-1/2 A D^-1/2``."""
+    adjacency = graph.adjacency() if isinstance(graph, Graph) else sp.csr_matrix(graph)
+    d_inv_sqrt = _degree_inverse_sqrt(adjacency)
+    identity = sp.eye(adjacency.shape[0])
+    return (identity - d_inv_sqrt @ adjacency @ d_inv_sqrt).tocsr()
+
+
+def random_walk_matrix(graph: Graph | sp.spmatrix) -> sp.csr_matrix:
+    """Row-stochastic transition matrix ``D^-1 A`` (isolated nodes keep zero rows)."""
+    adjacency = graph.adjacency() if isinstance(graph, Graph) else sp.csr_matrix(graph)
+    degrees = np.asarray(adjacency.sum(axis=1)).reshape(-1)
+    with np.errstate(divide="ignore"):
+        inverse = 1.0 / degrees
+    inverse[~np.isfinite(inverse)] = 0.0
+    return (sp.diags(inverse) @ adjacency).tocsr()

@@ -1,0 +1,42 @@
+"""Hypergraph-to-graph expansions.
+
+Pairwise baselines (GCN, GAT) cannot consume hyperedges directly; the usual
+work-arounds are the *clique expansion* (every hyperedge becomes a clique) and
+the *star expansion* (every hyperedge becomes an auxiliary node connected to
+its members).  Both lose information for large hyperedges, which is exactly
+the gap hypergraph convolutions exploit.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def clique_expansion(hypergraph: Hypergraph) -> Graph:
+    """Replace every hyperedge by a clique over its member nodes."""
+    edges: set[tuple[int, int]] = set()
+    for hyperedge in hypergraph.hyperedges:
+        members = list(hyperedge)
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                edges.add((min(u, v), max(u, v)))
+    return Graph(hypergraph.n_nodes, sorted(edges))
+
+
+def star_expansion(hypergraph: Hypergraph) -> tuple[Graph, int]:
+    """Bipartite star expansion.
+
+    Every hyperedge ``e`` becomes an auxiliary node connected to all of its
+    members.  Returns the expanded graph and the number of original nodes, so
+    callers can tell member nodes (ids ``< n``) from hyperedge nodes
+    (ids ``>= n``).
+    """
+    n = hypergraph.n_nodes
+    edges = []
+    for edge_index, hyperedge in enumerate(hypergraph.hyperedges):
+        auxiliary = n + edge_index
+        for node in hyperedge:
+            edges.append((node, auxiliary))
+    total_nodes = n + hypergraph.n_hyperedges
+    return Graph(max(total_nodes, 1), edges), n

@@ -1,0 +1,59 @@
+"""Brute-force nearest-neighbour search in Euclidean feature space."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.errors import ShapeError
+
+
+def pairwise_distances(features: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+    """Full ``(n, n)`` pairwise distance matrix."""
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ShapeError(f"features must be 2-D, got shape {features.shape}")
+    return cdist(features, features, metric=metric)
+
+
+def knn_indices(
+    features: np.ndarray,
+    k: int,
+    *,
+    include_self: bool = False,
+    metric: str = "euclidean",
+) -> np.ndarray:
+    """Indices of the ``k`` nearest neighbours of every row of ``features``.
+
+    Parameters
+    ----------
+    features:
+        ``(n, d)`` feature matrix.
+    k:
+        Number of neighbours per node (excluding the node itself unless
+        ``include_self``).
+    include_self:
+        When ``True`` the node itself counts as its own first neighbour.
+
+    Returns
+    -------
+    ndarray
+        ``(n, k)`` integer array of neighbour indices, ordered by increasing
+        distance (ties broken by node index for determinism).
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ShapeError(f"features must be 2-D, got shape {features.shape}")
+    n = features.shape[0]
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    limit = n if include_self else n - 1
+    if k > limit:
+        raise ValueError(f"k={k} is too large for {n} nodes (include_self={include_self})")
+
+    distances = pairwise_distances(features, metric=metric)
+    if not include_self:
+        np.fill_diagonal(distances, np.inf)
+    # Deterministic tie-breaking: lexsort on (distance, index).
+    order = np.lexsort((np.broadcast_to(np.arange(n), (n, n)), distances), axis=1)
+    return order[:, :k].astype(np.int64)

@@ -1,0 +1,64 @@
+"""Structural statistics of hypergraphs (dataset-description table, diagnostics)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.utils.validation import check_1d_labels
+
+
+def hypergraph_statistics(hypergraph: Hypergraph) -> dict[str, Any]:
+    """Summary statistics used by the dataset table (Table 1).
+
+    Returns node/hyperedge counts, hyperedge-size distribution summary, mean
+    node degree and the fraction of isolated nodes.
+    """
+    sizes = hypergraph.hyperedge_sizes()
+    degrees = hypergraph.node_degrees()
+    return {
+        "n_nodes": int(hypergraph.n_nodes),
+        "n_hyperedges": int(hypergraph.n_hyperedges),
+        "mean_hyperedge_size": float(sizes.mean()) if sizes.size else 0.0,
+        "max_hyperedge_size": int(sizes.max()) if sizes.size else 0,
+        "min_hyperedge_size": int(sizes.min()) if sizes.size else 0,
+        "mean_node_degree": float(degrees.mean()) if degrees.size else 0.0,
+        "isolated_node_fraction": float(hypergraph.isolated_nodes().size / hypergraph.n_nodes),
+        "incidence_density": float(
+            sizes.sum() / (hypergraph.n_nodes * max(hypergraph.n_hyperedges, 1))
+        ),
+    }
+
+
+def hyperedge_homophily(hypergraph: Hypergraph, labels: np.ndarray) -> float:
+    """Mean label purity of hyperedges.
+
+    For every hyperedge the purity is the fraction of members sharing the
+    majority label; the statistic is the size-weighted average over all
+    hyperedges.  Values close to 1 mean hyperedges are class-consistent
+    (easy smoothing), values near ``1 / n_classes`` mean structure is
+    uninformative.
+    """
+    labels = check_1d_labels(np.asarray(labels), hypergraph.n_nodes)
+    if hypergraph.n_hyperedges == 0:
+        return 0.0
+    purity_total = 0.0
+    weight_total = 0.0
+    for hyperedge in hypergraph.hyperedges:
+        member_labels = labels[list(hyperedge)]
+        counts = np.bincount(member_labels)
+        purity = counts.max() / member_labels.shape[0]
+        purity_total += purity * member_labels.shape[0]
+        weight_total += member_labels.shape[0]
+    return float(purity_total / weight_total)
+
+
+def node_degree_histogram(hypergraph: Hypergraph, n_bins: int = 10) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of weighted node degrees (counts, bin edges)."""
+    if n_bins <= 0:
+        raise ValueError(f"n_bins must be positive, got {n_bins}")
+    degrees = hypergraph.node_degrees()
+    counts, edges = np.histogram(degrees, bins=n_bins)
+    return counts, edges

@@ -1,0 +1,39 @@
+"""Baseline models the paper compares against.
+
+All models share the :class:`BaseNodeClassifier` interface:
+
+* ``model.setup(dataset)`` — precompute structural operators from the dataset;
+* ``model(features)`` — full-batch forward pass returning class logits;
+* ``model.on_epoch(epoch)`` — optional per-epoch hook (dynamic models use it
+  to decide when to refresh their topology).
+
+Implemented baselines: MLP (features only), SGC (Wu et al.), GCN (Kipf &
+Welling), ChebNet (Defferrard et al.), GAT (Veličković et al.), HGNN (Feng et
+al.), HGNN+ (Gao et al.), HyperGCN (Yadati et al.) and DHGNN (Jiang et al.).
+The paper's own model lives in :mod:`repro.core`.
+"""
+
+from repro.models.base import BaseNodeClassifier
+from repro.models.chebnet import ChebConv, ChebNet
+from repro.models.dhgnn import DHGNN
+from repro.models.gat import GAT
+from repro.models.gcn import GCN
+from repro.models.hgnn import HGNN
+from repro.models.hgnnp import HGNNP
+from repro.models.hypergcn import HyperGCN
+from repro.models.mlp import MLP
+from repro.models.sgc import SGC
+
+__all__ = [
+    "BaseNodeClassifier",
+    "MLP",
+    "SGC",
+    "GCN",
+    "ChebNet",
+    "ChebConv",
+    "GAT",
+    "HGNN",
+    "HGNNP",
+    "HyperGCN",
+    "DHGNN",
+]

@@ -1,0 +1,48 @@
+"""Common interface of every node-classification model."""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import NodeClassificationDataset
+from repro.errors import TrainingError
+from repro.nn.module import Module
+
+
+class BaseNodeClassifier(Module):
+    """Base class for transductive node classifiers.
+
+    Subclasses must implement :meth:`setup` (precompute structure-dependent
+    operators from the dataset) and :meth:`forward` (map the full feature
+    matrix to class logits).  ``on_epoch`` is an optional hook the trainer
+    calls at the start of every epoch; dynamic-topology models use it to
+    schedule structure refreshes.
+    """
+
+    #: Human-readable name used in result tables.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._is_setup = False
+
+    def setup(self, dataset: NodeClassificationDataset) -> "BaseNodeClassifier":
+        """Precompute operators from ``dataset`` and return ``self``."""
+        self._setup(dataset)
+        self._is_setup = True
+        return self
+
+    def _setup(self, dataset: NodeClassificationDataset) -> None:
+        raise NotImplementedError
+
+    def forward(self, features: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def on_epoch(self, epoch: int) -> None:
+        """Per-epoch hook (default: nothing)."""
+
+    def require_setup(self) -> None:
+        """Raise when the model is used before :meth:`setup`."""
+        if not self._is_setup:
+            raise TrainingError(
+                f"{type(self).__name__} must be set up with a dataset before the forward pass"
+            )

@@ -1,0 +1,83 @@
+"""ChebNet baseline (Defferrard et al., NeurIPS 2016): Chebyshev spectral filters."""
+
+from __future__ import annotations
+
+import scipy.sparse as sp
+
+from repro.autograd.ops_sparse import spmm
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.data.dataset import NodeClassificationDataset
+from repro.errors import ConfigurationError
+from repro.graph.laplacian import normalized_laplacian
+from repro.models.base import BaseNodeClassifier
+from repro.nn import Dropout, Linear
+from repro.nn.container import ModuleList
+from repro.nn.module import Module
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class ChebConv(Module):
+    """One Chebyshev convolution layer of order ``k``.
+
+    ``X' = Σ_{i<k} T_i(L̃) X W_i`` where ``T_i`` are Chebyshev polynomials of
+    the rescaled Laplacian ``L̃ = L - I`` (using the usual ``λ_max ≈ 2``
+    approximation for normalised Laplacians).
+    """
+
+    def __init__(self, in_features: int, out_features: int, k: int, seed=None) -> None:
+        super().__init__()
+        if k < 1:
+            raise ConfigurationError(f"Chebyshev order k must be >= 1, got {k}")
+        self.k = int(k)
+        rngs = spawn_rngs(as_rng(seed), k)
+        self.weights = ModuleList(
+            Linear(in_features, out_features, bias=(i == 0), seed=rngs[i]) for i in range(k)
+        )
+
+    def forward(self, features: Tensor, laplacian: sp.spmatrix) -> Tensor:
+        features = as_tensor(features)
+        previous_previous = features              # T_0(L̃) X = X
+        output = self.weights[0](previous_previous)
+        if self.k == 1:
+            return output
+        previous = spmm(laplacian, features)      # T_1(L̃) X = L̃ X
+        output = output + self.weights[1](previous)
+        for order in range(2, self.k):
+            current = spmm(laplacian, previous) * 2.0 - previous_previous
+            output = output + self.weights[order](current)
+            previous_previous, previous = previous, current
+        return output
+
+
+class ChebNet(BaseNodeClassifier):
+    """Two ChebConv layers on the pairwise (clique-expanded) graph."""
+
+    name = "ChebNet"
+
+    def __init__(
+        self,
+        in_features: int,
+        n_classes: int,
+        hidden_dim: int = 32,
+        k: int = 2,
+        dropout: float = 0.5,
+        seed=None,
+    ) -> None:
+        super().__init__()
+        rngs = spawn_rngs(as_rng(seed), 2)
+        self.conv1 = ChebConv(in_features, hidden_dim, k, seed=rngs[0])
+        self.conv2 = ChebConv(hidden_dim, n_classes, k, seed=rngs[1])
+        self.dropout = Dropout(dropout, seed=seed)
+        self._laplacian: sp.csr_matrix | None = None
+
+    def _setup(self, dataset: NodeClassificationDataset) -> None:
+        # Rescaled Laplacian L̃ = L - I (λ_max ≈ 2 for the normalised Laplacian).
+        laplacian = normalized_laplacian(dataset.pairwise_graph())
+        self._laplacian = (laplacian - sp.eye(dataset.n_nodes)).tocsr()
+
+    def forward(self, features: Tensor) -> Tensor:
+        self.require_setup()
+        hidden = self.dropout(as_tensor(features))
+        hidden = self.conv1(hidden, self._laplacian).relu()
+        hidden = self.dropout(hidden)
+        return self.conv2(hidden, self._laplacian)

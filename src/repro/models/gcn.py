@@ -1,0 +1,60 @@
+"""Graph convolutional network (Kipf & Welling, ICLR 2017) baseline."""
+
+from __future__ import annotations
+
+import scipy.sparse as sp
+
+from repro.autograd.ops_sparse import spmm
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.data.dataset import NodeClassificationDataset
+from repro.errors import ConfigurationError
+from repro.graph.laplacian import gcn_normalized_adjacency
+from repro.models.base import BaseNodeClassifier
+from repro.nn import Dropout, Linear
+from repro.nn.container import ModuleList
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class GCN(BaseNodeClassifier):
+    """Stacked GCN layers on the pairwise (clique-expanded) graph.
+
+    Each layer computes ``X' = σ(Â X W)`` with the renormalised adjacency
+    ``Â = D̂^-1/2 (A + I) D̂^-1/2``.  Hypergraph-native datasets are consumed
+    through their clique expansion, which is exactly how pairwise baselines
+    are applied in the HGNN/HyperGCN papers.
+    """
+
+    name = "GCN"
+
+    def __init__(
+        self,
+        in_features: int,
+        n_classes: int,
+        hidden_dim: int = 32,
+        n_layers: int = 2,
+        dropout: float = 0.5,
+        seed=None,
+    ) -> None:
+        super().__init__()
+        if n_layers < 1:
+            raise ConfigurationError(f"n_layers must be >= 1, got {n_layers}")
+        rngs = spawn_rngs(as_rng(seed), n_layers)
+        dims = [in_features] + [hidden_dim] * (n_layers - 1) + [n_classes]
+        self.layers = ModuleList(
+            Linear(dims[i], dims[i + 1], seed=rngs[i]) for i in range(n_layers)
+        )
+        self.dropout = Dropout(dropout, seed=seed)
+        self._operator: sp.csr_matrix | None = None
+
+    def _setup(self, dataset: NodeClassificationDataset) -> None:
+        self._operator = gcn_normalized_adjacency(dataset.pairwise_graph())
+
+    def forward(self, features: Tensor) -> Tensor:
+        self.require_setup()
+        hidden = as_tensor(features)
+        for position, layer in enumerate(self.layers):
+            hidden = self.dropout(hidden)
+            hidden = spmm(self._operator, layer(hidden))
+            if position < len(self.layers) - 1:
+                hidden = hidden.relu()
+        return hidden

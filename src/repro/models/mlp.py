@@ -1,0 +1,62 @@
+"""Structure-free multi-layer perceptron baseline."""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.data.dataset import NodeClassificationDataset
+from repro.errors import ConfigurationError
+from repro.models.base import BaseNodeClassifier
+from repro.nn import Dropout, Linear
+from repro.nn.container import ModuleList
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class MLP(BaseNodeClassifier):
+    """Plain MLP on node features; quantifies how much structure helps at all.
+
+    Parameters
+    ----------
+    in_features, n_classes:
+        Input feature dimension and number of classes.
+    hidden_dim:
+        Width of every hidden layer.
+    n_layers:
+        Total number of linear layers (>= 1).
+    dropout:
+        Dropout probability applied before every linear layer.
+    """
+
+    name = "MLP"
+
+    def __init__(
+        self,
+        in_features: int,
+        n_classes: int,
+        hidden_dim: int = 32,
+        n_layers: int = 2,
+        dropout: float = 0.5,
+        seed=None,
+    ) -> None:
+        super().__init__()
+        if n_layers < 1:
+            raise ConfigurationError(f"n_layers must be >= 1, got {n_layers}")
+        rngs = spawn_rngs(as_rng(seed), n_layers)
+        dims = [in_features] + [hidden_dim] * (n_layers - 1) + [n_classes]
+        self.layers = ModuleList(
+            Linear(dims[i], dims[i + 1], seed=rngs[i]) for i in range(n_layers)
+        )
+        self.dropout = Dropout(dropout, seed=seed)
+
+    def _setup(self, dataset: NodeClassificationDataset) -> None:
+        # The MLP uses no structural information.
+        return None
+
+    def forward(self, features: Tensor) -> Tensor:
+        self.require_setup()
+        hidden = as_tensor(features)
+        for position, layer in enumerate(self.layers):
+            hidden = self.dropout(hidden)
+            hidden = layer(hidden)
+            if position < len(self.layers) - 1:
+                hidden = hidden.relu()
+        return hidden

@@ -1,0 +1,47 @@
+"""Neural-network building blocks on top of :mod:`repro.autograd`.
+
+Mirrors the small subset of ``torch.nn`` that graph/hypergraph convolutional
+models need: parameters and modules, linear layers, dropout, normalisation,
+activation wrappers and containers.
+"""
+
+from repro.nn.activation import ELU, LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.container import ModuleList, Sequential
+from repro.nn.dropout import Dropout
+from repro.nn.init import (
+    calculate_gain,
+    kaiming_uniform,
+    normal_,
+    uniform_,
+    xavier_normal,
+    xavier_uniform,
+    zeros_,
+)
+from repro.nn.linear import Bilinear, Linear
+from repro.nn.module import Module, Parameter
+from repro.nn.normalization import BatchNorm1d, LayerNorm
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "Bilinear",
+    "Dropout",
+    "BatchNorm1d",
+    "LayerNorm",
+    "ReLU",
+    "LeakyReLU",
+    "ELU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Sequential",
+    "ModuleList",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "uniform_",
+    "normal_",
+    "zeros_",
+    "calculate_gain",
+]

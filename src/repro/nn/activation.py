@@ -1,0 +1,61 @@
+"""Module wrappers around the functional activations (for use in containers)."""
+
+from __future__ import annotations
+
+from repro.autograd import ops_activation as F
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Module form of :func:`repro.autograd.relu`."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(as_tensor(x))
+
+
+class LeakyReLU(Module):
+    """Module form of :func:`repro.autograd.leaky_relu`."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = float(negative_slope)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(as_tensor(x), negative_slope=self.negative_slope)
+
+
+class ELU(Module):
+    """Module form of :func:`repro.autograd.elu`."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        super().__init__()
+        self.alpha = float(alpha)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.elu(as_tensor(x), alpha=self.alpha)
+
+
+class Sigmoid(Module):
+    """Module form of :func:`repro.autograd.sigmoid`."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(as_tensor(x))
+
+
+class Tanh(Module):
+    """Module form of :func:`repro.autograd.tanh`."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(as_tensor(x))
+
+
+class Softmax(Module):
+    """Module form of :func:`repro.autograd.softmax`."""
+
+    def __init__(self, axis: int = -1) -> None:
+        super().__init__()
+        self.axis = int(axis)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softmax(as_tensor(x), axis=self.axis)

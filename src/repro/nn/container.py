@@ -1,0 +1,69 @@
+"""Module containers: Sequential pipelines and ModuleList collections."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Apply sub-modules in order: ``Sequential(a, b, c)(x) == c(b(a(x)))``."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for position, module in enumerate(modules):
+            if not isinstance(module, Module):
+                raise TypeError(f"Sequential expects Module instances, got {type(module)!r}")
+            setattr(self, f"layer_{position}", module)
+        self._length = len(modules)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[Module]:
+        for position in range(self._length):
+            yield getattr(self, f"layer_{position}")
+
+    def __getitem__(self, position: int) -> Module:
+        if not -self._length <= position < self._length:
+            raise IndexError(f"index {position} out of range for Sequential of length {self._length}")
+        return getattr(self, f"layer_{position % self._length}")
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self:
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """A list of sub-modules that registers each element for parameter tracking."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        self._length = 0
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        if not isinstance(module, Module):
+            raise TypeError(f"ModuleList expects Module instances, got {type(module)!r}")
+        setattr(self, f"item_{self._length}", module)
+        self._length += 1
+        return self
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[Module]:
+        for position in range(self._length):
+            yield getattr(self, f"item_{position}")
+
+    def __getitem__(self, position: int) -> Module:
+        if not -self._length <= position < self._length:
+            raise IndexError(f"index {position} out of range for ModuleList of length {self._length}")
+        return getattr(self, f"item_{position % self._length}")
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers are not callable
+        raise NotImplementedError("ModuleList is a container and cannot be called directly")

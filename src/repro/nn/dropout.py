@@ -1,0 +1,38 @@
+"""Inverted dropout regularisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.nn.module import Module
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_fraction
+
+
+class Dropout(Module):
+    """Randomly zero elements with probability ``p`` during training.
+
+    Uses the *inverted* convention: surviving activations are rescaled by
+    ``1 / (1 - p)`` so evaluation needs no adjustment.
+    """
+
+    def __init__(self, p: float = 0.5, seed=None) -> None:
+        super().__init__()
+        check_fraction(p, "p")
+        if p >= 1.0:
+            raise ValueError("dropout probability must be < 1")
+        self.p = float(p)
+        self._rng = as_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if not self.training or self.p == 0.0:
+            return x
+        keep_probability = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep_probability).astype(np.float64)
+        mask /= keep_probability
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,74 @@
+"""Weight initialisation schemes (Glorot/Xavier, Kaiming/He, plain uniform)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.utils.rng import as_rng
+
+
+def calculate_gain(nonlinearity: str, param: float | None = None) -> float:
+    """Return the recommended gain for ``nonlinearity`` (mirrors torch.nn.init)."""
+    nonlinearity = nonlinearity.lower()
+    if nonlinearity in {"linear", "identity", "sigmoid"}:
+        return 1.0
+    if nonlinearity == "tanh":
+        return 5.0 / 3.0
+    if nonlinearity == "relu":
+        return math.sqrt(2.0)
+    if nonlinearity == "leaky_relu":
+        negative_slope = 0.01 if param is None else float(param)
+        return math.sqrt(2.0 / (1.0 + negative_slope**2))
+    raise ValueError(f"Unknown nonlinearity {nonlinearity!r}")
+
+
+def _fan_in_fan_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 2:
+        raise ValueError(f"fan in/out undefined for shape {shape}")
+    fan_in = shape[0]
+    fan_out = shape[1]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return fan_in * receptive, fan_out * receptive
+
+
+def xavier_uniform(shape: tuple[int, ...], gain: float = 1.0, seed=None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a weight of ``shape`` (in, out)."""
+    fan_in, fan_out = _fan_in_fan_out(tuple(shape))
+    limit = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return as_rng(seed).uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], gain: float = 1.0, seed=None) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    fan_in, fan_out = _fan_in_fan_out(tuple(shape))
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return as_rng(seed).normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], nonlinearity: str = "relu", seed=None) -> np.ndarray:
+    """He/Kaiming uniform initialisation (fan-in mode)."""
+    fan_in, _ = _fan_in_fan_out(tuple(shape))
+    gain = calculate_gain(nonlinearity)
+    limit = gain * math.sqrt(3.0 / fan_in)
+    return as_rng(seed).uniform(-limit, limit, size=shape)
+
+
+def uniform_(tensor: Tensor, low: float = -0.1, high: float = 0.1, seed=None) -> Tensor:
+    """Fill ``tensor`` in place with values drawn uniformly from [low, high]."""
+    tensor.data = as_rng(seed).uniform(low, high, size=tensor.shape)
+    return tensor
+
+
+def normal_(tensor: Tensor, mean: float = 0.0, std: float = 0.01, seed=None) -> Tensor:
+    """Fill ``tensor`` in place with Gaussian values."""
+    tensor.data = as_rng(seed).normal(mean, std, size=tensor.shape)
+    return tensor
+
+
+def zeros_(tensor: Tensor) -> Tensor:
+    """Fill ``tensor`` in place with zeros."""
+    tensor.data = np.zeros(tensor.shape, dtype=np.float64)
+    return tensor

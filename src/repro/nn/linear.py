@@ -1,0 +1,73 @@
+"""Dense linear layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.nn.init import xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import as_rng
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b`` with Glorot-initialised weights.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    bias:
+        Whether to add a learnable bias (default ``True``).
+    seed:
+        Optional seed / generator for reproducible initialisation.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed=None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"in_features and out_features must be positive, got {in_features}, {out_features}"
+            )
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(xavier_uniform((self.in_features, self.out_features), seed=seed))
+        if bias:
+            self.bias = Parameter(np.zeros(self.out_features))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        output = x @ self.weight
+        if self.bias is not None:
+            output = output + self.bias
+        return output
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in_features={self.in_features}, out_features={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )
+
+
+class Bilinear(Module):
+    """Bilinear scoring layer ``score(x, y) = x W yᵀ`` used for pairwise attention."""
+
+    def __init__(self, left_features: int, right_features: int, seed=None) -> None:
+        super().__init__()
+        if left_features <= 0 or right_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        self.left_features = int(left_features)
+        self.right_features = int(right_features)
+        rng = as_rng(seed)
+        scale = 1.0 / np.sqrt(left_features)
+        self.weight = Parameter(rng.uniform(-scale, scale, size=(left_features, right_features)))
+
+    def forward(self, left: Tensor, right: Tensor) -> Tensor:
+        left = as_tensor(left)
+        right = as_tensor(right)
+        return (left @ self.weight) @ right.T
+
+    def __repr__(self) -> str:
+        return f"Bilinear(left={self.left_features}, right={self.right_features})"

@@ -1,0 +1,147 @@
+"""Parameter and Module base classes.
+
+A :class:`Module` automatically registers :class:`Parameter` and sub-module
+attributes, exposes recursive parameter iteration, train/eval switching and a
+state-dict interface for checkpointing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is automatically registered as trainable."""
+
+    def __init__(self, data: Any) -> None:
+        super().__init__(data, requires_grad=True)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.shape})"
+
+
+class Module:
+    """Base class of every neural-network component.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; registration happens automatically through
+    ``__setattr__``.  Subclasses implement :meth:`forward`.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------ #
+    # Attribute registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value: Any) -> None:
+        parameters = self.__dict__.get("_parameters")
+        modules = self.__dict__.get("_modules")
+        if parameters is None or modules is None:
+            raise RuntimeError("Module.__init__() must be called before assigning attributes")
+        if isinstance(value, Parameter):
+            parameters[name] = value
+            modules.pop(name, None)
+        elif isinstance(value, Module):
+            modules[name] = value
+            parameters.pop(name, None)
+        else:
+            parameters.pop(name, None)
+            modules.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # Forward dispatch
+    # ------------------------------------------------------------------ #
+    def forward(self, *args: Any, **kwargs: Any) -> Any:
+        raise NotImplementedError(f"{type(self).__name__} does not implement forward()")
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Parameter / module iteration
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` for this module and children."""
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        """Return all trainable parameters of this module and its children."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` for this module and all children."""
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def children(self) -> list["Module"]:
+        """Return the direct sub-modules."""
+        return list(self._modules.values())
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return int(sum(parameter.size for parameter in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # Mode switching and gradient handling
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout / batch-norm)."""
+        object.__setattr__(self, "training", bool(mode))
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # State dict
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Return a copy of all parameter arrays keyed by qualified name."""
+        return OrderedDict(
+            (name, parameter.data.copy()) for name, parameter in self.named_parameters()
+        )
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter arrays from :meth:`state_dict` output (strict)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"parameter {name!r} has shape {parameter.data.shape}, "
+                    f"state provides {value.shape}"
+                )
+            parameter.data = value.copy()
+
+    def __repr__(self) -> str:
+        child_repr = ", ".join(
+            f"{name}={type(module).__name__}" for name, module in self._modules.items()
+        )
+        return f"{type(self).__name__}({child_repr})"

@@ -1,0 +1,81 @@
+"""Normalisation layers: 1-D batch normalisation and layer normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the node dimension of ``(n, features)`` inputs.
+
+    Keeps running estimates of mean and variance for evaluation mode, exactly
+    like ``torch.nn.BatchNorm1d`` with ``momentum`` semantics.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError(f"num_features must be positive, got {num_features}")
+        self.num_features = int(num_features)
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm1d expects (n, {self.num_features}) input, got shape {x.shape}"
+            )
+        if self.training:
+            batch_mean = x.data.mean(axis=0)
+            batch_var = x.data.var(axis=0)
+            self.running_mean = (
+                (1.0 - self.momentum) * self.running_mean + self.momentum * batch_mean
+            )
+            self.running_var = (
+                (1.0 - self.momentum) * self.running_var + self.momentum * batch_var
+            )
+            mean, var = batch_mean, batch_var
+        else:
+            mean, var = self.running_mean, self.running_var
+        scale = 1.0 / np.sqrt(var + self.eps)
+        normalised = (x - Tensor(mean)) * Tensor(scale)
+        return normalised * self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"BatchNorm1d({self.num_features}, eps={self.eps}, momentum={self.momentum})"
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError(f"num_features must be positive, got {num_features}")
+        self.num_features = int(num_features)
+        self.eps = float(eps)
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if x.shape[-1] != self.num_features:
+            raise ValueError(
+                f"LayerNorm expects last dimension {self.num_features}, got shape {x.shape}"
+            )
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        variance = (centred * centred).mean(axis=-1, keepdims=True)
+        normalised = centred / (variance + self.eps) ** 0.5
+        return normalised * self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.num_features}, eps={self.eps})"

@@ -1,0 +1,18 @@
+"""Optimisers, learning-rate schedulers and early stopping."""
+
+from repro.optim.adam import Adam, AdamW
+from repro.optim.early_stopping import EarlyStopping
+from repro.optim.lr_scheduler import CosineAnnealingLR, MultiStepLR, StepLR
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "StepLR",
+    "MultiStepLR",
+    "CosineAnnealingLR",
+    "EarlyStopping",
+]

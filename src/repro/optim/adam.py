@@ -1,0 +1,79 @@
+"""Adam and AdamW optimisers."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with optional L2 weight decay added to the gradient."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 0.001,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError(f"betas must lie in [0, 1), got {betas}")
+        if eps <= 0.0:
+            raise ConfigurationError(f"eps must be positive, got {eps}")
+        if weight_decay < 0.0:
+            raise ConfigurationError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(parameter.data) for parameter in self.parameters]
+        self._second_moment = [np.zeros_like(parameter.data) for parameter in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias_correction1 = 1.0 - self.beta1**self._step_count
+        bias_correction2 = 1.0 - self.beta2**self._step_count
+        for parameter, first, second in zip(
+            self.parameters, self._first_moment, self._second_moment
+        ):
+            gradient = self._gradient(parameter)
+            gradient = self._apply_decay(gradient, parameter)
+            first *= self.beta1
+            first += (1.0 - self.beta1) * gradient
+            second *= self.beta2
+            second += (1.0 - self.beta2) * gradient * gradient
+            corrected_first = first / bias_correction1
+            corrected_second = second / bias_correction2
+            parameter.data = parameter.data - self.lr * corrected_first / (
+                np.sqrt(corrected_second) + self.eps
+            )
+            self._post_update(parameter)
+
+    def _apply_decay(self, gradient: np.ndarray, parameter: Tensor) -> np.ndarray:
+        """L2 regularisation folded into the gradient (classic Adam)."""
+        if self.weight_decay:
+            return gradient + self.weight_decay * parameter.data
+        return gradient
+
+    def _post_update(self, parameter: Tensor) -> None:
+        """Hook for decoupled weight decay (AdamW)."""
+
+
+class AdamW(Adam):
+    """Adam with *decoupled* weight decay (Loshchilov & Hutter, 2019)."""
+
+    def _apply_decay(self, gradient: np.ndarray, parameter: Tensor) -> np.ndarray:
+        return gradient
+
+    def _post_update(self, parameter: Tensor) -> None:
+        if self.weight_decay:
+            parameter.data = parameter.data - self.lr * self.weight_decay * parameter.data

@@ -1,0 +1,74 @@
+"""Early stopping on a validation metric with best-state restoration."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class EarlyStopping:
+    """Stop training when a monitored metric stops improving.
+
+    Parameters
+    ----------
+    patience:
+        Number of epochs without improvement tolerated before stopping.
+    mode:
+        ``"max"`` (e.g. validation accuracy) or ``"min"`` (e.g. validation loss).
+    min_delta:
+        Minimum change that counts as an improvement.
+    """
+
+    def __init__(self, patience: int = 30, mode: str = "max", min_delta: float = 0.0) -> None:
+        if patience <= 0:
+            raise ConfigurationError(f"patience must be positive, got {patience}")
+        if mode not in {"max", "min"}:
+            raise ConfigurationError(f"mode must be 'max' or 'min', got {mode!r}")
+        if min_delta < 0.0:
+            raise ConfigurationError(f"min_delta must be non-negative, got {min_delta}")
+        self.patience = int(patience)
+        self.mode = mode
+        self.min_delta = float(min_delta)
+        self.best_value: float | None = None
+        self.best_epoch: int = -1
+        self.best_state: dict[str, np.ndarray] | None = None
+        self.counter: int = 0
+        self.stopped: bool = False
+
+    def _improved(self, value: float) -> bool:
+        if self.best_value is None:
+            return True
+        if self.mode == "max":
+            return value > self.best_value + self.min_delta
+        return value < self.best_value - self.min_delta
+
+    def update(self, value: float, epoch: int, state: Mapping[str, np.ndarray] | None = None) -> bool:
+        """Record the metric for ``epoch``; return ``True`` when training should stop.
+
+        ``state`` (a ``Module.state_dict()``) is kept whenever the metric
+        improves, so the caller can restore the best parameters afterwards.
+        """
+        if self.stopped:
+            return True
+        if self._improved(float(value)):
+            self.best_value = float(value)
+            self.best_epoch = int(epoch)
+            self.counter = 0
+            if state is not None:
+                self.best_state = {key: np.array(array, copy=True) for key, array in state.items()}
+        else:
+            self.counter += 1
+            if self.counter >= self.patience:
+                self.stopped = True
+        return self.stopped
+
+    def reset(self) -> None:
+        """Forget all recorded history."""
+        self.best_value = None
+        self.best_epoch = -1
+        self.best_state = None
+        self.counter = 0
+        self.stopped = False

@@ -1,0 +1,82 @@
+"""Learning-rate schedulers operating on any :class:`repro.optim.Optimizer`."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.optim.optimizer import Optimizer
+
+
+class _Scheduler:
+    """Base class: tracks the epoch counter and the optimiser's base rate."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        if not isinstance(optimizer, Optimizer):
+            raise ConfigurationError(f"expected an Optimizer, got {type(optimizer)!r}")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and update the optimiser's learning rate."""
+        self.last_epoch += 1
+        new_lr = self.get_lr()
+        self.optimizer.lr = new_lr
+        return new_lr
+
+
+class StepLR(_Scheduler):
+    """Decay the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ConfigurationError(f"step_size must be positive, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ConfigurationError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.last_epoch // self.step_size)
+
+
+class MultiStepLR(_Scheduler):
+    """Decay the learning rate by ``gamma`` at each epoch in ``milestones``."""
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if not milestones:
+            raise ConfigurationError("milestones must not be empty")
+        if sorted(milestones) != list(milestones):
+            raise ConfigurationError("milestones must be sorted increasingly")
+        if not 0.0 < gamma <= 1.0:
+            raise ConfigurationError(f"gamma must be in (0, 1], got {gamma}")
+        self.milestones = [int(m) for m in milestones]
+        self.gamma = float(gamma)
+
+    def get_lr(self) -> float:
+        passed = sum(1 for milestone in self.milestones if milestone <= self.last_epoch)
+        return self.base_lr * self.gamma**passed
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine annealing from the base rate down to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ConfigurationError(f"t_max must be positive, got {t_max}")
+        if eta_min < 0.0:
+            raise ConfigurationError(f"eta_min must be non-negative, got {eta_min}")
+        self.t_max = int(t_max)
+        self.eta_min = float(eta_min)
+
+    def get_lr(self) -> float:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1.0 + math.cos(math.pi * progress))

@@ -1,0 +1,49 @@
+"""Base optimiser interface."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError
+
+
+class Optimizer:
+    """Base class holding a flat list of parameters and a learning rate.
+
+    Subclasses implement :meth:`step` using ``parameter.grad`` arrays that the
+    backward pass has populated.
+    """
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float) -> None:
+        self.parameters: Sequence[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ConfigurationError("Optimizer received no parameters")
+        for parameter in self.parameters:
+            if not isinstance(parameter, Tensor):
+                raise ConfigurationError(
+                    f"Optimizer expects Tensor parameters, got {type(parameter)!r}"
+                )
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every managed parameter."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the current gradients."""
+        raise NotImplementedError
+
+    def _gradient(self, parameter: Tensor) -> np.ndarray:
+        """Return the parameter's gradient (zeros when it never received one)."""
+        if parameter.grad is None:
+            return np.zeros_like(parameter.data)
+        return parameter.grad
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(lr={self.lr}, parameters={len(self.parameters)})"

@@ -1,0 +1,52 @@
+"""Stochastic gradient descent with momentum and weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigurationError
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """SGD update ``p <- p - lr * (grad + weight_decay * p)`` with momentum.
+
+    Momentum follows the classical heavy-ball formulation used by PyTorch:
+    ``v <- momentum * v + grad``; ``p <- p - lr * v``.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ConfigurationError(f"weight_decay must be non-negative, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ConfigurationError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = bool(nesterov)
+        self._velocity = [np.zeros_like(parameter.data) for parameter in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            gradient = self._gradient(parameter)
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += gradient
+                update = gradient + self.momentum * velocity if self.nesterov else velocity
+            else:
+                update = gradient
+            parameter.data = parameter.data - self.lr * update

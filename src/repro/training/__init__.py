@@ -1,0 +1,25 @@
+"""Training and evaluation harness for transductive node classification."""
+
+from repro.training.config import TrainConfig
+from repro.training.experiment import ExperimentResult, compare_methods, run_experiment
+from repro.training.metrics import accuracy, confusion_matrix, macro_f1, micro_f1
+from repro.training.results import ResultTable
+from repro.training.trainer import TrainResult, Trainer
+from repro.training.tuning import GridSearchResult, grid_search, parameter_grid
+
+__all__ = [
+    "TrainConfig",
+    "Trainer",
+    "TrainResult",
+    "accuracy",
+    "macro_f1",
+    "micro_f1",
+    "confusion_matrix",
+    "run_experiment",
+    "compare_methods",
+    "ExperimentResult",
+    "ResultTable",
+    "grid_search",
+    "parameter_grid",
+    "GridSearchResult",
+]

@@ -1,0 +1,67 @@
+"""Training-loop configuration."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+_OPTIMIZERS = ("adam", "adamw", "sgd")
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Configuration of :class:`repro.training.Trainer`.
+
+    Attributes
+    ----------
+    epochs:
+        Maximum number of training epochs.
+    lr / weight_decay:
+        Optimiser learning rate and L2 regularisation strength.
+    optimizer:
+        ``"adam"`` (default, the standard choice of the GNN literature),
+        ``"adamw"`` or ``"sgd"``.
+    momentum:
+        Momentum when ``optimizer="sgd"``.
+    patience:
+        Early-stopping patience on validation accuracy; ``None`` disables
+        early stopping.
+    eval_every:
+        Evaluate on the validation/test splits every this many epochs.
+    restore_best:
+        Reload the parameters of the best validation epoch before the final
+        test evaluation.
+    verbose:
+        Log progress through the library logger.
+    """
+
+    epochs: int = 200
+    lr: float = 0.01
+    weight_decay: float = 5e-4
+    optimizer: str = "adam"
+    momentum: float = 0.9
+    patience: int | None = 50
+    eval_every: int = 1
+    restore_best: bool = True
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {self.epochs}")
+        if self.lr <= 0:
+            raise ConfigurationError(f"lr must be positive, got {self.lr}")
+        if self.weight_decay < 0:
+            raise ConfigurationError(f"weight_decay must be non-negative, got {self.weight_decay}")
+        if self.optimizer not in _OPTIMIZERS:
+            raise ConfigurationError(f"optimizer must be one of {_OPTIMIZERS}, got {self.optimizer!r}")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {self.momentum}")
+        if self.patience is not None and self.patience < 1:
+            raise ConfigurationError(f"patience must be >= 1 or None, got {self.patience}")
+        if self.eval_every < 1:
+            raise ConfigurationError(f"eval_every must be >= 1, got {self.eval_every}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)

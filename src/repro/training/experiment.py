@@ -1,0 +1,170 @@
+"""Multi-seed experiment runner and method comparison harness.
+
+Every table in the reproduced evaluation is a call to :func:`compare_methods`:
+a mapping of method names to model factories is trained on one or more
+datasets over several seeds, and the aggregated accuracies are returned both
+as structured results and as a printable :class:`ResultTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.dataset import NodeClassificationDataset
+from repro.models.base import BaseNodeClassifier
+from repro.training.config import TrainConfig
+from repro.training.results import ResultTable, format_mean_std
+from repro.training.trainer import Trainer, TrainResult
+from repro.utils.logging import get_logger
+from repro.utils.rng import seeds_from
+
+logger = get_logger("experiment")
+
+#: A model factory receives the dataset and a seed and returns a fresh model.
+ModelFactory = Callable[[NodeClassificationDataset, int], BaseNodeClassifier]
+#: A dataset factory receives a seed and returns a fresh dataset realisation.
+DatasetFactory = Callable[[int], NodeClassificationDataset]
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated outcome of repeated runs of one method on one dataset."""
+
+    method: str
+    dataset: str
+    seeds: list[int]
+    runs: list[TrainResult] = field(default_factory=list)
+
+    @property
+    def test_accuracies(self) -> np.ndarray:
+        return np.array([run.test_accuracy for run in self.runs], dtype=np.float64)
+
+    @property
+    def mean_test_accuracy(self) -> float:
+        return float(self.test_accuracies.mean()) if self.runs else float("nan")
+
+    @property
+    def std_test_accuracy(self) -> float:
+        return float(self.test_accuracies.std()) if self.runs else float("nan")
+
+    @property
+    def mean_epoch_time(self) -> float:
+        return float(np.mean([run.mean_epoch_time for run in self.runs])) if self.runs else float("nan")
+
+    @property
+    def mean_train_time(self) -> float:
+        return float(np.mean([run.train_time for run in self.runs])) if self.runs else float("nan")
+
+    @property
+    def n_parameters(self) -> int:
+        return int(self.runs[0].n_parameters) if self.runs else 0
+
+    def formatted_accuracy(self) -> str:
+        """``mean ± std`` accuracy in percent."""
+        return format_mean_std(self.test_accuracies)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "n_runs": len(self.runs),
+            "mean_test_accuracy": self.mean_test_accuracy,
+            "std_test_accuracy": self.std_test_accuracy,
+            "mean_epoch_time": self.mean_epoch_time,
+            "mean_train_time": self.mean_train_time,
+            "n_parameters": self.n_parameters,
+        }
+
+
+def run_experiment(
+    method: str,
+    model_factory: ModelFactory,
+    dataset_factory: DatasetFactory,
+    *,
+    dataset_name: str | None = None,
+    seeds: Sequence[int] | None = None,
+    n_seeds: int = 3,
+    master_seed: int = 0,
+    train_config: TrainConfig | None = None,
+) -> ExperimentResult:
+    """Train one method over several seeds and aggregate the results.
+
+    Each seed controls dataset realisation, split, parameter initialisation
+    and every stochastic component of training, so experiments are exactly
+    reproducible.
+    """
+    if seeds is None:
+        seeds = seeds_from(master_seed, n_seeds)
+    seeds = [int(seed) for seed in seeds]
+    train_config = train_config or TrainConfig()
+
+    runs: list[TrainResult] = []
+    resolved_name = dataset_name
+    for seed in seeds:
+        dataset = dataset_factory(seed)
+        if resolved_name is None:
+            resolved_name = dataset.name
+        model = model_factory(dataset, seed)
+        trainer = Trainer(model, dataset, train_config)
+        result = trainer.train()
+        runs.append(result)
+        logger.info(
+            "%s on %s (seed %d): test accuracy %.4f",
+            method,
+            dataset.name,
+            seed,
+            result.test_accuracy,
+        )
+    return ExperimentResult(method=method, dataset=resolved_name or "dataset", seeds=seeds, runs=runs)
+
+
+def compare_methods(
+    methods: Mapping[str, ModelFactory],
+    dataset_factories: Mapping[str, DatasetFactory],
+    *,
+    seeds: Sequence[int] | None = None,
+    n_seeds: int = 3,
+    master_seed: int = 0,
+    train_config: TrainConfig | None = None,
+    title: str | None = None,
+) -> tuple[ResultTable, dict[str, dict[str, ExperimentResult]]]:
+    """Run every method on every dataset and build a comparison table.
+
+    Returns
+    -------
+    (table, results):
+        ``table`` has one row per method and one accuracy column per dataset;
+        ``results[dataset][method]`` holds the detailed
+        :class:`ExperimentResult` objects.
+    """
+    dataset_names = list(dataset_factories)
+    table = ResultTable(["method", *dataset_names], title=title)
+    results: dict[str, dict[str, ExperimentResult]] = {name: {} for name in dataset_names}
+
+    for method_name, model_factory in methods.items():
+        row: dict[str, Any] = {"method": method_name}
+        for dataset_name, dataset_factory in dataset_factories.items():
+            experiment = run_experiment(
+                method_name,
+                model_factory,
+                dataset_factory,
+                dataset_name=dataset_name,
+                seeds=seeds,
+                n_seeds=n_seeds,
+                master_seed=master_seed,
+                train_config=train_config,
+            )
+            results[dataset_name][method_name] = experiment
+            row[dataset_name] = experiment.formatted_accuracy()
+        table.add_row(row)
+    return table, results
+
+
+def best_method(results: Mapping[str, ExperimentResult]) -> str:
+    """Name of the method with the highest mean test accuracy on one dataset."""
+    if not results:
+        raise ValueError("results must not be empty")
+    return max(results.items(), key=lambda item: item[1].mean_test_accuracy)[0]

@@ -1,0 +1,72 @@
+"""Classification metrics used for evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.validation import check_1d_labels
+
+
+def _validate(predictions: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    predictions = check_1d_labels(np.asarray(predictions))
+    targets = check_1d_labels(np.asarray(targets))
+    if predictions.shape != targets.shape:
+        raise ShapeError(
+            f"predictions {predictions.shape} and targets {targets.shape} must match"
+        )
+    if predictions.size == 0:
+        raise ShapeError("metrics require at least one sample")
+    return predictions, targets
+
+
+def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of correctly classified samples."""
+    predictions, targets = _validate(predictions, targets)
+    return float(np.mean(predictions == targets))
+
+
+def confusion_matrix(predictions: np.ndarray, targets: np.ndarray, n_classes: int | None = None) -> np.ndarray:
+    """``(n_classes, n_classes)`` confusion matrix, rows = true class.
+
+    ``n_classes`` is treated as a lower bound: if predictions or targets use a
+    larger label id (e.g. a model head wider than the dataset's label set),
+    the matrix grows to cover it instead of failing.
+    """
+    predictions, targets = _validate(predictions, targets)
+    observed = int(max(predictions.max(), targets.max())) + 1
+    n_classes = observed if n_classes is None else max(int(n_classes), observed)
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for target, prediction in zip(targets, predictions):
+        matrix[target, prediction] += 1
+    return matrix
+
+
+def _per_class_f1(matrix: np.ndarray) -> np.ndarray:
+    true_positive = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+    precision = np.divide(true_positive, predicted, out=np.zeros_like(true_positive), where=predicted > 0)
+    recall = np.divide(true_positive, actual, out=np.zeros_like(true_positive), where=actual > 0)
+    denominator = precision + recall
+    f1 = np.divide(
+        2.0 * precision * recall, denominator, out=np.zeros_like(true_positive), where=denominator > 0
+    )
+    return f1
+
+
+def macro_f1(predictions: np.ndarray, targets: np.ndarray, n_classes: int | None = None) -> float:
+    """Unweighted mean of per-class F1 scores (classes never seen are skipped)."""
+    predictions, targets = _validate(predictions, targets)
+    matrix = confusion_matrix(predictions, targets, n_classes)
+    present = matrix.sum(axis=1) > 0
+    f1 = _per_class_f1(matrix)
+    if not present.any():
+        return 0.0
+    return float(f1[present].mean())
+
+
+def micro_f1(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Micro-averaged F1 (equals accuracy for single-label classification)."""
+    predictions, targets = _validate(predictions, targets)
+    return accuracy(predictions, targets)

@@ -1,0 +1,88 @@
+"""Result tables: aggregate, format and print experiment outcomes."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+
+class ResultTable:
+    """A simple column-oriented results table with markdown rendering.
+
+    Used by every benchmark to print the reproduced table in a form directly
+    comparable to the paper's layout.
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None) -> None:
+        if not columns:
+            raise ValueError("ResultTable needs at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self._rows: list[list[Any]] = []
+
+    def add_row(self, values: Sequence[Any] | Mapping[str, Any]) -> None:
+        """Append one row (a sequence aligned with columns, or a mapping)."""
+        if isinstance(values, Mapping):
+            row = [values.get(column, "") for column in self.columns]
+        else:
+            row = list(values)
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"row has {len(row)} values but the table has {len(self.columns)} columns"
+                )
+        self._rows.append(row)
+
+    @property
+    def rows(self) -> list[list[Any]]:
+        return [list(row) for row in self._rows]
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        index = self.columns.index(name)
+        return [row[index] for row in self._rows]
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _format_cell(value: Any) -> str:
+        if isinstance(value, float) or isinstance(value, np.floating):
+            return f"{float(value):.4f}"
+        return str(value)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        header = "| " + " | ".join(self.columns) + " |"
+        separator = "| " + " | ".join("---" for _ in self.columns) + " |"
+        body = [
+            "| " + " | ".join(self._format_cell(value) for value in row) + " |"
+            for row in self._rows
+        ]
+        lines = [header, separator, *body]
+        if self.title:
+            lines = [f"### {self.title}", "", *lines]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation."""
+        return {"title": self.title, "columns": self.columns, "rows": self.rows}
+
+    def __str__(self) -> str:
+        return self.to_markdown()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+def format_mean_std(values: Sequence[float], *, percent: bool = True) -> str:
+    """Format a list of metric values as ``mean ± std`` (optionally in percent)."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return "n/a"
+    scale = 100.0 if percent else 1.0
+    mean = float(values.mean()) * scale
+    std = float(values.std()) * scale
+    return f"{mean:.2f} ± {std:.2f}"

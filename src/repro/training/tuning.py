@@ -1,0 +1,112 @@
+"""Hyper-parameter search over DHGCN (or any model factory) configurations."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.data.dataset import NodeClassificationDataset
+from repro.models.base import BaseNodeClassifier
+from repro.training.config import TrainConfig
+from repro.training.experiment import DatasetFactory, run_experiment
+from repro.training.results import ResultTable
+from repro.utils.logging import get_logger
+
+logger = get_logger("tuning")
+
+#: A configurable factory: (dataset, seed, **hyper_parameters) -> model.
+ConfigurableFactory = Callable[..., BaseNodeClassifier]
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of a grid search: every configuration with its aggregated score."""
+
+    entries: list[dict[str, Any]] = field(default_factory=list)
+
+    def add(self, parameters: Mapping[str, Any], mean_accuracy: float, std_accuracy: float) -> None:
+        self.entries.append(
+            {
+                "parameters": dict(parameters),
+                "mean_test_accuracy": float(mean_accuracy),
+                "std_test_accuracy": float(std_accuracy),
+            }
+        )
+
+    @property
+    def best(self) -> dict[str, Any]:
+        """The entry with the highest mean test accuracy."""
+        if not self.entries:
+            raise ValueError("grid search produced no entries")
+        return max(self.entries, key=lambda entry: entry["mean_test_accuracy"])
+
+    @property
+    def best_parameters(self) -> dict[str, Any]:
+        return dict(self.best["parameters"])
+
+    def to_table(self, title: str | None = None) -> ResultTable:
+        """Render the search results as a table sorted by accuracy."""
+        if not self.entries:
+            raise ValueError("grid search produced no entries")
+        parameter_names = sorted(self.entries[0]["parameters"])
+        table = ResultTable([*parameter_names, "mean accuracy", "std"], title=title)
+        for entry in sorted(
+            self.entries, key=lambda item: item["mean_test_accuracy"], reverse=True
+        ):
+            table.add_row(
+                [entry["parameters"][name] for name in parameter_names]
+                + [entry["mean_test_accuracy"], entry["std_test_accuracy"]]
+            )
+        return table
+
+
+def parameter_grid(grid: Mapping[str, Sequence[Any]]) -> list[dict[str, Any]]:
+    """Expand ``{"a": [1, 2], "b": [3]}`` into ``[{"a":1,"b":3}, {"a":2,"b":3}]``."""
+    if not grid:
+        raise ValueError("the parameter grid must not be empty")
+    names = sorted(grid)
+    combinations = itertools.product(*(grid[name] for name in names))
+    return [dict(zip(names, values)) for values in combinations]
+
+
+def grid_search(
+    model_factory: ConfigurableFactory,
+    dataset: NodeClassificationDataset | DatasetFactory,
+    grid: Mapping[str, Sequence[Any]],
+    *,
+    n_seeds: int = 2,
+    master_seed: int = 0,
+    train_config: TrainConfig | None = None,
+) -> GridSearchResult:
+    """Exhaustively evaluate every configuration of ``grid``.
+
+    Parameters
+    ----------
+    model_factory:
+        Called as ``model_factory(dataset, seed, **parameters)``.
+    dataset:
+        A fixed dataset or a ``seed -> dataset`` factory (a fresh realisation
+        per seed, like the benchmark harness uses).
+    grid:
+        Mapping from hyper-parameter name to the values to sweep.
+    """
+    dataset_factory: DatasetFactory
+    if isinstance(dataset, NodeClassificationDataset):
+        dataset_factory = lambda seed: dataset  # noqa: E731 - tiny closure
+    else:
+        dataset_factory = dataset
+
+    result = GridSearchResult()
+    for parameters in parameter_grid(grid):
+        experiment = run_experiment(
+            method=str(parameters),
+            model_factory=lambda ds, seed, p=parameters: model_factory(ds, seed, **p),
+            dataset_factory=dataset_factory,
+            n_seeds=n_seeds,
+            master_seed=master_seed,
+            train_config=train_config or TrainConfig(),
+        )
+        logger.info("grid point %s -> %.4f", parameters, experiment.mean_test_accuracy)
+        result.add(parameters, experiment.mean_test_accuracy, experiment.std_test_accuracy)
+    return result

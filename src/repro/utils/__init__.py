@@ -1,0 +1,29 @@
+"""Shared utilities: seeded RNG handling, validation, timing, logging and IO."""
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState, as_rng, set_global_seed, spawn_rngs
+from repro.utils.timer import Timer, timed
+from repro.utils.validation import (
+    check_fraction,
+    check_in_options,
+    check_positive,
+    check_probability_matrix,
+    check_square,
+    check_type,
+)
+
+__all__ = [
+    "RandomState",
+    "as_rng",
+    "set_global_seed",
+    "spawn_rngs",
+    "Timer",
+    "timed",
+    "get_logger",
+    "check_positive",
+    "check_fraction",
+    "check_in_options",
+    "check_type",
+    "check_square",
+    "check_probability_matrix",
+]

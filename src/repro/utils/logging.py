@@ -1,0 +1,39 @@
+"""Lightweight logging configuration for the library.
+
+The library logs through the standard :mod:`logging` module under the
+``"repro"`` namespace and never configures the root logger, so applications
+stay in control of handlers and levels.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_LIBRARY_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the library namespace.
+
+    ``get_logger("training")`` returns the ``"repro.training"`` logger.
+    """
+    if name is None or name == _LIBRARY_LOGGER_NAME:
+        return logging.getLogger(_LIBRARY_LOGGER_NAME)
+    if name.startswith(_LIBRARY_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a simple console handler to the library logger.
+
+    Mostly useful in examples and benchmarks; returns the handler so the
+    caller can remove it again.
+    """
+    logger = get_logger()
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter("[%(asctime)s] %(name)s %(levelname)s: %(message)s"))
+    handler.setLevel(level)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

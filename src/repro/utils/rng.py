@@ -1,0 +1,72 @@
+"""Seeded random-number-generator utilities.
+
+Everything in the library that draws random numbers accepts a ``seed`` or
+``rng`` argument and converts it with :func:`as_rng`.  This keeps every
+experiment deterministic and lets the multi-seed experiment runner spawn
+independent, reproducible streams with :func:`spawn_rngs`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Public alias so user code does not need to import numpy for type hints.
+RandomState = np.random.Generator
+
+_GLOBAL_SEED: int | None = None
+
+
+def as_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh non-deterministic generator), an ``int`` seed, or an
+        existing generator (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"seed must be None, int or numpy Generator, got {type(seed)!r}")
+
+
+def set_global_seed(seed: int) -> None:
+    """Seed numpy's legacy global RNG and remember the seed.
+
+    The library itself never uses the legacy global state, but third-party
+    helpers (and user notebooks) might, so offering one switch is convenient.
+    """
+    global _GLOBAL_SEED
+    _GLOBAL_SEED = int(seed)
+    np.random.seed(int(seed))
+
+
+def get_global_seed() -> int | None:
+    """Return the last seed passed to :func:`set_global_seed` (or ``None``)."""
+    return _GLOBAL_SEED
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` independent child generators from ``seed``.
+
+    The children are derived through :class:`numpy.random.SeedSequence`
+    spawning, so they are statistically independent and reproducible.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(seed, np.random.Generator):
+        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(n)]
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(n)]
+
+
+def seeds_from(seed: int, n: int) -> list[int]:
+    """Derive ``n`` deterministic integer seeds from a master ``seed``."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rng = as_rng(seed)
+    return [int(s) for s in rng.integers(0, 2**31 - 1, size=n)]

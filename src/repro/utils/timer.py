@@ -1,0 +1,78 @@
+"""Wall-clock timing helpers used by the trainer and the efficiency benchmarks."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.measure():
+    ...     _ = sum(range(1000))
+    >>> timer.total >= 0.0
+    True
+    """
+
+    total: float = 0.0
+    count: int = 0
+    _started: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._started is not None:
+            raise RuntimeError("Timer already started")
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("Timer was not started")
+        elapsed = time.perf_counter() - self._started
+        self._started = None
+        self.total += elapsed
+        self.count += 1
+        return elapsed
+
+    @contextmanager
+    def measure(self) -> Iterator["Timer"]:
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+    @property
+    def mean(self) -> float:
+        """Mean duration per measured interval (0.0 when nothing was measured)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self._started = None
+
+
+@contextmanager
+def timed() -> Iterator[Timer]:
+    """Context manager returning a one-shot :class:`Timer`.
+
+    >>> with timed() as t:
+    ...     _ = [i * i for i in range(100)]
+    >>> t.total > 0.0
+    True
+    """
+    timer = Timer()
+    timer.start()
+    try:
+        yield timer
+    finally:
+        if timer._started is not None:
+            timer.stop()

@@ -1,0 +1,87 @@
+"""Small argument-validation helpers used across the library.
+
+These helpers raise consistent, descriptive errors so every public entry
+point can validate its inputs in one line.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Check that ``value`` is positive (strictly by default)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str, *, inclusive: bool = True) -> float:
+    """Check that ``value`` lies in [0, 1] (or (0, 1) when not inclusive)."""
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {value!r}")
+    return value
+
+
+def check_in_options(value: Any, options: Iterable[Any], name: str) -> Any:
+    """Check that ``value`` is one of ``options``."""
+    options = tuple(options)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options!r}, got {value!r}")
+    return value
+
+
+def check_type(value: Any, types: type | tuple[type, ...], name: str) -> Any:
+    """Check that ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        raise TypeError(f"{name} must be an instance of {types!r}, got {type(value)!r}")
+    return value
+
+
+def check_square(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Check that ``matrix`` is a square 2-D array."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ShapeError(f"{name} must be square 2-D, got shape {matrix.shape}")
+    return matrix
+
+
+def check_probability_matrix(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Check that every entry of ``matrix`` is a probability in [0, 1]."""
+    matrix = np.asarray(matrix, dtype=float)
+    if np.any(matrix < 0.0) or np.any(matrix > 1.0):
+        raise ValueError(f"{name} entries must lie in [0, 1]")
+    return matrix
+
+
+def check_same_length(name_a: str, a: Sequence, name_b: str, b: Sequence) -> None:
+    """Check that two sequences have the same length."""
+    if len(a) != len(b):
+        raise ShapeError(
+            f"{name_a} and {name_b} must have the same length, got {len(a)} and {len(b)}"
+        )
+
+
+def check_1d_labels(labels: np.ndarray, n: int | None = None) -> np.ndarray:
+    """Check that ``labels`` is a 1-D integer array (optionally of length ``n``)."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
+    if not np.issubdtype(labels.dtype, np.integer):
+        if np.all(labels == labels.astype(int)):
+            labels = labels.astype(int)
+        else:
+            raise ValueError("labels must be integers")
+    if n is not None and labels.shape[0] != n:
+        raise ShapeError(f"labels must have length {n}, got {labels.shape[0]}")
+    return labels

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test-suite: tiny, fast dataset realisations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.citation import make_citation_dataset
+from repro.data.coauthorship import make_coauthorship
+from repro.data.objects import make_objects_like
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_citation_dataset():
+    """A ~120-node co-citation dataset that trains in well under a second."""
+    return make_citation_dataset(
+        "tiny-cocitation",
+        n_nodes=120,
+        n_classes=3,
+        n_features=40,
+        intra_class_degree=3.0,
+        inter_class_degree=1.0,
+        active_words=6,
+        noise_words=2,
+        confusion=0.4,
+        train_per_class=8,
+        val_fraction=0.2,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_coauthorship_dataset():
+    """A ~100-node co-authorship dataset (hypergraph-native structure)."""
+    return make_coauthorship(
+        "tiny-coauthorship",
+        n_nodes=100,
+        n_classes=4,
+        n_features=50,
+        n_hyperedges=150,
+        min_authors=2,
+        max_authors=5,
+        community_purity=0.85,
+        train_per_class=6,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_object_dataset():
+    """A ~120-node feature-only dataset (structure built from features)."""
+    return make_objects_like(
+        "tiny-objects",
+        n_nodes=120,
+        n_classes=5,
+        view_dims=(12, 12),
+        class_separation=1.0,
+        within_class_std=0.9,
+        static_knn=4,
+        seed=13,
+    )

@@ -1,0 +1,146 @@
+"""Tests for the analysis package (embedding metrics, reports, trackers)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    GateTracker,
+    TopologyTracker,
+    class_separation_ratio,
+    classification_report,
+    extract_embeddings,
+    pca_project,
+    per_class_accuracy,
+    silhouette_score,
+)
+from repro.autograd import Tensor
+from repro.core import DHGCN, DHGCNConfig
+from repro.errors import ShapeError
+from repro.models import MLP
+from repro.training import TrainConfig, Trainer
+
+
+@pytest.fixture()
+def separated_embeddings():
+    rng = np.random.default_rng(0)
+    embeddings = np.vstack(
+        [rng.normal(0.0, 0.3, (20, 5)), rng.normal(6.0, 0.3, (20, 5))]
+    )
+    labels = np.repeat([0, 1], 20)
+    return embeddings, labels
+
+
+class TestEmbeddingMetrics:
+    def test_extract_embeddings_shape(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        model = MLP(dataset.n_features, dataset.n_classes, seed=0).setup(dataset)
+        embeddings = extract_embeddings(model, dataset.features)
+        assert embeddings.shape == (dataset.n_nodes, dataset.n_classes)
+
+    def test_pca_project_shapes_and_variance_order(self, separated_embeddings):
+        embeddings, _ = separated_embeddings
+        projected = pca_project(embeddings, 2)
+        assert projected.shape == (40, 2)
+        # The first principal component carries at least as much variance.
+        assert projected[:, 0].var() >= projected[:, 1].var()
+
+    def test_pca_validation(self, separated_embeddings):
+        embeddings, _ = separated_embeddings
+        with pytest.raises(ValueError):
+            pca_project(embeddings, 0)
+        with pytest.raises(ValueError):
+            pca_project(embeddings, 99)
+        with pytest.raises(ShapeError):
+            pca_project(np.zeros(5))
+
+    def test_silhouette_separated_vs_mixed(self, separated_embeddings):
+        embeddings, labels = separated_embeddings
+        good = silhouette_score(embeddings, labels)
+        rng = np.random.default_rng(1)
+        bad = silhouette_score(embeddings, rng.permutation(labels))
+        assert good > 0.8
+        assert bad < good
+
+    def test_silhouette_requires_two_classes(self, separated_embeddings):
+        embeddings, _ = separated_embeddings
+        with pytest.raises(ValueError):
+            silhouette_score(embeddings, np.zeros(40, dtype=int))
+
+    def test_class_separation_ratio(self, separated_embeddings):
+        embeddings, labels = separated_embeddings
+        separated = class_separation_ratio(embeddings, labels)
+        rng = np.random.default_rng(2)
+        shuffled = class_separation_ratio(embeddings, rng.permutation(labels))
+        assert separated > shuffled
+        assert separated > 10.0
+
+    def test_class_separation_degenerate_within_zero(self):
+        embeddings = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 1.0], [1.0, 1.0]])
+        labels = np.array([0, 0, 1, 1])
+        assert class_separation_ratio(embeddings, labels) == float("inf")
+
+
+class TestReports:
+    def test_per_class_accuracy(self):
+        predictions = np.array([0, 0, 1, 2, 2, 2])
+        targets = np.array([0, 1, 1, 2, 2, 0])
+        per_class = per_class_accuracy(predictions, targets, n_classes=3)
+        assert per_class[0] == pytest.approx(0.5)
+        assert per_class[1] == pytest.approx(0.5)
+        assert per_class[2] == pytest.approx(1.0)
+
+    def test_classification_report_structure(self):
+        predictions = np.array([0, 1, 1, 2, 2, 0])
+        targets = np.array([0, 1, 2, 2, 2, 0])
+        report = classification_report(predictions, targets)
+        markdown = report.to_markdown()
+        assert "precision" in markdown and "macro avg" in markdown
+        assert len(report) == 4  # 3 classes + macro average row
+
+    def test_classification_report_custom_names_and_validation(self):
+        predictions = np.array([0, 1])
+        targets = np.array([0, 1])
+        report = classification_report(predictions, targets, class_names=["cats", "dogs"])
+        assert "cats" in report.to_markdown()
+        with pytest.raises(ValueError):
+            classification_report(predictions, targets, class_names=["only-one"])
+
+
+class TestTrackers:
+    def test_gate_tracker_records_and_measures_drift(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        model = DHGCN(dataset.n_features, dataset.n_classes, DHGCNConfig(hidden_dim=8), seed=0)
+        trainer = Trainer(model, dataset, TrainConfig(epochs=5, patience=None))
+        tracker = GateTracker()
+        tracker.update(0, model)
+        trainer.train()
+        tracker.update(5, model)
+        assert tracker.as_array().shape == (2, 2)
+        assert tracker.drift() >= 0.0
+
+    def test_gate_tracker_empty(self):
+        tracker = GateTracker()
+        assert tracker.as_array().shape == (0, 0)
+        assert tracker.drift() == 0.0
+
+    def test_topology_tracker_homophily_improves_with_training(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        model = DHGCN(dataset.n_features, dataset.n_classes, DHGCNConfig(hidden_dim=16), seed=0)
+        tracker = TopologyTracker(labels=dataset.labels)
+        trainer = Trainer(model, dataset, TrainConfig(epochs=2, patience=None))
+        trainer.train()
+        tracker.update(2, model)
+        trainer = Trainer(model, dataset, TrainConfig(epochs=30, patience=None))
+        trainer.train()
+        tracker.update(30, model)
+        assert len(tracker.homophily) == 2
+        assert tracker.improvement() > -0.15  # should not collapse; typically positive
+
+    def test_topology_tracker_ignores_static_only_models(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        config = DHGCNConfig(hidden_dim=8).ablate("dynamic")
+        model = DHGCN(dataset.n_features, dataset.n_classes, config, seed=0).setup(dataset)
+        tracker = TopologyTracker(labels=dataset.labels)
+        tracker.update(0, model)
+        assert tracker.homophily == []
+        assert tracker.improvement() == 0.0

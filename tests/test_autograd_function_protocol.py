@@ -1,0 +1,140 @@
+"""Tests for the Function/Context protocol and backward-graph internals."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.function import BackwardNode, Context, Function, unbroadcast
+from repro.errors import AutogradError
+
+
+class Double(Function):
+    """A minimal custom op used to exercise the protocol."""
+
+    @staticmethod
+    def forward(ctx, a):
+        ctx.save_for_backward(a)
+        ctx.extras["note"] = "doubled"
+        return a * 2.0
+
+    @staticmethod
+    def backward(ctx, grad):
+        return (grad * 2.0,)
+
+
+class BrokenArity(Function):
+    """Backward deliberately returns the wrong number of gradients."""
+
+    @staticmethod
+    def forward(ctx, a, b):
+        return a + b
+
+    @staticmethod
+    def backward(ctx, grad):
+        return (grad,)  # should be two
+
+
+class TestContext:
+    def test_save_and_retrieve(self):
+        ctx = Context()
+        ctx.save_for_backward(np.ones(2), 5)
+        assert len(ctx.saved) == 2
+        assert ctx.saved[1] == 5
+        ctx.extras["key"] = "value"
+        assert ctx.extras["key"] == "value"
+
+    def test_saved_defaults_to_empty(self):
+        assert Context().saved == ()
+
+
+class TestCustomFunction:
+    def test_apply_builds_graph_and_backward_works(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = Double.apply(x)
+        assert np.allclose(y.data, [2.0, 4.0])
+        assert y.requires_grad
+        assert isinstance(y._node, BackwardNode)
+        assert y._node.function is Double
+        y.sum().backward()
+        assert np.allclose(x.grad, [2.0, 2.0])
+
+    def test_apply_without_grad_inputs_creates_leaf(self):
+        y = Double.apply(Tensor([3.0]))
+        assert not y.requires_grad
+        assert y._node is None
+
+    def test_custom_op_composes_with_builtin_ops(self):
+        x = Tensor([1.0, -1.0], requires_grad=True)
+        out = (Double.apply(x) * x).sum()  # 2x^2 -> d/dx = 4x
+        out.backward()
+        assert np.allclose(x.grad, [4.0, -4.0])
+
+    def test_wrong_backward_arity_raises(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        out = BrokenArity.apply(a, b)
+        with pytest.raises(AutogradError):
+            out.sum().backward()
+
+    def test_base_function_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Function.forward(Context(), np.ones(1))
+        with pytest.raises(NotImplementedError):
+            Function.backward(Context(), np.ones(1))
+
+    def test_non_array_forward_output_is_wrapped(self):
+        class Scalar(Function):
+            @staticmethod
+            def forward(ctx, a):
+                return float(a.sum())
+
+            @staticmethod
+            def backward(ctx, grad):
+                return (None,)
+
+        out = Scalar.apply(Tensor([1.0, 2.0]))
+        assert isinstance(out.data, np.ndarray)
+        assert out.data == pytest.approx(3.0)
+
+
+class TestUnbroadcast:
+    @pytest.mark.parametrize(
+        "grad_shape, target_shape",
+        [((3, 4), (3, 4)), ((3, 4), (4,)), ((3, 4), (1, 4)), ((3, 4), (3, 1)), ((2, 3, 4), (3, 4))],
+    )
+    def test_shapes(self, grad_shape, target_shape):
+        grad = np.random.default_rng(0).normal(size=grad_shape)
+        reduced = unbroadcast(grad, target_shape)
+        assert reduced.shape == target_shape
+        assert np.isclose(reduced.sum(), grad.sum())
+
+    def test_identity_when_shapes_match(self):
+        grad = np.ones((2, 2))
+        assert unbroadcast(grad, (2, 2)) is grad
+
+
+class TestGraphTraversal:
+    def test_long_chain_backward(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(200):
+            y = y + 1.0
+        y.backward()
+        assert np.allclose(x.grad, [1.0])
+
+    def test_wide_fan_out_accumulates(self):
+        x = Tensor([2.0], requires_grad=True)
+        total = Tensor([0.0])
+        branches = [x * float(i) for i in range(10)]
+        for branch in branches:
+            total = total + branch
+        total.backward()
+        assert np.allclose(x.grad, [sum(range(10))])
+
+    def test_backward_twice_through_same_graph_accumulates(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = (x * x).sum()
+        y.backward()
+        first = x.grad.copy()
+        y.backward()
+        assert np.allclose(x.grad, 2 * first)

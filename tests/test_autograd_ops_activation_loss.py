@@ -1,0 +1,133 @@
+"""Gradient correctness of activations, losses and the sparse matmul op."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, check_gradients
+from repro.autograd.ops_activation import elu, leaky_relu, log_softmax, relu, sigmoid, softmax, tanh
+from repro.autograd.ops_loss import cross_entropy, mse_loss, nll_loss
+from repro.autograd.ops_sparse import spmm
+from repro.errors import ShapeError
+
+
+def _t(shape, seed):
+    return Tensor(np.random.default_rng(seed).normal(size=shape), requires_grad=True)
+
+
+class TestActivationsForward:
+    def test_relu(self):
+        assert np.allclose(relu(Tensor([-1.0, 2.0])).data, [0.0, 2.0])
+
+    def test_leaky_relu(self):
+        assert np.allclose(leaky_relu(Tensor([-10.0, 2.0]), 0.1).data, [-1.0, 2.0])
+
+    def test_elu(self):
+        out = elu(Tensor([-1.0, 2.0]), alpha=1.0).data
+        assert out[1] == pytest.approx(2.0)
+        assert out[0] == pytest.approx(np.exp(-1.0) - 1.0)
+
+    def test_sigmoid_tanh(self):
+        assert sigmoid(Tensor([0.0])).data[0] == pytest.approx(0.5)
+        assert tanh(Tensor([0.0])).data[0] == pytest.approx(0.0)
+
+    def test_softmax_rows_sum_to_one(self):
+        out = softmax(_t((4, 6), 0), axis=-1).data
+        assert np.allclose(out.sum(axis=1), 1.0)
+        assert np.all(out >= 0.0)
+
+    def test_softmax_stability_with_large_values(self):
+        out = softmax(Tensor([[1000.0, 1000.0]]), axis=-1).data
+        assert np.allclose(out, [[0.5, 0.5]])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = _t((3, 5), 1)
+        assert np.allclose(log_softmax(x).data, np.log(softmax(x).data))
+
+
+class TestActivationGradients:
+    @pytest.mark.parametrize(
+        "function",
+        [relu, sigmoid, tanh, lambda x: leaky_relu(x, 0.05), lambda x: elu(x, 1.2)],
+    )
+    def test_elementwise(self, function):
+        x = _t((4, 3), 2)
+        weights = Tensor(np.random.default_rng(3).normal(size=(4, 3)))
+        check_gradients(lambda x: (function(x) * weights).sum(), [x])
+
+    def test_softmax_gradient(self):
+        x = _t((3, 4), 4)
+        weights = Tensor(np.random.default_rng(5).normal(size=(3, 4)))
+        check_gradients(lambda x: (softmax(x, axis=-1) * weights).sum(), [x])
+
+    def test_log_softmax_gradient(self):
+        x = _t((3, 4), 6)
+        weights = Tensor(np.random.default_rng(7).normal(size=(3, 4)))
+        check_gradients(lambda x: (log_softmax(x, axis=-1) * weights).sum(), [x])
+
+
+class TestLosses:
+    def test_cross_entropy_value_uniform(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss.data == pytest.approx(np.log(3.0))
+
+    def test_cross_entropy_gradient(self):
+        logits = _t((6, 4), 8)
+        targets = np.array([0, 1, 2, 3, 0, 1])
+        check_gradients(lambda logits: cross_entropy(logits, targets), [logits])
+
+    def test_cross_entropy_with_index_subset(self):
+        logits = _t((6, 4), 9)
+        targets = np.array([0, 1, 2, 3, 0, 1])
+        index = np.array([1, 3, 5])
+        check_gradients(lambda logits: cross_entropy(logits, targets, index), [logits])
+
+    def test_masked_rows_receive_zero_gradient(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(5, 3)), requires_grad=True)
+        cross_entropy(logits, np.array([0, 1, 2, 0, 1]), np.array([0, 2])).backward()
+        assert np.allclose(logits.grad[[1, 3, 4]], 0.0)
+        assert not np.allclose(logits.grad[[0, 2]], 0.0)
+
+    def test_nll_loss_empty_index_raises(self):
+        with pytest.raises(ValueError):
+            nll_loss(Tensor(np.zeros((3, 2))), np.array([0, 1, 0]), np.array([], dtype=int))
+
+    def test_nll_loss_requires_2d(self):
+        with pytest.raises(ShapeError):
+            nll_loss(Tensor(np.zeros(3)), np.array([0, 1, 0]))
+
+    def test_mse_loss_value_and_gradient(self):
+        prediction = _t((4, 2), 10)
+        target = np.random.default_rng(11).normal(size=(4, 2))
+        loss = mse_loss(prediction, target)
+        assert loss.data == pytest.approx(np.mean((prediction.data - target) ** 2))
+        check_gradients(lambda prediction: mse_loss(prediction, target), [prediction])
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            mse_loss(Tensor(np.zeros((2, 2))), np.zeros((3, 2)))
+
+
+class TestSparseMatMul:
+    def test_forward_matches_dense(self):
+        operator = sp.random(6, 5, density=0.5, random_state=0, format="csr")
+        x = Tensor(np.random.default_rng(1).normal(size=(5, 3)))
+        assert np.allclose(spmm(operator, x).data, operator.toarray() @ x.data)
+
+    def test_gradient_through_dense_operand(self):
+        operator = sp.random(7, 4, density=0.6, random_state=2, format="csr")
+        x = _t((4, 3), 12)
+        check_gradients(lambda x: (spmm(operator, x) ** 2).sum(), [x])
+
+    def test_accepts_dense_numpy_operator(self):
+        operator = np.random.default_rng(3).normal(size=(3, 4))
+        x = _t((4, 2), 13)
+        assert np.allclose(spmm(operator, x).data, operator @ x.data)
+
+    def test_shape_errors(self):
+        operator = sp.eye(3, format="csr")
+        with pytest.raises(ShapeError):
+            spmm(operator, Tensor(np.zeros((4, 2))))
+        with pytest.raises(ShapeError):
+            spmm(operator, Tensor(np.zeros(3)))

@@ -1,0 +1,109 @@
+"""Gradient correctness of elementwise and matrix arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, matmul
+from repro.autograd.ops_basic import add, div, exp, log, mul, neg, pow_, sqrt, sub
+from repro.errors import ShapeError
+
+
+def _t(shape, seed, positive=False):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape)
+    if positive:
+        data = np.abs(data) + 0.5
+    return Tensor(data, requires_grad=True)
+
+
+class TestForwardValues:
+    def test_add_sub_mul_div(self):
+        a, b = Tensor([2.0, 4.0]), Tensor([1.0, 8.0])
+        assert np.allclose(add(a, b).data, [3.0, 12.0])
+        assert np.allclose(sub(a, b).data, [1.0, -4.0])
+        assert np.allclose(mul(a, b).data, [2.0, 32.0])
+        assert np.allclose(div(a, b).data, [2.0, 0.5])
+
+    def test_neg_pow_exp_log_sqrt(self):
+        a = Tensor([1.0, 4.0])
+        assert np.allclose(neg(a).data, [-1.0, -4.0])
+        assert np.allclose(pow_(a, 2).data, [1.0, 16.0])
+        assert np.allclose(exp(Tensor([0.0])).data, [1.0])
+        assert np.allclose(log(Tensor([np.e])).data, [1.0])
+        assert np.allclose(sqrt(a).data, [1.0, 2.0])
+
+    def test_operator_overloads_with_scalars(self):
+        a = Tensor([2.0])
+        assert np.allclose((a + 1).data, [3.0])
+        assert np.allclose((1 + a).data, [3.0])
+        assert np.allclose((a - 1).data, [1.0])
+        assert np.allclose((1 - a).data, [-1.0])
+        assert np.allclose((a * 3).data, [6.0])
+        assert np.allclose((3 / a).data, [1.5])
+        assert np.allclose((-a).data, [-2.0])
+        assert np.allclose((a ** 3).data, [8.0])
+
+    def test_matmul_shapes(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.ones((3, 4)))
+        assert matmul(a, b).shape == (2, 4)
+        v = Tensor(np.ones(3))
+        assert matmul(v, b).shape == (4,)
+        assert matmul(a, Tensor(np.ones(3))).shape == (2,)
+        assert matmul(v, v).shape == ()
+
+    def test_matmul_rank_error(self):
+        with pytest.raises(ShapeError):
+            matmul(Tensor(np.ones((2, 2, 2))), Tensor(np.ones((2, 2, 2))))
+
+
+class TestGradients:
+    def test_add_broadcast(self):
+        a, b = _t((3, 4), 0), _t((4,), 1)
+        check_gradients(lambda a, b: (a + b).sum(), [a, b])
+
+    def test_sub_broadcast(self):
+        a, b = _t((3, 4), 2), _t((3, 1), 3)
+        check_gradients(lambda a, b: (a - b).sum(), [a, b])
+
+    def test_mul_broadcast(self):
+        a, b = _t((2, 5), 4), _t((5,), 5)
+        check_gradients(lambda a, b: (a * b).sum(), [a, b])
+
+    def test_div(self):
+        a, b = _t((3, 3), 6), _t((3, 3), 7, positive=True)
+        check_gradients(lambda a, b: (a / b).sum(), [a, b])
+
+    def test_scalar_division_of_constant(self):
+        a = _t((4,), 8, positive=True)
+        check_gradients(lambda a: (2.0 / a).sum(), [a])
+
+    def test_pow(self):
+        a = _t((3, 2), 9, positive=True)
+        check_gradients(lambda a: (a ** 3).sum(), [a])
+
+    def test_exp_log_sqrt(self):
+        a = _t((4,), 10, positive=True)
+        check_gradients(lambda a: exp(a).sum(), [a])
+        check_gradients(lambda a: log(a).sum(), [a])
+        check_gradients(lambda a: sqrt(a).sum(), [a])
+
+    def test_matmul_2d_2d(self):
+        a, b = _t((3, 4), 11), _t((4, 2), 12)
+        check_gradients(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matmul_1d_2d(self):
+        a, b = _t((4,), 13), _t((4, 3), 14)
+        check_gradients(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matmul_2d_1d(self):
+        a, b = _t((3, 4), 15), _t((4,), 16)
+        check_gradients(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matmul_1d_1d(self):
+        a, b = _t((5,), 17), _t((5,), 18)
+        check_gradients(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_composite_expression(self):
+        a, b = _t((3, 3), 19, positive=True), _t((3, 3), 20)
+        check_gradients(lambda a, b: ((a * b + b) / (a + 2.0)).sum(), [a, b])

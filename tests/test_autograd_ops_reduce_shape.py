@@ -1,0 +1,117 @@
+"""Gradient correctness of reductions and shape operations."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.autograd.ops_reduce import max_, mean, min_, sum_
+from repro.autograd.ops_shape import concat, gather_rows, getitem, reshape, stack, transpose
+
+
+def _t(shape, seed):
+    return Tensor(np.random.default_rng(seed).normal(size=shape), requires_grad=True)
+
+
+class TestReduceForward:
+    def test_sum_axis_and_keepdims(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert sum_(a).data == pytest.approx(15.0)
+        assert np.allclose(sum_(a, axis=0).data, [3.0, 5.0, 7.0])
+        assert sum_(a, axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert mean(a).data == pytest.approx(2.5)
+        assert np.allclose(mean(a, axis=1).data, [1.0, 4.0])
+
+    def test_max_min(self):
+        a = Tensor([[1.0, 9.0], [4.0, 2.0]])
+        assert max_(a).data == pytest.approx(9.0)
+        assert np.allclose(max_(a, axis=0).data, [4.0, 9.0])
+        assert min_(a).data == pytest.approx(1.0)
+
+
+class TestReduceGradients:
+    def test_sum_all(self):
+        check_gradients(lambda a: sum_(a), [_t((3, 4), 0)])
+
+    def test_sum_axis(self):
+        check_gradients(lambda a: sum_(a, axis=0).sum(), [_t((3, 4), 1)])
+        check_gradients(lambda a: sum_(a, axis=1, keepdims=True).sum(), [_t((3, 4), 2)])
+
+    def test_mean_all_and_axis(self):
+        check_gradients(lambda a: mean(a), [_t((2, 5), 3)])
+        check_gradients(lambda a: mean(a, axis=1).sum(), [_t((2, 5), 4)])
+
+    def test_max_gradient_flows_to_argmax(self):
+        a = Tensor([[1.0, 5.0], [7.0, 2.0]], requires_grad=True)
+        max_(a, axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_max_ties_share_gradient(self):
+        a = Tensor([[3.0, 3.0]], requires_grad=True)
+        max_(a, axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.5, 0.5]])
+
+    def test_min_gradient(self):
+        check_gradients(lambda a: min_(a, axis=0).sum(), [_t((4, 3), 5)])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip(self):
+        a = _t((2, 6), 6)
+        assert reshape(a, (3, 4)).shape == (3, 4)
+        check_gradients(lambda a: (reshape(a, (3, 4)) ** 2).sum(), [a])
+
+    def test_transpose_default_and_axes(self):
+        a = _t((2, 3), 7)
+        assert transpose(a).shape == (3, 2)
+        b = _t((2, 3, 4), 8)
+        assert transpose(b, (2, 0, 1)).shape == (4, 2, 3)
+        check_gradients(lambda a: (transpose(a) @ a).sum(), [a])
+
+    def test_tensor_T_property(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert a.T.shape == (3, 2)
+
+    def test_getitem_slice(self):
+        a = _t((5, 4), 9)
+        sub = a[1:3]
+        assert sub.shape == (2, 4)
+        check_gradients(lambda a: (a[1:3] ** 2).sum(), [a])
+
+    def test_getitem_integer_array(self):
+        a = _t((6, 3), 10)
+        idx = np.array([0, 2, 2, 5])
+        check_gradients(lambda a: (a[idx] ** 2).sum(), [a])
+
+    def test_gather_rows_duplicates_accumulate(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = gather_rows(a, [0, 0, 2])
+        out.sum().backward()
+        assert np.allclose(a.grad, [[2.0, 2.0], [0.0, 0.0], [1.0, 1.0]])
+
+    def test_concat_forward_and_grad(self):
+        a, b = _t((2, 3), 11), _t((4, 3), 12)
+        out = concat([a, b], axis=0)
+        assert out.shape == (6, 3)
+        check_gradients(lambda a, b: (concat([a, b], axis=0) ** 2).sum(), [a, b])
+
+    def test_concat_axis1(self):
+        a, b = _t((2, 3), 13), _t((2, 2), 14)
+        assert concat([a, b], axis=1).shape == (2, 5)
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ValueError):
+            concat([], axis=0)
+
+    def test_stack(self):
+        a, b = _t((3,), 15), _t((3,), 16)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        check_gradients(lambda a, b: (stack([a, b], axis=0) ** 2).sum(), [a, b])
+
+    def test_getitem_with_tensor_index(self):
+        a = _t((4, 2), 17)
+        index = Tensor([0.0, 3.0])
+        assert getitem(a, index).shape == (2, 2)

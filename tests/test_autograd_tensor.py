@@ -1,0 +1,159 @@
+"""Tests for the Tensor class and the backward machinery."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, as_tensor, no_grad, zeros_like
+from repro.autograd.tensor import is_grad_enabled
+from repro.errors import AutogradError
+
+
+class TestTensorConstruction:
+    def test_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_integer_data_promoted_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype == np.float64
+
+    def test_from_tensor_shares_semantics(self):
+        t = Tensor([1.0, 2.0])
+        u = Tensor(t)
+        assert np.allclose(u.data, t.data)
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array(["a", "b"], dtype=object))
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 3)))
+        assert len(t) == 4
+        assert t.size == 12
+        assert t.ndim == 2
+
+
+class TestTensorBasics:
+    def test_item_scalar(self):
+        assert Tensor(np.array(3.5)).item() == pytest.approx(3.5)
+
+    def test_item_non_scalar_raises(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_detach_drops_grad_tracking(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.is_leaf
+
+    def test_copy_is_independent(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        c = t.copy()
+        c.data[0] = 99.0
+        assert t.data[0] == 1.0
+        assert c.requires_grad
+
+    def test_argmax(self):
+        t = Tensor([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]])
+        assert np.array_equal(t.argmax(axis=1), np.array([1, 0]))
+
+    def test_zeros_like(self):
+        t = Tensor(np.ones((2, 3)))
+        z = zeros_like(t)
+        assert z.shape == (2, 3)
+        assert np.all(z.data == 0.0)
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+    def test_comparisons_return_numpy(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert isinstance(t > 1.5, np.ndarray)
+        assert np.array_equal(t > 1.5, np.array([False, True, True]))
+        assert np.array_equal(t == Tensor([1.0, 0.0, 3.0]), np.array([True, False, True]))
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = Tensor([2.0, 3.0], requires_grad=True)
+        y = (x * x).sum()
+        y.backward()
+        assert np.allclose(x.grad, [4.0, 6.0])
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        assert np.allclose(x.grad, [4.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 3.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_backward_without_grad_on_non_scalar_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(AutogradError):
+            y.backward()
+
+    def test_backward_with_explicit_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 3.0
+        y.backward(np.array([1.0, 0.5]))
+        assert np.allclose(x.grad, [3.0, 1.5])
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor([1.0])
+        with pytest.raises(AutogradError):
+            x.backward()
+
+    def test_diamond_graph_accumulates(self):
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        y = (a + b).sum()
+        y.backward()
+        assert np.allclose(x.grad, [7.0])
+
+    def test_reused_tensor_in_one_expression(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = (x * x * x).sum()  # d/dx x^3 = 3 x^2
+        y.backward()
+        assert np.allclose(x.grad, [27.0])
+
+    def test_constant_branch_gets_no_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        c = Tensor([5.0, 5.0])
+        (x * c).sum().backward()
+        assert c.grad is None
+
+
+class TestNoGrad:
+    def test_no_grad_disables_tracking(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y.is_leaf
+
+    def test_flag_restored_after_context(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_flag_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()

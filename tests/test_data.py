@@ -1,0 +1,253 @@
+"""Tests for dataset containers, splits, generators, transforms and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    NodeClassificationDataset,
+    Split,
+    add_feature_noise,
+    available_datasets,
+    get_dataset,
+    label_rate_split,
+    make_citeseer_like,
+    make_coauthorship,
+    make_cora_like,
+    make_newsgroups_like,
+    make_objects_like,
+    make_pubmed_like,
+    normalize_features,
+    planetoid_split,
+    register_dataset,
+    row_normalize,
+    standardize_features,
+    stratified_split,
+)
+from repro.data.transforms import mask_features
+from repro.errors import DatasetError, RegistryError
+from repro.hypergraph import Hypergraph, hyperedge_homophily
+
+
+class TestSplit:
+    def test_valid_split(self):
+        split = Split(train=np.array([0, 1]), val=np.array([2]), test=np.array([3, 4]))
+        assert split.sizes == (2, 1, 2)
+        split.check_within(5)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(DatasetError):
+            Split(train=np.array([0, 1]), val=np.array([1]), test=np.array([2]))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(DatasetError):
+            Split(train=np.array([0, 0]), val=np.array([1]), test=np.array([2]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            Split(train=np.array([], dtype=int), val=np.array([1]), test=np.array([2]))
+
+    def test_check_within_bounds(self):
+        split = Split(train=np.array([0]), val=np.array([1]), test=np.array([9]))
+        with pytest.raises(DatasetError):
+            split.check_within(5)
+
+
+class TestSplitStrategies:
+    def test_planetoid_split_counts(self):
+        labels = np.repeat(np.arange(4), 50)
+        split = planetoid_split(labels, train_per_class=5, n_val=40, seed=0)
+        assert split.train.size == 20
+        assert split.val.size == 40
+        assert split.test.size == 140
+        assert np.all(np.bincount(labels[split.train]) == 5)
+
+    def test_planetoid_split_too_few_nodes(self):
+        labels = np.array([0, 0, 1, 1])
+        with pytest.raises(DatasetError):
+            planetoid_split(labels, train_per_class=3)
+
+    def test_planetoid_split_deterministic(self):
+        labels = np.repeat(np.arange(3), 30)
+        a = planetoid_split(labels, train_per_class=4, n_val=20, seed=5)
+        b = planetoid_split(labels, train_per_class=4, n_val=20, seed=5)
+        assert np.array_equal(a.train, b.train) and np.array_equal(a.test, b.test)
+
+    def test_label_rate_split_scales_with_rate(self):
+        labels = np.repeat(np.arange(4), 100)
+        small = label_rate_split(labels, label_rate=0.02, seed=0)
+        large = label_rate_split(labels, label_rate=0.2, seed=0)
+        assert small.train.size < large.train.size
+        assert small.train.size >= 4  # at least one per class
+        with pytest.raises(ValueError):
+            label_rate_split(labels, label_rate=0.0)
+
+    def test_stratified_split_fractions(self):
+        labels = np.repeat(np.arange(5), 20)
+        split = stratified_split(labels, fractions=(0.5, 0.25, 0.25), seed=0)
+        assert split.train.size == 50
+        assert split.val.size == 25
+        assert split.test.size == 25
+        for cls in range(5):
+            assert np.sum(labels[split.train] == cls) == 10
+
+    def test_stratified_split_validation(self):
+        labels = np.repeat(np.arange(3), 10)
+        with pytest.raises(DatasetError):
+            stratified_split(labels, fractions=(0.5, 0.5, 0.5))
+        with pytest.raises(DatasetError):
+            stratified_split(np.array([0, 1, 2]), fractions=(0.4, 0.3, 0.3))
+
+
+class TestDatasetContainer:
+    def test_consistency_checks(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        assert dataset.n_nodes == 120
+        assert dataset.n_classes == 3
+        assert dataset.features.shape == (120, 40)
+        assert dataset.label_rate == pytest.approx(24 / 120)
+        assert dataset.class_distribution().sum() == 120
+
+    def test_mismatched_shapes_rejected(self):
+        hypergraph = Hypergraph(3, [[0, 1, 2]])
+        split = Split(train=np.array([0]), val=np.array([1]), test=np.array([2]))
+        with pytest.raises(DatasetError):
+            NodeClassificationDataset(
+                name="bad",
+                features=np.zeros((4, 2)),
+                labels=np.array([0, 1, 0]),
+                hypergraph=hypergraph,
+                split=split,
+            )
+        with pytest.raises(DatasetError):
+            NodeClassificationDataset(
+                name="bad",
+                features=np.zeros((3, 2)),
+                labels=np.array([0, 1, 0]),
+                hypergraph=Hypergraph(5, [[0, 1]]),
+                split=split,
+            )
+
+    def test_with_split_and_with_hypergraph(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        new_split = stratified_split(dataset.labels, seed=1)
+        replaced = dataset.with_split(new_split)
+        assert replaced.split.train.size == new_split.train.size
+        assert replaced.features is dataset.features
+        new_hypergraph = Hypergraph(dataset.n_nodes, [[0, 1, 2]])
+        assert dataset.with_hypergraph(new_hypergraph).hypergraph.n_hyperedges == 1
+
+    def test_pairwise_graph_from_hypergraph(self, tiny_coauthorship_dataset):
+        graph = tiny_coauthorship_dataset.pairwise_graph()
+        assert graph.n_nodes == tiny_coauthorship_dataset.n_nodes
+        assert graph.n_edges > 0
+
+    def test_summary_keys(self, tiny_citation_dataset):
+        summary = tiny_citation_dataset.summary()
+        for key in ("name", "n_nodes", "n_hyperedges", "n_classes", "label_rate"):
+            assert key in summary
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "factory, n_classes",
+        [(make_cora_like, 7), (make_citeseer_like, 6), (make_pubmed_like, 3)],
+    )
+    def test_citation_generators_shapes(self, factory, n_classes):
+        dataset = factory(seed=0)
+        assert dataset.n_classes == n_classes
+        assert dataset.hypergraph.n_hyperedges > 0
+        assert dataset.graph is not None
+        assert hyperedge_homophily(dataset.hypergraph, dataset.labels) > 0.5
+
+    def test_generators_deterministic(self):
+        a, b = make_cora_like(seed=3), make_cora_like(seed=3)
+        assert np.allclose(a.features, b.features)
+        assert a.hypergraph == b.hypergraph
+        assert np.array_equal(a.split.train, b.split.train)
+        c = make_cora_like(seed=4)
+        assert not np.allclose(a.features, c.features)
+
+    def test_coauthorship_hyperedge_sizes(self):
+        dataset = make_coauthorship(n_nodes=120, n_classes=4, n_hyperedges=200, min_authors=2, max_authors=6, seed=0)
+        sizes = dataset.hypergraph.hyperedge_sizes()
+        assert sizes.min() >= 2 and sizes.max() <= 6
+        assert dataset.metadata["family"] == "coauthorship"
+        with pytest.raises(DatasetError):
+            make_coauthorship(min_authors=5, max_authors=3)
+
+    def test_objects_dataset_feature_only(self):
+        dataset = make_objects_like(n_nodes=100, n_classes=5, view_dims=(8, 8), seed=0)
+        assert dataset.n_features == 16
+        assert dataset.graph is None
+        assert dataset.metadata["native_structure"] == "feature_knn"
+
+    def test_newsgroups_large_hyperedges(self):
+        dataset = make_newsgroups_like(n_nodes=200, n_classes=4, n_features=150, n_word_hyperedges=40, seed=0)
+        assert dataset.hypergraph.hyperedge_sizes().mean() > 4
+        assert dataset.n_classes == 4
+
+    def test_pubmed_features_row_normalised(self):
+        dataset = make_pubmed_like(n_nodes=200, seed=0)
+        row_sums = np.abs(dataset.features).sum(axis=1)
+        assert np.allclose(row_sums[row_sums > 0], 1.0)
+
+
+class TestTransforms:
+    def test_row_normalize(self):
+        features = np.array([[2.0, 2.0], [0.0, 0.0]])
+        normalised = row_normalize(features)
+        assert np.allclose(normalised[0], [0.5, 0.5])
+        assert np.allclose(normalised[1], [0.0, 0.0])
+
+    def test_normalize_features_unit_norm(self):
+        features = np.random.default_rng(0).normal(size=(5, 3))
+        norms = np.linalg.norm(normalize_features(features), axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_standardize_features(self):
+        features = np.random.default_rng(1).normal(5.0, 3.0, size=(200, 4))
+        standardised = standardize_features(features)
+        assert np.allclose(standardised.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(standardised.std(axis=0), 1.0, atol=1e-9)
+
+    def test_add_feature_noise(self):
+        features = np.zeros((10, 4))
+        noisy = add_feature_noise(features, 1.0, seed=0)
+        assert noisy.std() > 0.5
+        assert np.allclose(add_feature_noise(features, 0.0), features)
+        with pytest.raises(ValueError):
+            add_feature_noise(features, -1.0)
+
+    def test_mask_features(self):
+        features = np.ones((50, 20))
+        masked = mask_features(features, 0.5, seed=0)
+        assert 0.3 < np.mean(masked == 0.0) < 0.7
+        assert np.allclose(mask_features(features, 0.0), features)
+
+
+class TestRegistry:
+    def test_all_registered_datasets_instantiate(self):
+        names = available_datasets()
+        assert len(names) >= 8
+        assert "cora-cocitation" in names and "dblp-coauthorship" in names
+
+    def test_get_dataset_with_overrides(self):
+        dataset = get_dataset("cora-cocitation", seed=1, n_nodes=280)
+        assert dataset.n_nodes == 280
+
+    def test_get_dataset_case_insensitive(self):
+        assert get_dataset("CORA-COCITATION", seed=0, n_nodes=280).name == "cora-cocitation"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(RegistryError):
+            get_dataset("does-not-exist")
+
+    def test_register_duplicate_rejected_unless_overwrite(self):
+        def factory(seed=None):
+            return make_cora_like(n_nodes=280, seed=seed)
+
+        register_dataset("custom-test-dataset", factory, overwrite=True)
+        with pytest.raises(RegistryError):
+            register_dataset("custom-test-dataset", factory)
+        register_dataset("custom-test-dataset", factory, overwrite=True)
+        assert get_dataset("custom-test-dataset", seed=0).n_nodes == 280

@@ -1,0 +1,58 @@
+"""Tests for dataset persistence (save_dataset / load_dataset)."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_dataset, save_dataset
+from repro.errors import DatasetError
+
+
+class TestDatasetIo:
+    def test_roundtrip_preserves_everything(self, tmp_path, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        save_dataset(dataset, tmp_path / "snapshot")
+        loaded = load_dataset(tmp_path / "snapshot")
+
+        assert loaded.name == dataset.name
+        assert np.allclose(loaded.features, dataset.features)
+        assert np.array_equal(loaded.labels, dataset.labels)
+        assert loaded.hypergraph == dataset.hypergraph
+        assert np.array_equal(loaded.split.train, dataset.split.train)
+        assert np.array_equal(loaded.split.val, dataset.split.val)
+        assert np.array_equal(loaded.split.test, dataset.split.test)
+        assert (loaded.graph is None) == (dataset.graph is None)
+        if dataset.graph is not None:
+            assert loaded.graph == dataset.graph
+
+    def test_roundtrip_feature_only_dataset(self, tmp_path, tiny_object_dataset):
+        dataset = tiny_object_dataset
+        save_dataset(dataset, tmp_path / "objects")
+        loaded = load_dataset(tmp_path / "objects")
+        assert loaded.graph is None
+        assert loaded.hypergraph.n_hyperedges == dataset.hypergraph.n_hyperedges
+        assert loaded.metadata["native_structure"] == "feature_knn"
+
+    def test_hyperedge_weights_preserved(self, tmp_path, tiny_coauthorship_dataset):
+        dataset = tiny_coauthorship_dataset
+        reweighted = dataset.with_hypergraph(
+            dataset.hypergraph.with_weights(
+                np.linspace(0.5, 2.0, dataset.hypergraph.n_hyperedges)
+            )
+        )
+        save_dataset(reweighted, tmp_path / "weighted")
+        loaded = load_dataset(tmp_path / "weighted")
+        assert np.allclose(loaded.hypergraph.weights, reweighted.hypergraph.weights)
+
+    def test_loading_missing_path_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path / "does-not-exist")
+
+    def test_loaded_dataset_is_trainable(self, tmp_path, tiny_citation_dataset):
+        from repro.models import HGNN
+        from repro.training import TrainConfig, Trainer
+
+        save_dataset(tiny_citation_dataset, tmp_path / "train-me")
+        loaded = load_dataset(tmp_path / "train-me")
+        model = HGNN(loaded.n_features, loaded.n_classes, hidden_dim=8, seed=0)
+        result = Trainer(model, loaded, TrainConfig(epochs=5, patience=None)).train()
+        assert 0.0 <= result.test_accuracy <= 1.0

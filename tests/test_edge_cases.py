@@ -1,0 +1,159 @@
+"""Edge-case and failure-injection tests across the stack.
+
+These tests target the unhappy paths: degenerate structures, non-finite
+values, single-class corner cases and mis-use of the training loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, cross_entropy
+from repro.core import DHGCN, DHGCNConfig, DynamicHypergraphBuilder
+from repro.data.dataset import NodeClassificationDataset, Split
+from repro.errors import TrainingError
+from repro.hypergraph import Hypergraph, hypergraph_propagation_operator, kmeans, knn_hyperedges
+from repro.models import GCN, HGNN, MLP
+from repro.nn import Linear
+from repro.training import TrainConfig, Trainer
+from repro.training.trainer import TrainResult
+
+
+def toy_dataset(n_nodes=24, n_classes=3, n_features=6, seed=0, hyperedges=None):
+    """A minimal hand-rolled dataset for corner-case experiments."""
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n_nodes) % n_classes
+    features = rng.normal(size=(n_nodes, n_features)) + labels[:, None]
+    if hyperedges is None:
+        hyperedges = [
+            [node, (node + 1) % n_nodes, (node + 2) % n_nodes] for node in range(n_nodes)
+        ]
+    split = Split(
+        train=np.arange(0, n_nodes, 3),
+        val=np.arange(1, n_nodes, 3),
+        test=np.arange(2, n_nodes, 3),
+    )
+    return NodeClassificationDataset(
+        name="toy",
+        features=features,
+        labels=labels,
+        hypergraph=Hypergraph(n_nodes, hyperedges),
+        split=split,
+    )
+
+
+class TestDegenerateStructures:
+    def test_training_on_empty_hypergraph(self):
+        dataset = toy_dataset().with_hypergraph(Hypergraph.empty(24))
+        model = HGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        result = Trainer(model, dataset, TrainConfig(epochs=5, patience=None)).train()
+        assert np.isfinite(result.test_accuracy)
+
+    def test_dhgcn_on_empty_static_hypergraph(self):
+        dataset = toy_dataset().with_hypergraph(Hypergraph.empty(24))
+        model = DHGCN(dataset.n_features, dataset.n_classes, DHGCNConfig(hidden_dim=8), seed=0)
+        result = Trainer(model, dataset, TrainConfig(epochs=5, patience=None)).train()
+        assert np.isfinite(result.test_accuracy)
+
+    def test_single_giant_hyperedge(self):
+        dataset = toy_dataset(hyperedges=[list(range(24))])
+        operator = hypergraph_propagation_operator(dataset.hypergraph)
+        assert operator.shape == (24, 24)
+        model = HGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        result = Trainer(model, dataset, TrainConfig(epochs=5, patience=None)).train()
+        assert np.isfinite(result.test_accuracy)
+
+    def test_duplicate_hyperedges_are_allowed(self):
+        hypergraph = Hypergraph(5, [[0, 1, 2], [0, 1, 2], [3, 4]])
+        assert hypergraph.n_hyperedges == 3
+        operator = hypergraph_propagation_operator(hypergraph).toarray()
+        assert np.allclose(operator, operator.T)
+
+    def test_builder_with_constant_features(self):
+        builder = DynamicHypergraphBuilder(k_neighbors=2, n_clusters=2, seed=0)
+        hypergraph = builder.build_hypergraph(np.zeros((10, 3)))
+        assert hypergraph.n_nodes == 10
+        operator = hypergraph_propagation_operator(hypergraph)
+        assert np.all(np.isfinite(operator.toarray()))
+
+    def test_kmeans_with_identical_points(self):
+        result = kmeans(np.zeros((8, 2)), 3, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+        assert result.labels.shape == (8,)
+
+    def test_knn_hyperedges_two_nodes(self):
+        hypergraph = knn_hyperedges(np.array([[0.0], [1.0]]), 1)
+        assert hypergraph.n_hyperedges == 2
+        assert all(len(edge) == 2 for edge in hypergraph.hyperedges)
+
+
+class TestTrainingFailureModes:
+    def test_nan_loss_raises_training_error(self):
+        dataset = toy_dataset()
+        model = MLP(dataset.n_features, dataset.n_classes, hidden_dim=4, seed=0)
+        # Poison the parameters so the first forward produces NaNs.
+        model.layers[0].weight.data[:] = np.nan
+        with pytest.raises(TrainingError):
+            Trainer(model, dataset, TrainConfig(epochs=2, patience=None)).train()
+
+    def test_exploding_lr_detected(self):
+        dataset = toy_dataset()
+        model = GCN(dataset.n_features, dataset.n_classes, hidden_dim=4, seed=0)
+        config = TrainConfig(epochs=60, lr=1e4, patience=None)
+        # Either training diverges (TrainingError) or it survives with finite loss;
+        # silent NaN propagation is the one unacceptable outcome.
+        try:
+            result = Trainer(model, dataset, config).train()
+        except TrainingError:
+            return
+        assert np.isfinite(result.test_accuracy)
+
+    def test_model_without_setup_cannot_be_used_directly(self):
+        dataset = toy_dataset()
+        model = GCN(dataset.n_features, dataset.n_classes, seed=0)
+        with pytest.raises(TrainingError):
+            model(Tensor(dataset.features))
+
+    def test_trainer_runs_setup_automatically(self):
+        dataset = toy_dataset()
+        model = GCN(dataset.n_features, dataset.n_classes, hidden_dim=4, seed=0)
+        trainer = Trainer(model, dataset, TrainConfig(epochs=1, patience=None))
+        assert isinstance(trainer.train(), TrainResult)
+
+    def test_eval_every_reduces_history_length(self):
+        dataset = toy_dataset()
+        model = MLP(dataset.n_features, dataset.n_classes, hidden_dim=4, seed=0)
+        result = Trainer(model, dataset, TrainConfig(epochs=10, eval_every=5, patience=None)).train()
+        assert len(result.history["epoch"]) <= 4
+
+
+class TestNumericalRobustness:
+    def test_cross_entropy_with_extreme_logits(self):
+        logits = Tensor(np.array([[1e4, -1e4], [-1e4, 1e4]]), requires_grad=True)
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert np.isfinite(float(loss.data))
+        loss.backward()
+        assert np.all(np.isfinite(logits.grad))
+
+    def test_linear_with_large_inputs(self):
+        layer = Linear(4, 2, seed=0)
+        out = layer(Tensor(np.full((3, 4), 1e6)))
+        assert np.all(np.isfinite(out.data))
+
+    def test_propagation_operator_with_huge_weights(self):
+        hypergraph = Hypergraph(4, [[0, 1], [2, 3]], [1e9, 1e-9])
+        operator = hypergraph_propagation_operator(hypergraph).toarray()
+        assert np.all(np.isfinite(operator))
+        # Normalisation cancels the weight scale within each hyperedge block.
+        assert operator.max() <= 1.0 + 1e-9
+
+    def test_single_class_dataset_trains(self):
+        # All nodes share one label: training must converge and the labelled
+        # nodes must all be classified correctly (unlabelled nodes can still
+        # be flipped by feature noise since features carry no class signal).
+        dataset = toy_dataset(n_classes=1)
+        assert dataset.n_classes == 1
+        model = MLP(dataset.n_features, 2, hidden_dim=4, dropout=0.0, seed=0)
+        trainer = Trainer(model, dataset, TrainConfig(epochs=60, patience=None))
+        result = trainer.train()
+        assert result.best_val_accuracy == pytest.approx(1.0)
+        assert result.test_accuracy > 0.8

@@ -1,0 +1,175 @@
+"""Tests for the pairwise-graph substrate."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GraphStructureError
+from repro.graph import (
+    Graph,
+    erdos_renyi_graph,
+    gcn_normalized_adjacency,
+    knn_graph,
+    normalized_laplacian,
+    random_walk_matrix,
+    stochastic_block_model,
+    unnormalized_laplacian,
+)
+
+
+class TestGraph:
+    def test_basic_construction_and_dedup(self):
+        graph = Graph(4, [(0, 1), (1, 0), (2, 3), (1, 1)])
+        assert graph.n_nodes == 4
+        assert graph.n_edges == 2
+        assert graph.edges == [(0, 1), (2, 3)]
+
+    def test_out_of_range_edge_raises(self):
+        with pytest.raises(GraphStructureError):
+            Graph(3, [(0, 5)])
+        with pytest.raises(GraphStructureError):
+            Graph(0, [])
+
+    def test_degrees_and_neighbors(self):
+        graph = Graph(4, [(0, 1), (0, 2), (2, 3)])
+        assert np.array_equal(graph.degrees(), [2, 1, 2, 1])
+        assert graph.neighbors(0) == [1, 2]
+        assert graph.neighbors(3) == [2]
+        with pytest.raises(GraphStructureError):
+            graph.neighbors(9)
+
+    def test_has_edge(self):
+        graph = Graph(3, [(0, 1)])
+        assert graph.has_edge(1, 0)
+        assert not graph.has_edge(0, 2)
+        assert not graph.has_edge(1, 1)
+
+    def test_adjacency_symmetric_with_and_without_loops(self):
+        graph = Graph(3, [(0, 1), (1, 2)])
+        adjacency = graph.adjacency()
+        assert sp.issparse(adjacency)
+        assert (adjacency != adjacency.T).nnz == 0
+        assert adjacency.diagonal().sum() == 0
+        with_loops = graph.adjacency(self_loops=True)
+        assert with_loops.diagonal().sum() == 3
+
+    def test_edge_index_has_both_directions(self):
+        graph = Graph(3, [(0, 1)])
+        edge_index = graph.edge_index()
+        assert edge_index.shape == (2, 2)
+        assert {(0, 1), (1, 0)} == set(map(tuple, edge_index.T.tolist()))
+
+    def test_empty_graph_edge_index(self):
+        assert Graph(3).edge_index().shape == (2, 0)
+
+    def test_networkx_roundtrip(self):
+        graph = Graph(5, [(0, 1), (2, 4)])
+        back = Graph.from_networkx(graph.to_networkx())
+        assert back == graph
+
+    def test_from_adjacency_dense_and_sparse(self):
+        adjacency = np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]])
+        dense = Graph.from_adjacency(adjacency)
+        sparse = Graph.from_adjacency(sp.csr_matrix(adjacency))
+        assert dense == sparse
+        assert dense.n_edges == 2
+
+    def test_from_adjacency_invalid(self):
+        with pytest.raises(GraphStructureError):
+            Graph.from_adjacency(np.ones((2, 3)))
+
+    def test_connected_components(self):
+        graph = Graph(5, [(0, 1), (2, 3)])
+        components = graph.connected_components()
+        assert sorted(map(tuple, components)) == [(0, 1), (2, 3), (4,)]
+
+
+class TestLaplacians:
+    def test_gcn_normalized_adjacency_rows(self):
+        graph = Graph(3, [(0, 1), (1, 2)])
+        operator = gcn_normalized_adjacency(graph)
+        dense = operator.toarray()
+        assert np.allclose(dense, dense.T)
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_unnormalized_laplacian_rows_sum_to_zero(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        laplacian = unnormalized_laplacian(graph).toarray()
+        assert np.allclose(laplacian.sum(axis=1), 0.0)
+        assert np.all(np.linalg.eigvalsh(laplacian) >= -1e-9)
+
+    def test_normalized_laplacian_spectrum_bounded(self):
+        graph = erdos_renyi_graph(20, 0.3, seed=0)
+        eigenvalues = np.linalg.eigvalsh(normalized_laplacian(graph).toarray())
+        assert eigenvalues.min() >= -1e-9
+        assert eigenvalues.max() <= 2.0 + 1e-9
+
+    def test_random_walk_rows_stochastic(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        transition = random_walk_matrix(graph).toarray()
+        assert np.allclose(transition.sum(axis=1), 1.0)
+
+    def test_isolated_nodes_handled(self):
+        graph = Graph(3, [(0, 1)])
+        transition = random_walk_matrix(graph).toarray()
+        assert np.allclose(transition[2], 0.0)
+        operator = gcn_normalized_adjacency(graph)
+        assert np.isfinite(operator.toarray()).all()
+
+
+class TestGenerators:
+    def test_erdos_renyi_edge_count_scales_with_p(self):
+        sparse = erdos_renyi_graph(50, 0.05, seed=0)
+        dense = erdos_renyi_graph(50, 0.5, seed=0)
+        assert dense.n_edges > sparse.n_edges
+
+    def test_erdos_renyi_deterministic(self):
+        assert erdos_renyi_graph(30, 0.2, seed=5) == erdos_renyi_graph(30, 0.2, seed=5)
+
+    def test_sbm_homophily(self):
+        probabilities = np.array([[0.5, 0.01], [0.01, 0.5]])
+        graph, labels = stochastic_block_model([30, 30], probabilities, seed=0)
+        assert graph.n_nodes == 60
+        assert np.array_equal(np.bincount(labels), [30, 30])
+        intra = sum(1 for u, v in graph.edges if labels[u] == labels[v])
+        inter = graph.n_edges - intra
+        assert intra > 5 * max(inter, 1)
+
+    def test_sbm_validation(self):
+        with pytest.raises(GraphStructureError):
+            stochastic_block_model([], np.zeros((0, 0)))
+        with pytest.raises(GraphStructureError):
+            stochastic_block_model([5, 5], np.array([[0.5, 0.1], [0.2, 0.5]]))
+        with pytest.raises(GraphStructureError):
+            stochastic_block_model([5], np.array([[0.5, 0.1], [0.1, 0.5]]))
+
+    def test_knn_graph_degrees(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(30, 5))
+        graph = knn_graph(features, 3)
+        assert graph.n_nodes == 30
+        assert np.all(graph.degrees() >= 3)
+
+    def test_knn_graph_validation(self):
+        with pytest.raises(GraphStructureError):
+            knn_graph(np.zeros(5), 2)
+        with pytest.raises(GraphStructureError):
+            knn_graph(np.zeros((4, 2)), 5)
+
+    def test_knn_graph_clusters_connect_within(self):
+        rng = np.random.default_rng(1)
+        cluster_a = rng.normal(0.0, 0.1, size=(10, 2))
+        cluster_b = rng.normal(10.0, 0.1, size=(10, 2))
+        graph = knn_graph(np.vstack([cluster_a, cluster_b]), 2)
+        cross = [1 for u, v in graph.edges if (u < 10) != (v < 10)]
+        assert not cross
+
+
+def test_graph_equality_and_networkx_consistency():
+    graph = erdos_renyi_graph(15, 0.3, seed=2)
+    nx_graph = graph.to_networkx()
+    assert isinstance(nx_graph, nx.Graph)
+    assert nx_graph.number_of_edges() == graph.n_edges
+    assert Graph.from_networkx(nx_graph) == graph

@@ -1,0 +1,184 @@
+"""Tests for the Hypergraph data structure and its Laplacian/operators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import HypergraphStructureError
+from repro.hypergraph import (
+    Hypergraph,
+    hypergraph_laplacian,
+    hypergraph_propagation_operator,
+)
+from repro.hypergraph.laplacian import compactness_hyperedge_weights
+
+
+@pytest.fixture()
+def small_hypergraph():
+    return Hypergraph(6, [[0, 1, 2], [2, 3], [3, 4, 5], [0, 5]])
+
+
+class TestHypergraphStructure:
+    def test_basic_counts(self, small_hypergraph):
+        assert small_hypergraph.n_nodes == 6
+        assert small_hypergraph.n_hyperedges == 4
+        assert np.array_equal(small_hypergraph.hyperedge_sizes(), [3, 2, 3, 2])
+
+    def test_duplicate_nodes_in_hyperedge_removed(self):
+        hypergraph = Hypergraph(4, [[0, 0, 1]])
+        assert hypergraph.hyperedges == [(0, 1)]
+
+    def test_empty_hyperedge_rejected(self):
+        with pytest.raises(HypergraphStructureError):
+            Hypergraph(3, [[]])
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(HypergraphStructureError):
+            Hypergraph(3, [[0, 7]])
+        with pytest.raises(HypergraphStructureError):
+            Hypergraph(0, [])
+
+    def test_weights_default_and_custom(self, small_hypergraph):
+        assert np.allclose(small_hypergraph.weights, 1.0)
+        weighted = small_hypergraph.with_weights([1.0, 2.0, 3.0, 4.0])
+        assert np.allclose(weighted.weights, [1.0, 2.0, 3.0, 4.0])
+
+    def test_invalid_weights(self, small_hypergraph):
+        with pytest.raises(HypergraphStructureError):
+            small_hypergraph.with_weights([1.0])
+        with pytest.raises(HypergraphStructureError):
+            small_hypergraph.with_weights([1.0, -1.0, 1.0, 1.0])
+
+    def test_incidence_matrix(self, small_hypergraph):
+        incidence = small_hypergraph.incidence_matrix()
+        assert sp.issparse(incidence)
+        assert incidence.shape == (6, 4)
+        assert incidence.sum() == sum(small_hypergraph.hyperedge_sizes())
+        assert incidence[0, 0] == 1.0 and incidence[4, 0] == 0.0
+
+    def test_degrees(self, small_hypergraph):
+        node_degrees = small_hypergraph.node_degrees()
+        assert node_degrees[2] == 2.0
+        assert node_degrees[1] == 1.0
+        weighted = small_hypergraph.with_weights([2.0, 1.0, 1.0, 1.0])
+        assert weighted.node_degrees()[0] == 3.0
+        assert np.array_equal(small_hypergraph.edge_degrees(), [3.0, 2.0, 3.0, 2.0])
+
+    def test_memberships_and_isolated(self):
+        hypergraph = Hypergraph(5, [[0, 1], [1, 2]])
+        assert hypergraph.node_memberships(1) == [0, 1]
+        assert np.array_equal(hypergraph.isolated_nodes(), [3, 4])
+        with pytest.raises(HypergraphStructureError):
+            hypergraph.node_memberships(10)
+
+    def test_add_remove_hyperedges(self, small_hypergraph):
+        grown = small_hypergraph.add_hyperedges([[1, 4]], weights=[2.0])
+        assert grown.n_hyperedges == 5
+        assert grown.weights[-1] == 2.0
+        shrunk = grown.remove_hyperedges([0, 4])
+        assert shrunk.n_hyperedges == 3
+        with pytest.raises(HypergraphStructureError):
+            grown.remove_hyperedges([99])
+
+    def test_remove_all_hyperedges(self, small_hypergraph):
+        empty = small_hypergraph.remove_hyperedges(range(4))
+        assert empty.n_hyperedges == 0
+
+    def test_subhypergraph_relabels_and_filters(self, small_hypergraph):
+        sub = small_hypergraph.subhypergraph([0, 1, 2, 3])
+        assert sub.n_nodes == 4
+        assert (0, 1, 2) in sub.hyperedges
+        assert (2, 3) in sub.hyperedges
+        assert all(max(edge) < 4 for edge in sub.hyperedges)
+
+    def test_subhypergraph_validation(self, small_hypergraph):
+        with pytest.raises(HypergraphStructureError):
+            small_hypergraph.subhypergraph([])
+        with pytest.raises(HypergraphStructureError):
+            small_hypergraph.subhypergraph([0, 99])
+
+    def test_from_incidence_roundtrip(self, small_hypergraph):
+        rebuilt = Hypergraph.from_incidence(small_hypergraph.incidence_matrix())
+        assert rebuilt == small_hypergraph
+
+    def test_empty_constructor(self):
+        empty = Hypergraph.empty(5)
+        assert empty.n_hyperedges == 0
+        assert empty.incidence_matrix().shape == (5, 0)
+        assert np.array_equal(empty.isolated_nodes(), np.arange(5))
+
+    def test_equality(self, small_hypergraph):
+        same = Hypergraph(6, [[0, 1, 2], [2, 3], [3, 4, 5], [0, 5]])
+        assert small_hypergraph == same
+        assert small_hypergraph != Hypergraph(6, [[0, 1]])
+
+
+class TestPropagationOperator:
+    def test_operator_is_symmetric_and_bounded(self, small_hypergraph):
+        operator = hypergraph_propagation_operator(small_hypergraph).toarray()
+        assert np.allclose(operator, operator.T)
+        eigenvalues = np.linalg.eigvalsh(operator)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_laplacian_positive_semidefinite(self, small_hypergraph):
+        laplacian = hypergraph_laplacian(small_hypergraph).toarray()
+        eigenvalues = np.linalg.eigvalsh(laplacian)
+        assert eigenvalues.min() >= -1e-9
+
+    def test_constant_signal_preserved_when_connected(self):
+        hypergraph = Hypergraph(4, [[0, 1, 2, 3], [0, 1], [2, 3]])
+        operator = hypergraph_propagation_operator(hypergraph).toarray()
+        constant = np.ones(4)
+        smoothed = operator @ constant
+        # The propagation operator has the square-rooted degree vector as its
+        # top eigenvector; for this symmetric structure a constant stays constant.
+        assert np.allclose(smoothed, smoothed[0])
+
+    def test_isolated_nodes_keep_identity_row(self):
+        hypergraph = Hypergraph(4, [[0, 1]])
+        operator = hypergraph_propagation_operator(hypergraph, self_loop_isolated=True).toarray()
+        assert operator[2, 2] == 1.0 and operator[3, 3] == 1.0
+        without = hypergraph_propagation_operator(hypergraph, self_loop_isolated=False).toarray()
+        assert without[2, 2] == 0.0
+
+    def test_empty_hypergraph_operator(self):
+        operator = hypergraph_propagation_operator(Hypergraph.empty(3))
+        assert np.allclose(operator.toarray(), np.eye(3))
+
+    def test_weights_change_operator(self, small_hypergraph):
+        base = hypergraph_propagation_operator(small_hypergraph).toarray()
+        weighted = hypergraph_propagation_operator(
+            small_hypergraph.with_weights([5.0, 1.0, 1.0, 1.0])
+        ).toarray()
+        assert not np.allclose(base, weighted)
+
+
+class TestCompactnessWeights:
+    def test_tighter_hyperedges_get_larger_weights(self):
+        hypergraph = Hypergraph(6, [[0, 1, 2], [3, 4, 5]])
+        features = np.array(
+            [[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [0.0, 0.0], [5.0, 5.0], [-5.0, 5.0]]
+        )
+        weights = compactness_hyperedge_weights(hypergraph, features)
+        assert weights[0] > weights[1]
+        assert np.all(weights > 0)
+
+    def test_mean_weight_is_one(self):
+        hypergraph = Hypergraph(5, [[0, 1], [1, 2], [2, 3, 4]])
+        features = np.random.default_rng(0).normal(size=(5, 3))
+        weights = compactness_hyperedge_weights(hypergraph, features)
+        assert np.mean(weights) == pytest.approx(1.0, rel=1e-6)
+
+    def test_temperature_flattens_weights(self):
+        hypergraph = Hypergraph(6, [[0, 1, 2], [3, 4, 5]])
+        features = np.random.default_rng(1).normal(size=(6, 4))
+        sharp = compactness_hyperedge_weights(hypergraph, features, temperature=0.5)
+        smooth = compactness_hyperedge_weights(hypergraph, features, temperature=10.0)
+        assert np.ptp(smooth) < np.ptp(sharp)
+
+    def test_validation(self):
+        hypergraph = Hypergraph(3, [[0, 1, 2]])
+        with pytest.raises(ValueError):
+            compactness_hyperedge_weights(hypergraph, np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            compactness_hyperedge_weights(hypergraph, np.zeros((3, 2)), temperature=0.0)

@@ -1,0 +1,219 @@
+"""Tests for k-NN / k-means search and the hypergraph construction toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HypergraphStructureError
+from repro.graph import Graph
+from repro.hypergraph import (
+    Hypergraph,
+    clique_expansion,
+    epsilon_ball_hyperedges,
+    hyperedge_homophily,
+    hyperedges_from_graph_neighborhoods,
+    hypergraph_statistics,
+    kmeans,
+    kmeans_hyperedges,
+    knn_hyperedges,
+    knn_indices,
+    pairwise_distances,
+    star_expansion,
+    union_hypergraphs,
+)
+from repro.hypergraph.construction import corrupt_hyperedges, hyperedges_from_groups
+from repro.hypergraph.metrics import node_degree_histogram
+
+
+@pytest.fixture()
+def clustered_features():
+    rng = np.random.default_rng(0)
+    return np.vstack(
+        [
+            rng.normal(loc=(0.0, 0.0), scale=0.2, size=(10, 2)),
+            rng.normal(loc=(5.0, 5.0), scale=0.2, size=(10, 2)),
+            rng.normal(loc=(-5.0, 5.0), scale=0.2, size=(10, 2)),
+        ]
+    )
+
+
+class TestKnn:
+    def test_pairwise_distances_symmetric_zero_diagonal(self, clustered_features):
+        distances = pairwise_distances(clustered_features)
+        assert np.allclose(distances, distances.T)
+        assert np.allclose(np.diag(distances), 0.0)
+
+    def test_knn_indices_shape_and_self_exclusion(self, clustered_features):
+        neighbours = knn_indices(clustered_features, 3)
+        assert neighbours.shape == (30, 3)
+        for node in range(30):
+            assert node not in neighbours[node]
+
+    def test_knn_indices_include_self(self, clustered_features):
+        neighbours = knn_indices(clustered_features, 3, include_self=True)
+        assert np.all(neighbours[:, 0] == np.arange(30))
+
+    def test_knn_stays_within_cluster(self, clustered_features):
+        neighbours = knn_indices(clustered_features, 4)
+        for node in range(30):
+            assert np.all(neighbours[node] // 10 == node // 10)
+
+    def test_knn_validation(self, clustered_features):
+        with pytest.raises(ValueError):
+            knn_indices(clustered_features, 0)
+        with pytest.raises(ValueError):
+            knn_indices(clustered_features, 30)
+        with pytest.raises(Exception):
+            knn_indices(np.zeros(5), 2)
+
+    def test_knn_deterministic_tie_breaking(self):
+        features = np.zeros((5, 2))  # all points identical -> ties everywhere
+        neighbours = knn_indices(features, 2)
+        again = knn_indices(features, 2)
+        assert np.array_equal(neighbours, again)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_clusters(self, clustered_features):
+        result = kmeans(clustered_features, 3, seed=0)
+        assert result.n_clusters == 3
+        # Each true cluster maps to exactly one k-means cluster.
+        for start in (0, 10, 20):
+            assert len(set(result.labels[start : start + 10])) == 1
+        assert len(set(result.labels[[0, 10, 20]])) == 3
+        assert result.inertia < 10.0
+        assert result.converged
+
+    def test_deterministic_given_seed(self, clustered_features):
+        a = kmeans(clustered_features, 3, seed=42)
+        b = kmeans(clustered_features, 3, seed=42)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_single_cluster(self, clustered_features):
+        result = kmeans(clustered_features, 1, seed=0)
+        assert np.all(result.labels == 0)
+        assert np.allclose(result.centroids[0], clustered_features.mean(axis=0))
+
+    def test_n_clusters_equal_n_points(self):
+        features = np.arange(8.0).reshape(4, 2)
+        result = kmeans(features, 4, seed=0)
+        assert len(set(result.labels.tolist())) == 4
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_cluster_members_partition_nodes(self, clustered_features):
+        result = kmeans(clustered_features, 3, seed=1)
+        members = result.cluster_members()
+        assert sum(len(member) for member in members) == 30
+        assert np.array_equal(np.sort(np.concatenate(members)), np.arange(30))
+
+    def test_validation(self, clustered_features):
+        with pytest.raises(ValueError):
+            kmeans(clustered_features, 0)
+        with pytest.raises(ValueError):
+            kmeans(clustered_features, 31)
+        with pytest.raises(ValueError):
+            kmeans(clustered_features, 2, max_iterations=0)
+
+
+class TestConstruction:
+    def test_knn_hyperedges_one_per_node(self, clustered_features):
+        hypergraph = knn_hyperedges(clustered_features, 3)
+        assert hypergraph.n_hyperedges == 30
+        assert np.all(hypergraph.hyperedge_sizes() == 4)
+        assert hypergraph.isolated_nodes().size == 0
+
+    def test_kmeans_hyperedges_cover_all_nodes(self, clustered_features):
+        hypergraph = kmeans_hyperedges(clustered_features, 3, seed=0)
+        assert hypergraph.n_hyperedges == 3
+        assert hypergraph.isolated_nodes().size == 0
+        assert hypergraph.hyperedge_sizes().sum() == 30
+
+    def test_kmeans_hyperedges_drop_small_clusters(self):
+        features = np.vstack([np.zeros((9, 2)), np.full((1, 2), 100.0)])
+        hypergraph = kmeans_hyperedges(features, 2, seed=0, min_size=2)
+        assert hypergraph.n_hyperedges == 1
+
+    def test_epsilon_ball_hyperedges(self, clustered_features):
+        hypergraph = epsilon_ball_hyperedges(clustered_features, 1.0)
+        assert hypergraph.n_hyperedges == 30
+        # Every ball stays within its own cluster of ten points.
+        assert np.all(hypergraph.hyperedge_sizes() <= 10)
+        with pytest.raises(ValueError):
+            epsilon_ball_hyperedges(clustered_features, 0.0)
+
+    def test_neighborhood_hyperedges_from_graph(self):
+        graph = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        hypergraph = hyperedges_from_graph_neighborhoods(graph)
+        assert (0, 1, 2) in hypergraph.hyperedges
+        assert hypergraph.n_nodes == 5
+
+    def test_hyperedges_from_groups(self):
+        hypergraph = hyperedges_from_groups(6, [[0, 1, 2], [3, 4]])
+        assert hypergraph.n_hyperedges == 2
+
+    def test_union_concatenates_and_preserves_weights(self):
+        a = Hypergraph(5, [[0, 1]], [2.0])
+        b = Hypergraph(5, [[2, 3, 4]], [3.0])
+        union = union_hypergraphs(a, b)
+        assert union.n_hyperedges == 2
+        assert np.allclose(union.weights, [2.0, 3.0])
+
+    def test_union_validation(self):
+        with pytest.raises(HypergraphStructureError):
+            union_hypergraphs()
+        with pytest.raises(HypergraphStructureError):
+            union_hypergraphs(Hypergraph(3, [[0, 1]]), Hypergraph(4, [[0, 1]]))
+
+    def test_corrupt_hyperedges_fraction(self):
+        hypergraph = Hypergraph(20, [list(range(i, i + 3)) for i in range(17)])
+        corrupted = corrupt_hyperedges(hypergraph, 0.5, seed=0)
+        assert corrupted.n_hyperedges == hypergraph.n_hyperedges
+        changed = sum(
+            1 for a, b in zip(hypergraph.hyperedges, corrupted.hyperedges) if a != b
+        )
+        assert 5 <= changed <= 12
+        untouched = corrupt_hyperedges(hypergraph, 0.0, seed=0)
+        assert untouched.hyperedges == hypergraph.hyperedges
+        fully = corrupt_hyperedges(hypergraph, 1.0, seed=0)
+        assert fully.n_hyperedges == hypergraph.n_hyperedges
+        with pytest.raises(ValueError):
+            corrupt_hyperedges(hypergraph, 1.5)
+
+
+class TestExpansionAndMetrics:
+    def test_clique_expansion(self):
+        hypergraph = Hypergraph(4, [[0, 1, 2], [2, 3]])
+        graph = clique_expansion(hypergraph)
+        assert graph.n_edges == 4
+        assert graph.has_edge(0, 2) and graph.has_edge(2, 3)
+        assert not graph.has_edge(0, 3)
+
+    def test_star_expansion(self):
+        hypergraph = Hypergraph(4, [[0, 1, 2], [2, 3]])
+        graph, n_original = star_expansion(hypergraph)
+        assert n_original == 4
+        assert graph.n_nodes == 6
+        assert graph.n_edges == 5
+        assert graph.has_edge(0, 4) and graph.has_edge(3, 5)
+
+    def test_statistics(self):
+        hypergraph = Hypergraph(5, [[0, 1, 2], [2, 3]])
+        stats = hypergraph_statistics(hypergraph)
+        assert stats["n_nodes"] == 5
+        assert stats["n_hyperedges"] == 2
+        assert stats["mean_hyperedge_size"] == pytest.approx(2.5)
+        assert stats["isolated_node_fraction"] == pytest.approx(0.2)
+
+    def test_homophily_pure_vs_mixed(self):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        pure = Hypergraph(6, [[0, 1, 2], [3, 4, 5]])
+        mixed = Hypergraph(6, [[0, 3], [1, 4], [2, 5]])
+        assert hyperedge_homophily(pure, labels) == pytest.approx(1.0)
+        assert hyperedge_homophily(mixed, labels) == pytest.approx(0.5)
+        assert hyperedge_homophily(Hypergraph.empty(6), labels) == 0.0
+
+    def test_degree_histogram(self):
+        hypergraph = Hypergraph(5, [[0, 1], [0, 2], [0, 3]])
+        counts, edges = node_degree_histogram(hypergraph, n_bins=3)
+        assert counts.sum() == 5
+        with pytest.raises(ValueError):
+            node_degree_histogram(hypergraph, n_bins=0)

@@ -1,0 +1,135 @@
+"""Tests for the additional baselines: SGC, ChebNet and HGNN+."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, cross_entropy
+from repro.errors import ConfigurationError, TrainingError
+from repro.models import HGNNP, SGC, ChebNet
+from repro.models.chebnet import ChebConv
+from repro.training import TrainConfig, Trainer
+
+EXTRA_MODELS = [SGC, ChebNet, HGNNP]
+
+
+class TestCommonInterface:
+    @pytest.mark.parametrize("model_class", EXTRA_MODELS)
+    def test_forward_shape(self, model_class, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        model = model_class(dataset.n_features, dataset.n_classes, seed=0).setup(dataset)
+        logits = model(Tensor(dataset.features))
+        assert logits.shape == (dataset.n_nodes, dataset.n_classes)
+        assert np.all(np.isfinite(logits.data))
+
+    @pytest.mark.parametrize("model_class", EXTRA_MODELS)
+    def test_forward_before_setup_raises(self, model_class, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        model = model_class(dataset.n_features, dataset.n_classes, seed=0)
+        with pytest.raises(TrainingError):
+            model(Tensor(dataset.features))
+
+    @pytest.mark.parametrize("model_class", EXTRA_MODELS)
+    def test_gradients_reach_parameters(self, model_class, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        model = model_class(dataset.n_features, dataset.n_classes, seed=0).setup(dataset)
+        model.train()
+        loss = cross_entropy(model(Tensor(dataset.features)), dataset.labels, dataset.split.train)
+        loss.backward()
+        for name, parameter in model.named_parameters():
+            assert parameter.grad is not None, f"no gradient for {name}"
+
+    @pytest.mark.parametrize("model_class", EXTRA_MODELS)
+    def test_trains_above_chance(self, model_class, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        model = model_class(dataset.n_features, dataset.n_classes, seed=0)
+        result = Trainer(model, dataset, TrainConfig(epochs=30, patience=None)).train()
+        chance = 1.0 / dataset.n_classes
+        assert result.test_accuracy > chance + 0.1
+
+    @pytest.mark.parametrize("model_class", EXTRA_MODELS)
+    def test_feature_only_dataset(self, model_class, tiny_object_dataset):
+        dataset = tiny_object_dataset
+        model = model_class(dataset.n_features, dataset.n_classes, seed=0).setup(dataset)
+        assert model(Tensor(dataset.features)).shape == (dataset.n_nodes, dataset.n_classes)
+
+
+class TestSGC:
+    def test_smoothing_precomputed_at_setup(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        model = SGC(dataset.n_features, dataset.n_classes, k_hops=2, seed=0).setup(dataset)
+        assert model._smoothed.shape == dataset.features.shape
+        assert not np.allclose(model._smoothed, dataset.features)
+
+    def test_more_hops_smooth_more(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        one = SGC(dataset.n_features, dataset.n_classes, k_hops=1, seed=0).setup(dataset)
+        four = SGC(dataset.n_features, dataset.n_classes, k_hops=4, seed=0).setup(dataset)
+        # Smoothing reduces the variance of features across nodes.
+        assert four._smoothed.var() < one._smoothed.var()
+
+    def test_parameter_count_is_linear_model(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        model = SGC(dataset.n_features, dataset.n_classes, seed=0)
+        assert model.num_parameters() == dataset.n_features * dataset.n_classes + dataset.n_classes
+
+    def test_invalid_hops(self):
+        with pytest.raises(ConfigurationError):
+            SGC(10, 3, k_hops=0)
+
+
+class TestChebNet:
+    def test_chebconv_order_one_is_linear(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        layer = ChebConv(dataset.n_features, 4, k=1, seed=0)
+        import scipy.sparse as sp
+
+        out = layer(Tensor(dataset.features), sp.eye(dataset.n_nodes))
+        assert out.shape == (dataset.n_nodes, 4)
+
+    def test_invalid_order(self):
+        with pytest.raises(ConfigurationError):
+            ChebConv(4, 2, k=0)
+
+    def test_higher_order_uses_more_parameters(self):
+        assert ChebNet(20, 3, k=3).num_parameters() > ChebNet(20, 3, k=2).num_parameters()
+
+
+class TestHGNNP:
+    def test_isolated_nodes_keep_their_features(self):
+        import numpy as np
+
+        from repro.data.dataset import NodeClassificationDataset, Split
+        from repro.hypergraph import Hypergraph
+
+        features = np.eye(6)
+        labels = np.array([0, 0, 1, 1, 0, 1])
+        # Node 5 is isolated (in no hyperedge).
+        hypergraph = Hypergraph(6, [[0, 1, 2], [2, 3, 4]])
+        dataset = NodeClassificationDataset(
+            name="toy",
+            features=features,
+            labels=labels,
+            hypergraph=hypergraph,
+            split=Split(train=np.array([0, 2]), val=np.array([1, 3]), test=np.array([4, 5])),
+        )
+        model = HGNNP(6, 2, hidden_dim=4, n_layers=1, dropout=0.0, seed=0).setup(dataset)
+        model.eval()
+        logits = model(Tensor(features)).data
+        # The isolated node's logits equal its own transformed features,
+        # i.e. the row of the weight matrix for feature 5 (plus bias).
+        layer = model.layers[0]
+        expected = features[5] @ layer.weight.data + layer.bias.data
+        assert np.allclose(logits[5], expected)
+
+    def test_empty_hypergraph_degenerates_to_identity_propagation(self, tiny_object_dataset):
+        dataset = tiny_object_dataset.with_hypergraph(
+            __import__("repro.hypergraph", fromlist=["Hypergraph"]).Hypergraph.empty(
+                tiny_object_dataset.n_nodes
+            )
+        )
+        model = HGNNP(dataset.n_features, dataset.n_classes, seed=0).setup(dataset)
+        assert model(Tensor(dataset.features)).shape == (dataset.n_nodes, dataset.n_classes)
+
+    def test_invalid_layers(self):
+        with pytest.raises(ConfigurationError):
+            HGNNP(10, 2, n_layers=0)

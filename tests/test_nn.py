@@ -1,0 +1,242 @@
+"""Tests for the nn module system: Module/Parameter, layers, containers, init."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, cross_entropy
+from repro.nn import (
+    ELU,
+    BatchNorm1d,
+    Dropout,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    Bilinear,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    calculate_gain,
+    kaiming_uniform,
+    xavier_normal,
+    xavier_uniform,
+)
+from repro.nn.module import Module
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        class Toy(Module):
+            def __init__(self):
+                super().__init__()
+                self.weight = Parameter(np.ones((2, 2)))
+                self.child = Linear(2, 3, seed=0)
+
+        toy = Toy()
+        names = [name for name, _ in toy.named_parameters()]
+        assert "weight" in names
+        assert "child.weight" in names and "child.bias" in names
+        assert toy.num_parameters() == 4 + 6 + 3
+
+    def test_attribute_reassignment_updates_registry(self):
+        class Toy(Module):
+            def __init__(self):
+                super().__init__()
+                self.weight = Parameter(np.ones(2))
+
+        toy = Toy()
+        toy.weight = None
+        assert toy.parameters() == []
+
+    def test_assignment_before_init_raises(self):
+        class Broken(Module):
+            def __init__(self):
+                self.weight = Parameter(np.ones(2))  # missing super().__init__()
+
+        with pytest.raises(RuntimeError):
+            Broken()
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2, seed=0), Dropout(0.5))
+        model.eval()
+        assert all(not module.training for module in model)
+        model.train()
+        assert all(module.training for module in model)
+
+    def test_zero_grad(self):
+        layer = Linear(3, 2, seed=0)
+        out = layer(Tensor(np.ones((4, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(3, 2, seed=0)
+        b = Linear(3, 2, seed=99)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_mismatch_raises(self):
+        a, b = Linear(3, 2, seed=0), Linear(4, 2, seed=0)
+        with pytest.raises((KeyError, ValueError)):
+            b.load_state_dict(a.state_dict())
+
+    def test_named_modules(self):
+        model = Sequential(Linear(2, 2, seed=0), ReLU())
+        names = [name for name, _ in model.named_modules()]
+        assert "" in names and "layer_0" in names and "layer_1" in names
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLinear:
+    def test_output_shape_and_bias(self):
+        layer = Linear(5, 3, seed=0)
+        out = layer(Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+        layer_no_bias = Linear(5, 3, bias=False, seed=0)
+        assert layer_no_bias.bias is None
+        assert layer_no_bias.num_parameters() == 15
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_deterministic_with_seed(self):
+        assert np.allclose(Linear(4, 4, seed=5).weight.data, Linear(4, 4, seed=5).weight.data)
+
+    def test_gradients_flow_to_parameters(self):
+        layer = Linear(3, 2, seed=1)
+        loss = cross_entropy(layer(Tensor(np.random.default_rng(0).normal(size=(6, 3)))), np.array([0, 1] * 3))
+        loss.backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+
+    def test_bilinear_shape(self):
+        layer = Bilinear(4, 3, seed=0)
+        out = layer(Tensor(np.ones((5, 4))), Tensor(np.ones((6, 3))))
+        assert out.shape == (5, 6)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.9, seed=0)
+        layer.eval()
+        x = Tensor(np.ones((10, 10)))
+        assert np.allclose(layer(x).data, x.data)
+
+    def test_training_mode_zeroes_and_rescales(self):
+        layer = Dropout(0.5, seed=0)
+        out = layer(Tensor(np.ones((200, 50)))).data
+        dropped_fraction = np.mean(out == 0.0)
+        assert 0.4 < dropped_fraction < 0.6
+        surviving = out[out != 0.0]
+        assert np.allclose(surviving, 2.0)
+
+    def test_zero_probability_identity(self):
+        layer = Dropout(0.0)
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 5)))
+        assert np.allclose(layer(x).data, x.data)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestNormalisation:
+    def test_batchnorm_normalises_training_batch(self):
+        layer = BatchNorm1d(4)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 2.0, size=(256, 4)))
+        out = layer(x).data
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_batchnorm_running_stats_used_in_eval(self):
+        layer = BatchNorm1d(2, momentum=0.5)
+        x = Tensor(np.random.default_rng(1).normal(5.0, 1.0, size=(64, 2)))
+        for _ in range(10):
+            layer(x)
+        layer.eval()
+        out = layer(Tensor(np.full((4, 2), 5.0))).data
+        assert np.all(np.abs(out) < 1.0)
+
+    def test_batchnorm_shape_check(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(3)(Tensor(np.ones((2, 4))))
+
+    def test_layernorm_rows_standardised(self):
+        layer = LayerNorm(6)
+        out = layer(Tensor(np.random.default_rng(2).normal(size=(5, 6)))).data
+        assert np.allclose(out.mean(axis=1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=1), 1.0, atol=1e-3)
+
+    def test_layernorm_gradients(self):
+        layer = LayerNorm(4)
+        x = Tensor(np.random.default_rng(3).normal(size=(3, 4)), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None
+        assert layer.weight.grad is not None
+
+
+class TestContainersAndActivations:
+    def test_sequential_applies_in_order(self):
+        model = Sequential(Linear(3, 4, seed=0), ReLU(), Linear(4, 2, seed=1))
+        out = model(Tensor(np.ones((5, 3))))
+        assert out.shape == (5, 2)
+        assert len(model) == 3
+        assert isinstance(model[1], ReLU)
+
+    def test_sequential_rejects_non_module(self):
+        with pytest.raises(TypeError):
+            Sequential(lambda x: x)
+
+    def test_modulelist_registration_and_indexing(self):
+        layers = ModuleList([Linear(2, 2, seed=i) for i in range(3)])
+        assert len(layers) == 3
+        assert len(layers.parameters()) == 6
+        assert isinstance(layers[2], Linear)
+        with pytest.raises(IndexError):
+            layers[5]
+
+    def test_activation_modules(self):
+        x = Tensor(np.array([[-1.0, 0.5]]))
+        assert np.all(ReLU()(x).data >= 0)
+        assert np.all(np.abs(Tanh()(x).data) <= 1)
+        assert np.all((Sigmoid()(x).data > 0) & (Sigmoid()(x).data < 1))
+        assert np.allclose(Softmax()(x).data.sum(axis=-1), 1.0)
+        assert LeakyReLU(0.1)(x).data[0, 0] == pytest.approx(-0.1)
+        assert ELU()(x).data[0, 1] == pytest.approx(0.5)
+
+
+class TestInit:
+    def test_xavier_uniform_bounds(self):
+        weights = xavier_uniform((100, 50), seed=0)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(weights) <= limit + 1e-12)
+
+    def test_xavier_normal_std(self):
+        weights = xavier_normal((200, 200), seed=0)
+        assert weights.std() == pytest.approx(np.sqrt(2.0 / 400), rel=0.15)
+
+    def test_kaiming_uniform_scale(self):
+        weights = kaiming_uniform((300, 10), seed=0)
+        limit = np.sqrt(2.0) * np.sqrt(3.0 / 300)
+        assert np.all(np.abs(weights) <= limit + 1e-12)
+
+    def test_calculate_gain(self):
+        assert calculate_gain("relu") == pytest.approx(np.sqrt(2.0))
+        assert calculate_gain("tanh") == pytest.approx(5.0 / 3.0)
+        assert calculate_gain("linear") == 1.0
+        with pytest.raises(ValueError):
+            calculate_gain("unknown")
+
+    def test_fan_requires_2d(self):
+        with pytest.raises(ValueError):
+            xavier_uniform((5,))

@@ -1,0 +1,168 @@
+"""Tests for optimisers, schedulers and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import ConfigurationError
+from repro.nn import Linear
+from repro.optim import SGD, Adam, AdamW, CosineAnnealingLR, EarlyStopping, MultiStepLR, StepLR
+
+
+def quadratic_loss(parameter: Tensor) -> Tensor:
+    return ((parameter - 3.0) ** 2).sum()
+
+
+def run_steps(optimizer, parameter, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = quadratic_loss(parameter)
+        loss.backward()
+        optimizer.step()
+    return float(quadratic_loss(parameter).data)
+
+
+class TestOptimizers:
+    def test_sgd_converges_on_quadratic(self):
+        parameter = Tensor(np.zeros(3), requires_grad=True)
+        assert run_steps(SGD([parameter], lr=0.1), parameter) < 1e-6
+        assert np.allclose(parameter.data, 3.0, atol=1e-3)
+
+    def test_sgd_with_momentum_converges(self):
+        parameter = Tensor(np.zeros(3), requires_grad=True)
+        assert run_steps(SGD([parameter], lr=0.05, momentum=0.9), parameter) < 1e-6
+
+    def test_sgd_nesterov(self):
+        parameter = Tensor(np.zeros(2), requires_grad=True)
+        assert run_steps(SGD([parameter], lr=0.05, momentum=0.9, nesterov=True), parameter) < 1e-6
+
+    def test_adam_converges_on_quadratic(self):
+        parameter = Tensor(np.zeros(3), requires_grad=True)
+        assert run_steps(Adam([parameter], lr=0.1), parameter, steps=400) < 1e-4
+
+    def test_adamw_converges(self):
+        parameter = Tensor(np.zeros(3), requires_grad=True)
+        assert run_steps(AdamW([parameter], lr=0.1, weight_decay=0.001), parameter, steps=400) < 1e-2
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Tensor(np.full(4, 10.0), requires_grad=True)
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        for _ in range(50):
+            optimizer.zero_grad()
+            (parameter * 0.0).sum().backward()  # zero task gradient
+            optimizer.step()
+        assert np.all(np.abs(parameter.data) < 1.0)
+
+    def test_missing_gradient_treated_as_zero(self):
+        parameter = Tensor(np.ones(2), requires_grad=True)
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.step()  # never called backward
+        assert np.allclose(parameter.data, 1.0)
+
+    def test_optimizer_updates_model_parameters_in_place(self):
+        model = Linear(4, 3, seed=0)
+        before = model.weight.data.copy()
+        optimizer = Adam(model.parameters(), lr=0.01)
+        out = model(Tensor(np.random.default_rng(0).normal(size=(5, 4))))
+        out.sum().backward()
+        optimizer.step()
+        assert not np.allclose(before, model.weight.data)
+
+    def test_configuration_errors(self):
+        parameter = Tensor(np.zeros(2), requires_grad=True)
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+        with pytest.raises(ConfigurationError):
+            SGD([parameter], lr=-1.0)
+        with pytest.raises(ConfigurationError):
+            SGD([parameter], lr=0.1, momentum=1.5)
+        with pytest.raises(ConfigurationError):
+            SGD([parameter], lr=0.1, nesterov=True)
+        with pytest.raises(ConfigurationError):
+            Adam([parameter], lr=0.1, betas=(1.5, 0.9))
+        with pytest.raises(ConfigurationError):
+            Adam([parameter], lr=0.1, eps=0.0)
+        with pytest.raises(ConfigurationError):
+            SGD([parameter], lr=0.1, weight_decay=-0.1)
+
+
+class TestSchedulers:
+    def _optimizer(self, lr=1.0):
+        return SGD([Tensor(np.zeros(1), requires_grad=True)], lr=lr)
+
+    def test_step_lr(self):
+        optimizer = self._optimizer()
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        rates = [scheduler.step() for _ in range(4)]
+        assert rates == pytest.approx([1.0, 0.1, 0.1, 0.01])
+        assert optimizer.lr == pytest.approx(0.01)
+
+    def test_multistep_lr(self):
+        optimizer = self._optimizer()
+        scheduler = MultiStepLR(optimizer, milestones=[2, 4], gamma=0.5)
+        rates = [scheduler.step() for _ in range(5)]
+        assert rates == pytest.approx([1.0, 0.5, 0.5, 0.25, 0.25])
+
+    def test_cosine_lr_monotonically_decreases_to_eta_min(self):
+        optimizer = self._optimizer()
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.1)
+        rates = [scheduler.step() for _ in range(10)]
+        assert all(earlier >= later for earlier, later in zip(rates, rates[1:]))
+        assert rates[-1] == pytest.approx(0.1)
+
+    def test_scheduler_validation(self):
+        optimizer = self._optimizer()
+        with pytest.raises(ConfigurationError):
+            StepLR(optimizer, step_size=0)
+        with pytest.raises(ConfigurationError):
+            MultiStepLR(optimizer, milestones=[])
+        with pytest.raises(ConfigurationError):
+            MultiStepLR(optimizer, milestones=[5, 2])
+        with pytest.raises(ConfigurationError):
+            CosineAnnealingLR(optimizer, t_max=0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience_without_improvement(self):
+        stopper = EarlyStopping(patience=3, mode="max")
+        assert not stopper.update(0.5, 0)
+        assert not stopper.update(0.4, 1)
+        assert not stopper.update(0.4, 2)
+        assert stopper.update(0.4, 3)
+        assert stopper.stopped
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2, mode="max")
+        stopper.update(0.5, 0)
+        stopper.update(0.4, 1)
+        stopper.update(0.6, 2)
+        assert stopper.counter == 0
+        assert stopper.best_epoch == 2
+
+    def test_min_mode(self):
+        stopper = EarlyStopping(patience=2, mode="min")
+        stopper.update(1.0, 0)
+        assert not stopper.update(0.5, 1)
+        assert stopper.best_value == 0.5
+
+    def test_best_state_is_copied(self):
+        stopper = EarlyStopping(patience=2)
+        state = {"weight": np.ones(2)}
+        stopper.update(0.9, 0, state=state)
+        state["weight"][0] = 42.0
+        assert stopper.best_state["weight"][0] == 1.0
+
+    def test_reset(self):
+        stopper = EarlyStopping(patience=1)
+        stopper.update(0.5, 0)
+        stopper.update(0.1, 1)
+        stopper.reset()
+        assert not stopper.stopped and stopper.best_value is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ConfigurationError):
+            EarlyStopping(mode="other")
+        with pytest.raises(ConfigurationError):
+            EarlyStopping(min_delta=-1.0)

@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autograd import Tensor, check_gradients
+from repro.autograd.function import unbroadcast
+from repro.autograd.ops_activation import log_softmax, softmax
+
+_FINITE_FLOATS = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=max_side),
+        elements=_FINITE_FLOATS,
+    )
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_addition_is_commutative(data):
+    a = Tensor(data)
+    b = Tensor(data[::-1].copy().reshape(data.shape))
+    assert np.allclose((a + b).data, (b + a).data)
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_sum_matches_numpy(data):
+    assert np.allclose(Tensor(data).sum().data, data.sum())
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_mean_matches_numpy(data):
+    assert np.allclose(Tensor(data).mean().data, data.mean())
+
+
+@given(small_arrays())
+@settings(max_examples=25, deadline=None)
+def test_softmax_is_a_distribution(data):
+    matrix = np.atleast_2d(data)
+    out = softmax(Tensor(matrix), axis=-1).data
+    assert np.all(out >= 0.0)
+    assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+@given(small_arrays())
+@settings(max_examples=25, deadline=None)
+def test_log_softmax_is_log_of_softmax(data):
+    matrix = np.atleast_2d(data)
+    assert np.allclose(
+        log_softmax(Tensor(matrix), axis=-1).data,
+        np.log(softmax(Tensor(matrix), axis=-1).data + 1e-300),
+        atol=1e-8,
+    )
+
+
+@given(
+    arrays(np.float64, shape=st.tuples(st.integers(2, 4), st.integers(2, 4)), elements=_FINITE_FLOATS)
+)
+@settings(max_examples=20, deadline=None)
+def test_quadratic_gradient_matches_numerical(data):
+    x = Tensor(data, requires_grad=True)
+    check_gradients(lambda x: ((x * x) + 2.0 * x).sum(), [x], atol=1e-4, rtol=1e-3)
+
+
+@given(
+    arrays(np.float64, shape=st.tuples(st.integers(1, 3), st.integers(1, 3)), elements=_FINITE_FLOATS),
+    st.sampled_from([(1,), (3, 1), (1, 3), (3, 3)]),
+)
+@settings(max_examples=40, deadline=None)
+def test_unbroadcast_restores_shape(grad_base, target_shape):
+    try:
+        broadcast = np.broadcast_to(np.zeros(target_shape), (3, 3))
+    except ValueError:
+        return
+    grad = np.ones((3, 3))
+    result = unbroadcast(grad, target_shape)
+    assert result.shape == target_shape
+    # The total mass is preserved by summation.
+    assert np.isclose(result.sum(), grad.sum())
+    del grad_base, broadcast
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_backward_of_sum_is_ones(data):
+    x = Tensor(data, requires_grad=True)
+    x.sum().backward()
+    assert np.allclose(x.grad, np.ones_like(data))

@@ -1,0 +1,127 @@
+"""Property-based tests (hypothesis) for hypergraph structures and construction."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import (
+    Hypergraph,
+    clique_expansion,
+    hypergraph_propagation_operator,
+    kmeans,
+    knn_hyperedges,
+    knn_indices,
+    union_hypergraphs,
+)
+
+
+@st.composite
+def hypergraphs(draw, max_nodes=12, max_edges=8):
+    n_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    n_edges = draw(st.integers(min_value=1, max_value=max_edges))
+    hyperedges = []
+    for _ in range(n_edges):
+        size = draw(st.integers(min_value=1, max_value=n_nodes))
+        members = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_nodes - 1),
+                min_size=size,
+                max_size=size,
+            )
+        )
+        hyperedges.append(members)
+    return Hypergraph(n_nodes, hyperedges)
+
+
+@st.composite
+def feature_matrices(draw, max_nodes=12, max_dims=4):
+    n = draw(st.integers(min_value=3, max_value=max_nodes))
+    d = draw(st.integers(min_value=1, max_value=max_dims))
+    values = draw(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=n * d,
+            max_size=n * d,
+        )
+    )
+    return np.array(values, dtype=np.float64).reshape(n, d)
+
+
+@given(hypergraphs())
+@settings(max_examples=40, deadline=None)
+def test_node_degree_equals_weighted_incidence_rows(hypergraph):
+    incidence = hypergraph.incidence_matrix().toarray()
+    expected = incidence @ hypergraph.weights
+    assert np.allclose(hypergraph.node_degrees(), expected)
+
+
+@given(hypergraphs())
+@settings(max_examples=40, deadline=None)
+def test_edge_degree_equals_hyperedge_size(hypergraph):
+    assert np.allclose(hypergraph.edge_degrees(), hypergraph.hyperedge_sizes())
+
+
+@given(hypergraphs())
+@settings(max_examples=30, deadline=None)
+def test_propagation_operator_symmetric_and_bounded(hypergraph):
+    operator = hypergraph_propagation_operator(hypergraph).toarray()
+    assert np.allclose(operator, operator.T, atol=1e-10)
+    eigenvalues = np.linalg.eigvalsh(operator)
+    assert eigenvalues.max() <= 1.0 + 1e-8
+    assert eigenvalues.min() >= -1e-8
+
+
+@given(hypergraphs())
+@settings(max_examples=30, deadline=None)
+def test_incidence_roundtrip_preserves_structure(hypergraph):
+    rebuilt = Hypergraph.from_incidence(hypergraph.incidence_matrix(), hypergraph.weights)
+    assert rebuilt.n_nodes == hypergraph.n_nodes
+    assert sorted(rebuilt.hyperedges) == sorted(hypergraph.hyperedges)
+
+
+@given(hypergraphs(), hypergraphs())
+@settings(max_examples=30, deadline=None)
+def test_union_hyperedge_count_is_additive(a, b):
+    if a.n_nodes != b.n_nodes:
+        b = Hypergraph(a.n_nodes, [[node % a.n_nodes for node in edge] for edge in b.hyperedges])
+    union = union_hypergraphs(a, b)
+    assert union.n_hyperedges == a.n_hyperedges + b.n_hyperedges
+
+
+@given(hypergraphs())
+@settings(max_examples=30, deadline=None)
+def test_clique_expansion_edges_connect_cohyperedge_nodes(hypergraph):
+    graph = clique_expansion(hypergraph)
+    memberships = [set(edge) for edge in hypergraph.hyperedges]
+    for u, v in graph.edges:
+        assert any(u in members and v in members for members in memberships)
+
+
+@given(feature_matrices(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_knn_indices_exclude_self_and_have_k_columns(features, k):
+    k = min(k, features.shape[0] - 1)
+    neighbours = knn_indices(features, k)
+    assert neighbours.shape == (features.shape[0], k)
+    for node in range(features.shape[0]):
+        assert node not in neighbours[node]
+
+
+@given(feature_matrices(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_knn_hyperedges_contain_their_center(features, k):
+    k = min(k, features.shape[0] - 1)
+    hypergraph = knn_hyperedges(features, k)
+    for node, edge in enumerate(hypergraph.hyperedges):
+        assert node in edge
+        assert len(edge) <= k + 1
+
+
+@given(feature_matrices(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=25, deadline=None)
+def test_kmeans_labels_form_partition(features, n_clusters):
+    n_clusters = min(n_clusters, features.shape[0])
+    result = kmeans(features, n_clusters, seed=0)
+    assert result.labels.shape == (features.shape[0],)
+    assert set(result.labels.tolist()).issubset(set(range(n_clusters)))
+    assert result.inertia >= 0.0

@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis) for metrics, splits and result formatting."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.splits import label_rate_split, planetoid_split, stratified_split
+from repro.training.metrics import accuracy, confusion_matrix, macro_f1, micro_f1
+from repro.training.results import ResultTable, format_mean_std
+
+
+@st.composite
+def prediction_target_pairs(draw, max_samples=40, max_classes=5):
+    n = draw(st.integers(min_value=1, max_value=max_samples))
+    c = draw(st.integers(min_value=1, max_value=max_classes))
+    predictions = draw(st.lists(st.integers(0, c - 1), min_size=n, max_size=n))
+    targets = draw(st.lists(st.integers(0, c - 1), min_size=n, max_size=n))
+    return np.array(predictions), np.array(targets), c
+
+
+@st.composite
+def balanced_labels(draw, max_classes=5, max_per_class=30):
+    c = draw(st.integers(min_value=2, max_value=max_classes))
+    per_class = draw(st.integers(min_value=10, max_value=max_per_class))
+    return np.repeat(np.arange(c), per_class)
+
+
+@given(prediction_target_pairs())
+@settings(max_examples=50, deadline=None)
+def test_accuracy_bounds_and_confusion_consistency(pair):
+    predictions, targets, n_classes = pair
+    value = accuracy(predictions, targets)
+    assert 0.0 <= value <= 1.0
+    matrix = confusion_matrix(predictions, targets, n_classes)
+    assert matrix.sum() == predictions.size
+    assert np.trace(matrix) == int(round(value * predictions.size))
+
+
+@given(prediction_target_pairs())
+@settings(max_examples=50, deadline=None)
+def test_micro_f1_equals_accuracy(pair):
+    predictions, targets, _ = pair
+    assert micro_f1(predictions, targets) == accuracy(predictions, targets)
+
+
+@given(prediction_target_pairs())
+@settings(max_examples=50, deadline=None)
+def test_macro_f1_bounds_and_perfection(pair):
+    predictions, targets, n_classes = pair
+    assert 0.0 <= macro_f1(predictions, targets, n_classes) <= 1.0
+    assert macro_f1(targets, targets, n_classes) == 1.0
+
+
+@given(balanced_labels(), st.integers(min_value=1, max_value=5), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_planetoid_split_is_disjoint_and_stratified(labels, train_per_class, seed):
+    if train_per_class >= np.bincount(labels).min():
+        train_per_class = max(np.bincount(labels).min() - 1, 1)
+    split = planetoid_split(labels, train_per_class=train_per_class, n_val=10, seed=seed)
+    union = np.concatenate([split.train, split.val, split.test])
+    assert np.unique(union).size == union.size
+    assert union.size <= labels.size
+    counts = np.bincount(labels[split.train], minlength=labels.max() + 1)
+    assert np.all(counts == train_per_class)
+
+
+@given(balanced_labels(), st.floats(min_value=0.02, max_value=0.4), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_label_rate_split_respects_rate_roughly(labels, rate, seed):
+    split = label_rate_split(labels, label_rate=rate, seed=seed)
+    observed = split.train.size / labels.size
+    assert observed <= rate + 0.15
+    assert split.train.size >= np.unique(labels).size
+    union = np.concatenate([split.train, split.val, split.test])
+    assert np.unique(union).size == union.size == labels.size
+
+
+@given(balanced_labels(), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_stratified_split_partitions_everything(labels, seed):
+    split = stratified_split(labels, fractions=(0.6, 0.2, 0.2), seed=seed)
+    union = np.sort(np.concatenate([split.train, split.val, split.test]))
+    assert np.array_equal(union, np.arange(labels.size))
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_format_mean_std_parses_back(values):
+    formatted = format_mean_std(values)
+    mean_text, std_text = formatted.split("±")
+    assert abs(float(mean_text) - 100.0 * np.mean(values)) < 0.01
+    assert abs(float(std_text) - 100.0 * np.std(values)) < 0.01
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8),
+            st.floats(0, 1, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_result_table_roundtrip(rows):
+    table = ResultTable(["name", "value"])
+    for name, value in rows:
+        table.add_row([name, value])
+    assert len(table) == len(rows)
+    assert table.column("name") == [name for name, _ in rows]
+    markdown = table.to_markdown()
+    assert markdown.count("\n") == len(rows) + 1  # header + separator + rows

@@ -1,0 +1,212 @@
+"""Tests for metrics, result tables, the trainer and the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import DHGCN, DHGCNConfig
+from repro.errors import ConfigurationError, ShapeError, TrainingError
+from repro.models import GCN, HGNN, MLP
+from repro.training import (
+    ResultTable,
+    TrainConfig,
+    Trainer,
+    accuracy,
+    compare_methods,
+    confusion_matrix,
+    macro_f1,
+    micro_f1,
+    run_experiment,
+)
+from repro.training.experiment import best_method
+from repro.training.results import format_mean_std
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([0, 1, 1, 2]), np.array([0, 1, 2, 2])) == pytest.approx(0.75)
+        assert accuracy(np.array([1]), np.array([1])) == 1.0
+
+    def test_accuracy_shape_checks(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.array([0, 1]), np.array([0]))
+        with pytest.raises(ShapeError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 1, 1]), np.array([0, 1, 2]), n_classes=3)
+        assert matrix[0, 0] == 1 and matrix[1, 1] == 1 and matrix[2, 1] == 1
+        assert matrix.sum() == 3
+
+    def test_macro_f1_perfect_and_degenerate(self):
+        predictions = np.array([0, 1, 2, 0, 1, 2])
+        assert macro_f1(predictions, predictions) == pytest.approx(1.0)
+        assert macro_f1(np.array([0, 0, 0]), np.array([1, 1, 1]), n_classes=2) == pytest.approx(0.0)
+
+    def test_macro_f1_handles_missing_classes(self):
+        value = macro_f1(np.array([0, 0, 1]), np.array([0, 0, 1]), n_classes=5)
+        assert value == pytest.approx(1.0)
+
+    def test_micro_f1_equals_accuracy(self):
+        predictions = np.array([0, 1, 2, 1])
+        targets = np.array([0, 2, 2, 1])
+        assert micro_f1(predictions, targets) == accuracy(predictions, targets)
+
+
+class TestResultTable:
+    def test_add_rows_and_render(self):
+        table = ResultTable(["method", "accuracy"], title="demo")
+        table.add_row(["GCN", 0.81234])
+        table.add_row({"method": "DHGCN", "accuracy": 0.84})
+        markdown = table.to_markdown()
+        assert "| method | accuracy |" in markdown
+        assert "0.8123" in markdown
+        assert "### demo" in markdown
+        assert len(table) == 2
+        assert table.column("method") == ["GCN", "DHGCN"]
+
+    def test_row_length_validation(self):
+        table = ResultTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+        with pytest.raises(KeyError):
+            table.column("missing")
+        with pytest.raises(ValueError):
+            ResultTable([])
+
+    def test_to_dict(self):
+        table = ResultTable(["a"])
+        table.add_row([1.0])
+        payload = table.to_dict()
+        assert payload["columns"] == ["a"] and payload["rows"] == [[1.0]]
+
+    def test_format_mean_std(self):
+        assert format_mean_std([0.8, 0.9]) == "85.00 ± 5.00"
+        assert format_mean_std([], percent=True) == "n/a"
+        assert format_mean_std([0.5], percent=False) == "0.50 ± 0.00"
+
+
+class TestTrainConfig:
+    def test_defaults(self):
+        config = TrainConfig()
+        assert config.epochs == 200 and config.optimizer == "adam"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ConfigurationError):
+            TrainConfig(lr=0.0)
+        with pytest.raises(ConfigurationError):
+            TrainConfig(weight_decay=-1.0)
+        with pytest.raises(ConfigurationError):
+            TrainConfig(optimizer="rmsprop")
+        with pytest.raises(ConfigurationError):
+            TrainConfig(patience=0)
+        with pytest.raises(ConfigurationError):
+            TrainConfig(eval_every=0)
+        with pytest.raises(ConfigurationError):
+            TrainConfig(momentum=1.0)
+
+
+class TestTrainer:
+    def test_training_improves_over_untrained(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        model = HGNN(dataset.n_features, dataset.n_classes, hidden_dim=16, seed=0)
+        trainer = Trainer(model, dataset, TrainConfig(epochs=40, patience=None))
+        before = trainer.evaluate()["test_accuracy"]
+        result = trainer.train()
+        assert result.test_accuracy > before
+        assert result.test_accuracy > 0.5
+        assert result.epochs_run == 40
+        assert result.n_parameters == model.num_parameters()
+        assert result.train_time > 0.0
+        assert len(result.history["epoch"]) == 40
+
+    def test_dhgcn_trains(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        model = DHGCN(dataset.n_features, dataset.n_classes, DHGCNConfig(hidden_dim=16), seed=0)
+        result = Trainer(model, dataset, TrainConfig(epochs=30, patience=None)).train()
+        assert result.test_accuracy > 0.5
+        assert model.dynamic_hypergraphs_built() > 0
+
+    def test_early_stopping_cuts_training_short(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        model = MLP(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        result = Trainer(model, dataset, TrainConfig(epochs=500, patience=5)).train()
+        assert result.epochs_run < 500
+
+    def test_restore_best_keeps_best_validation_params(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        model = GCN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        trainer = Trainer(model, dataset, TrainConfig(epochs=25, patience=None, restore_best=True))
+        result = trainer.train()
+        final_val = trainer.evaluate()["val_accuracy"]
+        assert final_val == pytest.approx(result.best_val_accuracy)
+
+    def test_predict_returns_labels_for_every_node(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        model = MLP(dataset.n_features, dataset.n_classes, seed=0)
+        trainer = Trainer(model, dataset, TrainConfig(epochs=5, patience=None))
+        trainer.train()
+        predictions = trainer.predict()
+        assert predictions.shape == (dataset.n_nodes,)
+        assert predictions.min() >= 0 and predictions.max() < dataset.n_classes
+
+    def test_sgd_and_adamw_optimizers(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        for optimizer in ("sgd", "adamw"):
+            model = MLP(dataset.n_features, dataset.n_classes, seed=0)
+            config = TrainConfig(epochs=10, optimizer=optimizer, lr=0.05, patience=None)
+            result = Trainer(model, dataset, config).train()
+            assert np.isfinite(result.test_accuracy)
+
+    def test_trainer_rejects_non_model(self, tiny_citation_dataset):
+        with pytest.raises(TrainingError):
+            Trainer(object(), tiny_citation_dataset)
+
+    def test_history_records_monotone_epochs(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        model = MLP(dataset.n_features, dataset.n_classes, seed=0)
+        result = Trainer(model, dataset, TrainConfig(epochs=8, patience=None, eval_every=2)).train()
+        epochs = result.history["epoch"]
+        assert epochs == sorted(epochs)
+        assert result.summary()["test_accuracy"] == result.test_accuracy
+
+
+class TestExperimentRunner:
+    def test_run_experiment_aggregates_seeds(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        experiment = run_experiment(
+            "MLP",
+            lambda ds, seed: MLP(ds.n_features, ds.n_classes, hidden_dim=8, seed=seed),
+            lambda seed: dataset,
+            seeds=[0, 1],
+            train_config=TrainConfig(epochs=5, patience=None),
+        )
+        assert len(experiment.runs) == 2
+        assert 0.0 <= experiment.mean_test_accuracy <= 1.0
+        assert experiment.std_test_accuracy >= 0.0
+        assert "±" in experiment.formatted_accuracy()
+        assert experiment.summary()["n_runs"] == 2
+        assert experiment.n_parameters > 0
+
+    def test_compare_methods_builds_table(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+        methods = {
+            "MLP": lambda ds, seed: MLP(ds.n_features, ds.n_classes, hidden_dim=8, seed=seed),
+            "HGNN": lambda ds, seed: HGNN(ds.n_features, ds.n_classes, hidden_dim=8, seed=seed),
+        }
+        table, results = compare_methods(
+            methods,
+            {"tiny": lambda seed: dataset},
+            seeds=[0],
+            train_config=TrainConfig(epochs=5, patience=None),
+            title="unit-test",
+        )
+        assert len(table) == 2
+        assert set(results["tiny"]) == {"MLP", "HGNN"}
+        assert "unit-test" in table.to_markdown()
+        assert best_method(results["tiny"]) in {"MLP", "HGNN"}
+
+    def test_best_method_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_method({})

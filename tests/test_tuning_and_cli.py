@@ -1,0 +1,135 @@
+"""Tests for the grid-search helper and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import MODEL_REGISTRY, build_parser, main
+from repro.core import DHGCN, DHGCNConfig
+from repro.models import MLP
+from repro.training import TrainConfig, grid_search, parameter_grid
+from repro.training.tuning import GridSearchResult
+
+
+class TestParameterGrid:
+    def test_expansion(self):
+        grid = parameter_grid({"a": [1, 2], "b": ["x"]})
+        assert grid == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+    def test_single_point(self):
+        assert parameter_grid({"a": [5]}) == [{"a": 5}]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            parameter_grid({})
+
+
+class TestGridSearch:
+    def test_finds_reasonable_configuration(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+
+        def factory(ds, seed, hidden_dim):
+            return MLP(ds.n_features, ds.n_classes, hidden_dim=hidden_dim, seed=seed)
+
+        result = grid_search(
+            factory,
+            dataset,
+            {"hidden_dim": [4, 16]},
+            n_seeds=1,
+            train_config=TrainConfig(epochs=5, patience=None),
+        )
+        assert len(result.entries) == 2
+        assert set(result.best_parameters) == {"hidden_dim"}
+        assert 0.0 <= result.best["mean_test_accuracy"] <= 1.0
+        table = result.to_table(title="search")
+        assert "hidden_dim" in table.columns
+        assert len(table) == 2
+
+    def test_with_dhgcn_configuration(self, tiny_citation_dataset):
+        dataset = tiny_citation_dataset
+
+        def factory(ds, seed, k_neighbors):
+            config = DHGCNConfig(hidden_dim=8, k_neighbors=k_neighbors)
+            return DHGCN(ds.n_features, ds.n_classes, config, seed=seed)
+
+        result = grid_search(
+            factory,
+            dataset,
+            {"k_neighbors": [2, 4]},
+            n_seeds=1,
+            train_config=TrainConfig(epochs=4, patience=None),
+        )
+        assert {entry["parameters"]["k_neighbors"] for entry in result.entries} == {2, 4}
+
+    def test_empty_result_errors(self):
+        result = GridSearchResult()
+        with pytest.raises(ValueError):
+            _ = result.best
+        with pytest.raises(ValueError):
+            result.to_table()
+
+
+class TestCli:
+    def test_registry_covers_all_major_models(self):
+        for name in ("mlp", "gcn", "gat", "hgnn", "hypergcn", "dhgnn", "dhgcn", "sgc", "chebnet", "hgnnp"):
+            assert name in MODEL_REGISTRY
+
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["unknown"])
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "cora-cocitation" in output
+        assert "ntu2012" in output
+
+    def test_train_command(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset", "cora-cocitation",
+                "--model", "hgnn",
+                "--epochs", "5",
+                "--nodes", "280",
+                "--patience", "0",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "test accuracy" in output
+        accuracy = float(
+            [line for line in output.splitlines() if line.startswith("test accuracy")][0]
+            .split(":")[1]
+        )
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_compare_command(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--datasets", "cora-cocitation",
+                "--models", "mlp", "hgnn",
+                "--seeds", "1",
+                "--epochs", "5",
+                "--nodes", "280",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "| method |" in output
+        assert "mlp" in output and "hgnn" in output
+
+    def test_train_command_with_dhgcn(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset", "cora-coauthorship",
+                "--model", "dhgcn",
+                "--epochs", "4",
+                "--nodes", "200",
+                "--hidden-dim", "8",
+            ]
+        )
+        assert code == 0
+        assert "dhgcn" in capsys.readouterr().out

@@ -1,0 +1,199 @@
+"""Tests for the utils package (rng, validation, timer, io, logging) and errors."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AutogradError,
+    ConfigurationError,
+    DatasetError,
+    GraphStructureError,
+    HypergraphStructureError,
+    RegistryError,
+    ReproError,
+    ShapeError,
+    TrainingError,
+)
+from repro.utils import (
+    Timer,
+    check_fraction,
+    check_in_options,
+    check_positive,
+    check_square,
+    check_type,
+    get_logger,
+    set_global_seed,
+    spawn_rngs,
+    timed,
+)
+from repro.utils.io import load_arrays, load_json, save_arrays, save_json
+from repro.utils.rng import as_rng, get_global_seed, seeds_from
+from repro.utils.validation import check_1d_labels, check_probability_matrix, check_same_length
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for error in (
+            ShapeError,
+            AutogradError,
+            GraphStructureError,
+            HypergraphStructureError,
+            DatasetError,
+            ConfigurationError,
+            TrainingError,
+            RegistryError,
+        ):
+            assert issubclass(error, ReproError)
+
+    def test_catchable_as_builtin(self):
+        assert issubclass(ShapeError, ValueError)
+        assert issubclass(AutogradError, RuntimeError)
+        assert issubclass(RegistryError, KeyError)
+
+
+class TestRng:
+    def test_as_rng_from_int_is_deterministic(self):
+        assert as_rng(42).integers(0, 100) == as_rng(42).integers(0, 100)
+
+    def test_as_rng_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert as_rng(generator) is generator
+
+    def test_as_rng_rejects_bad_types(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")
+
+    def test_spawn_rngs_independent_and_reproducible(self):
+        children_a = spawn_rngs(7, 3)
+        children_b = spawn_rngs(7, 3)
+        draws_a = [child.integers(0, 1000) for child in children_a]
+        draws_b = [child.integers(0, 1000) for child in children_b]
+        assert draws_a == draws_b
+        assert len(set(draws_a)) > 1
+
+    def test_spawn_rngs_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_seeds_from(self):
+        assert seeds_from(0, 5) == seeds_from(0, 5)
+        assert len(set(seeds_from(0, 5))) == 5
+
+    def test_set_global_seed(self):
+        set_global_seed(123)
+        assert get_global_seed() == 123
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive(3, "x") == 3
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+        assert check_positive(0, "x", strict=False) == 0
+
+    def test_check_fraction(self):
+        assert check_fraction(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            check_fraction(1.5, "p")
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "p", inclusive=False)
+
+    def test_check_in_options_and_type(self):
+        assert check_in_options("a", ["a", "b"], "opt") == "a"
+        with pytest.raises(ValueError):
+            check_in_options("c", ["a", "b"], "opt")
+        assert check_type(3, int, "x") == 3
+        with pytest.raises(TypeError):
+            check_type("3", int, "x")
+
+    def test_check_square(self):
+        assert check_square(np.eye(3)).shape == (3, 3)
+        with pytest.raises(ShapeError):
+            check_square(np.ones((2, 3)))
+
+    def test_check_probability_matrix(self):
+        check_probability_matrix(np.array([[0.1, 0.9]]))
+        with pytest.raises(ValueError):
+            check_probability_matrix(np.array([[1.2]]))
+
+    def test_check_same_length(self):
+        check_same_length("a", [1, 2], "b", [3, 4])
+        with pytest.raises(ShapeError):
+            check_same_length("a", [1], "b", [2, 3])
+
+    def test_check_1d_labels(self):
+        labels = check_1d_labels(np.array([0.0, 1.0, 2.0]))
+        assert labels.dtype.kind == "i"
+        with pytest.raises(ShapeError):
+            check_1d_labels(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            check_1d_labels(np.array([0.5, 1.0]))
+        with pytest.raises(ShapeError):
+            check_1d_labels(np.array([0, 1]), n=3)
+
+
+class TestTimer:
+    def test_accumulates_and_counts(self):
+        timer = Timer()
+        with timer.measure():
+            sum(range(1000))
+        with timer.measure():
+            sum(range(1000))
+        assert timer.count == 2
+        assert timer.total > 0.0
+        assert timer.mean == pytest.approx(timer.total / 2)
+
+    def test_double_start_raises(self):
+        timer = Timer()
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer.measure():
+            pass
+        timer.reset()
+        assert timer.count == 0 and timer.total == 0.0
+
+    def test_timed_contextmanager(self):
+        with timed() as timer:
+            sum(range(100))
+        assert timer.total > 0.0
+
+    def test_mean_of_unused_timer_is_zero(self):
+        assert Timer().mean == 0.0
+
+
+class TestIo:
+    def test_json_roundtrip_with_numpy_types(self, tmp_path):
+        payload = {"accuracy": np.float64(0.93), "epochs": np.int64(50), "values": np.arange(3)}
+        path = save_json(tmp_path / "results.json", payload)
+        loaded = load_json(path)
+        assert loaded["accuracy"] == pytest.approx(0.93)
+        assert loaded["epochs"] == 50
+        assert loaded["values"] == [0, 1, 2]
+
+    def test_json_rejects_unserialisable(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json(tmp_path / "bad.json", {"object": object()})
+
+    def test_arrays_roundtrip(self, tmp_path):
+        arrays = {"features": np.random.default_rng(0).normal(size=(4, 3))}
+        path = save_arrays(tmp_path / "arrays.npz", arrays)
+        loaded = load_arrays(path)
+        assert np.allclose(loaded["features"], arrays["features"])
+
+
+class TestLogging:
+    def test_namespaced_logger(self):
+        assert get_logger().name == "repro"
+        assert get_logger("training").name == "repro.training"
+        assert get_logger("repro.data").name == "repro.data"
+        assert isinstance(get_logger("x"), logging.Logger)
