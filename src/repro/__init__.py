@@ -25,7 +25,13 @@ Quickstart
 from repro.core import DHGCN, DHGCNConfig, DynamicHypergraphBuilder
 from repro.data import NodeClassificationDataset, Split, available_datasets, get_dataset
 from repro.graph import Graph
-from repro.hypergraph import Hypergraph
+from repro.hypergraph import (
+    Hypergraph,
+    OperatorCache,
+    TopologyRefreshEngine,
+    get_default_engine,
+    reset_default_engine,
+)
 from repro.models import DHGNN, GAT, GCN, HGNN, HGNNP, MLP, SGC, ChebNet, HyperGCN
 from repro.training import (
     ExperimentResult,
@@ -46,6 +52,10 @@ __all__ = [
     "DHGCNConfig",
     "DynamicHypergraphBuilder",
     "Hypergraph",
+    "OperatorCache",
+    "TopologyRefreshEngine",
+    "get_default_engine",
+    "reset_default_engine",
     "Graph",
     "NodeClassificationDataset",
     "Split",

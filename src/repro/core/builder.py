@@ -8,10 +8,8 @@ import scipy.sparse as sp
 from repro.errors import ConfigurationError
 from repro.hypergraph.construction import kmeans_hyperedges, knn_hyperedges, union_hypergraphs
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.hypergraph.laplacian import (
-    compactness_hyperedge_weights,
-    hypergraph_propagation_operator,
-)
+from repro.hypergraph.laplacian import compactness_hyperedge_weights
+from repro.hypergraph.refresh import TopologyRefreshEngine, get_default_engine
 from repro.utils.rng import as_rng
 
 
@@ -32,6 +30,12 @@ class DynamicHypergraphBuilder:
     The builder is deliberately *non-differentiable*: the topology is data,
     gradients flow through the convolution weights and the features, exactly
     as in the DHGNN family.
+
+    Construction runs through a :class:`TopologyRefreshEngine`: the k-NN step
+    is chunked (``engine.block_size``) and the propagation operator comes from
+    the engine's cache.  On every :meth:`build_operator` call the previously
+    built topology's cache entries are discarded — a refresh supersedes them,
+    so keeping them would only crowd out live static operators.
     """
 
     def __init__(
@@ -44,6 +48,7 @@ class DynamicHypergraphBuilder:
         use_edge_weighting: bool = True,
         weight_temperature: float = 1.0,
         seed=None,
+        engine: TopologyRefreshEngine | None = None,
     ) -> None:
         if not use_knn and not use_cluster:
             raise ConfigurationError("at least one hyperedge generator must be enabled")
@@ -59,7 +64,9 @@ class DynamicHypergraphBuilder:
         self.use_cluster = bool(use_cluster)
         self.use_edge_weighting = bool(use_edge_weighting)
         self.weight_temperature = float(weight_temperature)
+        self.engine = engine if engine is not None else get_default_engine()
         self._rng = as_rng(seed)
+        self._last_hypergraph: Hypergraph | None = None
         #: Number of hypergraph constructions performed (refresh diagnostics).
         self.build_count = 0
 
@@ -75,7 +82,7 @@ class DynamicHypergraphBuilder:
         parts: list[Hypergraph] = []
         if self.use_knn:
             k = min(self.k_neighbors, max(n - 1, 1))
-            parts.append(knn_hyperedges(embedding, k))
+            parts.append(knn_hyperedges(embedding, k, block_size=self.engine.block_size))
         if self.use_cluster:
             clusters = min(self.n_clusters, n)
             parts.append(kmeans_hyperedges(embedding, clusters, seed=self._rng))
@@ -89,8 +96,19 @@ class DynamicHypergraphBuilder:
         return hypergraph
 
     def build_operator(self, embedding: np.ndarray) -> sp.csr_matrix:
-        """Construct the normalised propagation operator of the dynamic hypergraph."""
-        return hypergraph_propagation_operator(self.build_hypergraph(embedding))
+        """Construct the normalised propagation operator of the dynamic hypergraph.
+
+        A refresh that changed the structure invalidates the superseded
+        topology's cached operators; an identical rebuild hits the cache.
+        """
+        hypergraph = self.build_hypergraph(embedding)
+        operator = self.engine.refresh_operator(self._last_hypergraph, hypergraph)
+        self._last_hypergraph = hypergraph
+        return operator
+
+    def cache_stats(self) -> dict[str, int | float]:
+        """Hit/miss statistics of the engine's operator cache."""
+        return self.engine.stats()
 
     def __repr__(self) -> str:
         return (

@@ -40,6 +40,15 @@ class DHGCNConfig:
     fusion:
         How the two channels are combined: ``"gate"`` (learnable sigmoid gate),
         ``"sum"`` (fixed 0.5/0.5), or single-channel modes used by ablations.
+    knn_block_size:
+        Query-block size of the chunked k-NN used by the dynamic topology
+        (``None`` = library default).  Memory/speed knob only — the selected
+        neighbours are identical for every value.
+    use_operator_cache:
+        Reuse propagation operators through the process-wide
+        :class:`repro.hypergraph.TopologyRefreshEngine` when the hypergraph
+        is structurally unchanged.  Never changes model outputs (pinned by
+        ``tests/test_refresh_engine.py``); disable for profiling cold builds.
     """
 
     hidden_dim: int = 32
@@ -55,6 +64,8 @@ class DHGCNConfig:
     use_edge_weighting: bool = True
     weight_temperature: float = 3.0
     fusion: str = "gate"
+    knn_block_size: int | None = None
+    use_operator_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.hidden_dim < 1:
@@ -75,6 +86,10 @@ class DHGCNConfig:
             )
         if self.fusion not in _FUSION_MODES:
             raise ConfigurationError(f"fusion must be one of {_FUSION_MODES}, got {self.fusion!r}")
+        if self.knn_block_size is not None and self.knn_block_size < 1:
+            raise ConfigurationError(
+                f"knn_block_size must be >= 1 or None, got {self.knn_block_size}"
+            )
         if not self.use_static and not self.use_dynamic:
             raise ConfigurationError("at least one of use_static / use_dynamic must be enabled")
         if self.use_dynamic and not (self.use_knn_hyperedges or self.use_cluster_hyperedges):

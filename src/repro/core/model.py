@@ -11,10 +11,8 @@ from repro.core.config import DHGCNConfig
 from repro.core.layers import DualChannelBlock
 from repro.data.dataset import NodeClassificationDataset
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.hypergraph.laplacian import (
-    compactness_hyperedge_weights,
-    hypergraph_propagation_operator,
-)
+from repro.hypergraph.laplacian import compactness_hyperedge_weights
+from repro.hypergraph.refresh import TopologyRefreshEngine
 from repro.models.base import BaseNodeClassifier
 from repro.nn import Dropout
 from repro.nn.container import ModuleList
@@ -73,6 +71,15 @@ class DHGCN(BaseNodeClassifier):
         )
         self.dropout = Dropout(self.config.dropout, seed=block_rngs[-2])
 
+        # Topology-refresh engine: chunked k-NN block size + operator cache.
+        # With the cache enabled the process-wide cache is shared so sweeps
+        # over seeds / refresh periods reuse each other's static operators;
+        # disabling it gives this model a private always-miss cache.
+        self.refresh_engine = TopologyRefreshEngine.for_model(
+            use_cache=self.config.use_operator_cache,
+            block_size=self.config.knn_block_size,
+        )
+
         if self.config.use_dynamic:
             self.builder = DynamicHypergraphBuilder(
                 k_neighbors=self.config.k_neighbors,
@@ -82,11 +89,13 @@ class DHGCN(BaseNodeClassifier):
                 use_edge_weighting=self.config.use_edge_weighting,
                 weight_temperature=self.config.weight_temperature,
                 seed=rng,
+                engine=self.refresh_engine,
             )
         else:
             self.builder = None
 
         self._static_hypergraph: Hypergraph | None = None
+        self._reweighted_static: Hypergraph | None = None
         self._static_operator: sp.csr_matrix | None = None
         self._dynamic_operators: list[sp.csr_matrix | None] = [None] * self.config.n_layers
         self._block_inputs: list[np.ndarray | None] = [None] * self.config.n_layers
@@ -105,10 +114,11 @@ class DHGCN(BaseNodeClassifier):
     def _setup(self, dataset: NodeClassificationDataset) -> None:
         if self.config.use_static:
             self._static_hypergraph = dataset.hypergraph
-            self._static_operator = hypergraph_propagation_operator(dataset.hypergraph)
+            self._static_operator = self.refresh_engine.propagation_operator(dataset.hypergraph)
         else:
             self._static_hypergraph = None
             self._static_operator = None
+        self._reweighted_static = None
         self._dynamic_operators = [None] * self.config.n_layers
         self._block_inputs = [None] * self.config.n_layers
         self._needs_refresh = True
@@ -137,9 +147,11 @@ class DHGCN(BaseNodeClassifier):
         weights = compactness_hyperedge_weights(
             self._static_hypergraph, reference, temperature=self.config.weight_temperature
         )
-        self._static_operator = hypergraph_propagation_operator(
-            self._static_hypergraph.with_weights(weights)
+        reweighted = self._static_hypergraph.with_weights(weights)
+        self._static_operator = self.refresh_engine.refresh_operator(
+            self._reweighted_static, reweighted
         )
+        self._reweighted_static = reweighted
 
     def on_epoch(self, epoch: int) -> None:
         """Schedule a dynamic-topology rebuild every ``refresh_period`` epochs."""
@@ -185,3 +197,12 @@ class DHGCN(BaseNodeClassifier):
     def dynamic_hypergraphs_built(self) -> int:
         """How many times the dynamic topology was rebuilt so far."""
         return 0 if self.builder is None else self.builder.build_count
+
+    def topology_cache_stats(self) -> dict[str, int | float]:
+        """Operator-cache statistics of the refresh engine.
+
+        With ``use_operator_cache`` enabled the counters are those of the
+        process-wide shared cache, i.e. they aggregate over every cache-enabled
+        model in this process.
+        """
+        return self.refresh_engine.stats()

@@ -10,6 +10,9 @@ any number of nodes.  The package provides:
 * construction algorithms (k-NN hyperedges, k-means cluster hyperedges,
   ε-ball hyperedges, graph-neighbourhood hyperedges) used for both the static
   hypergraph and the dynamic topology of DHGCN;
+* the topology-refresh engine (chunked k-NN plus a fingerprint-keyed
+  propagation-operator cache) that keeps the dynamic-topology hot path
+  O(n·block) in memory and free of redundant sparse rebuilds;
 * clique / star expansions into pairwise graphs;
 * structural statistics used by the dataset-description table.
 """
@@ -24,15 +27,26 @@ from repro.hypergraph.construction import (
 from repro.hypergraph.expansion import clique_expansion, star_expansion
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.kmeans import KMeansResult, kmeans
-from repro.hypergraph.knn import knn_indices, pairwise_distances
+from repro.hypergraph.knn import knn_indices, knn_indices_bruteforce, pairwise_distances
 from repro.hypergraph.laplacian import hypergraph_laplacian, hypergraph_propagation_operator
 from repro.hypergraph.metrics import hyperedge_homophily, hypergraph_statistics
+from repro.hypergraph.refresh import (
+    OperatorCache,
+    TopologyRefreshEngine,
+    get_default_engine,
+    reset_default_engine,
+)
 
 __all__ = [
     "Hypergraph",
     "hypergraph_propagation_operator",
     "hypergraph_laplacian",
+    "OperatorCache",
+    "TopologyRefreshEngine",
+    "get_default_engine",
+    "reset_default_engine",
     "knn_indices",
+    "knn_indices_bruteforce",
     "pairwise_distances",
     "kmeans",
     "KMeansResult",

@@ -19,14 +19,24 @@ from repro.hypergraph.kmeans import kmeans
 from repro.hypergraph.knn import knn_indices, pairwise_distances
 
 
-def knn_hyperedges(features: np.ndarray, k: int, *, metric: str = "euclidean") -> Hypergraph:
+def knn_hyperedges(
+    features: np.ndarray,
+    k: int,
+    *,
+    metric: str = "euclidean",
+    block_size: int | None = None,
+) -> Hypergraph:
     """One hyperedge per node: the node plus its ``k`` nearest neighbours.
 
     This is the "common/local information" generator of the dynamic topology:
-    it produces ``n`` hyperedges of size ``k + 1``.
+    it produces ``n`` hyperedges of size ``k + 1``.  ``block_size`` is
+    forwarded to the chunked k-NN (:func:`repro.hypergraph.knn.knn_indices`)
+    and changes memory use only, never the neighbour sets.
     """
     features = np.asarray(features, dtype=np.float64)
-    neighbours = knn_indices(features, k, include_self=False, metric=metric)
+    neighbours = knn_indices(
+        features, k, include_self=False, metric=metric, block_size=block_size
+    )
     hyperedges = [
         [node, *neighbours[node].tolist()] for node in range(features.shape[0])
     ]

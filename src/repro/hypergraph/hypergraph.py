@@ -63,20 +63,24 @@ class Hypergraph:
             if np.any(weights <= 0):
                 raise HypergraphStructureError("hyperedge weights must be strictly positive")
             self._weights = weights.copy()
+        # The public view is read-only so hot loops can consume the weights
+        # without a defensive per-access copy.
+        self._weights.setflags(write=False)
         self._incidence_cache: sp.csr_matrix | None = None
+        self._fingerprint: tuple[int, int, int, int] | None = None
 
     # ------------------------------------------------------------------ #
     # Accessors
     # ------------------------------------------------------------------ #
     @property
-    def hyperedges(self) -> list[tuple[int, ...]]:
-        """Hyperedges as sorted node tuples."""
-        return list(self._hyperedges)
+    def hyperedges(self) -> tuple[tuple[int, ...], ...]:
+        """Hyperedges as sorted node tuples (immutable, shared, not copied)."""
+        return self._hyperedges
 
     @property
     def weights(self) -> np.ndarray:
-        """Copy of the hyperedge weight vector."""
-        return self._weights.copy()
+        """Read-only view of the hyperedge weight vector (not copied)."""
+        return self._weights
 
     @property
     def n_hyperedges(self) -> int:
@@ -125,6 +129,25 @@ class Hypergraph:
         for edge in self._hyperedges:
             covered[list(edge)] = True
         return np.nonzero(~covered)[0]
+
+    def fingerprint(self) -> tuple[int, int, int, int]:
+        """Cheap structural fingerprint ``(n_nodes, n_hyperedges, edge-hash, weight-hash)``.
+
+        Two hypergraphs with the same fingerprint have (up to hash collisions
+        within one process) the same node count, hyperedge tuples and
+        bit-identical weights, so any operator derived from one is valid for
+        the other.  Used by :class:`repro.hypergraph.refresh.OperatorCache` to
+        key cached propagation operators; computed once and memoised because
+        the structure is immutable.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = (
+                self.n_nodes,
+                self.n_hyperedges,
+                hash(self._hyperedges),
+                hash(self._weights.tobytes()),
+            )
+        return self._fingerprint
 
     # ------------------------------------------------------------------ #
     # Derived hypergraphs

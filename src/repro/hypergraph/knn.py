@@ -1,4 +1,19 @@
-"""Brute-force nearest-neighbour search in Euclidean feature space."""
+"""Nearest-neighbour search in Euclidean feature space.
+
+Two interchangeable back-ends compute the same answer:
+
+* :func:`knn_indices_bruteforce` materialises the full ``(n, n)`` distance
+  matrix and sorts every row — simple, but O(n²) memory;
+* :func:`knn_indices` (the default) walks the query rows in blocks of
+  ``block_size``, keeps only an ``(block, n)`` distance slab alive at a time
+  and extracts the top-``k`` per row with ``argpartition`` — O(n·block)
+  memory.
+
+Both use the same distance kernel (:func:`scipy.spatial.distance.cdist`) and
+the same deterministic tie-break (smaller node index wins among equidistant
+neighbours), so their outputs are **bit-identical**; the equivalence is pinned
+by ``tests/test_refresh_engine.py``.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +21,11 @@ import numpy as np
 from scipy.spatial.distance import cdist
 
 from repro.errors import ShapeError
+
+#: Default query-block size of the chunked k-NN.  Each block materialises a
+#: ``(block_size, n)`` float64 slab, so the default keeps peak extra memory
+#: around ``512 * n * 8`` bytes regardless of ``n``.
+DEFAULT_BLOCK_SIZE = 512
 
 
 def pairwise_distances(features: np.ndarray, metric: str = "euclidean") -> np.ndarray:
@@ -16,12 +36,48 @@ def pairwise_distances(features: np.ndarray, metric: str = "euclidean") -> np.nd
     return cdist(features, features, metric=metric)
 
 
+def _validate(features: np.ndarray, k: int, include_self: bool) -> np.ndarray:
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ShapeError(f"features must be 2-D, got shape {features.shape}")
+    n = features.shape[0]
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    limit = n if include_self else n - 1
+    if k > limit:
+        raise ValueError(f"k={k} is too large for {n} nodes (include_self={include_self})")
+    return features
+
+
+def knn_indices_bruteforce(
+    features: np.ndarray,
+    k: int,
+    *,
+    include_self: bool = False,
+    metric: str = "euclidean",
+) -> np.ndarray:
+    """Reference k-NN via the full distance matrix (O(n²) memory).
+
+    Kept as the ground truth the chunked path is verified against; prefer
+    :func:`knn_indices` everywhere else.
+    """
+    features = _validate(features, k, include_self)
+    n = features.shape[0]
+    distances = pairwise_distances(features, metric=metric)
+    if not include_self:
+        np.fill_diagonal(distances, np.inf)
+    # Deterministic tie-breaking: lexsort on (distance, index).
+    order = np.lexsort((np.broadcast_to(np.arange(n), (n, n)), distances), axis=1)
+    return order[:, :k].astype(np.int64)
+
+
 def knn_indices(
     features: np.ndarray,
     k: int,
     *,
     include_self: bool = False,
     metric: str = "euclidean",
+    block_size: int | None = None,
 ) -> np.ndarray:
     """Indices of the ``k`` nearest neighbours of every row of ``features``.
 
@@ -34,6 +90,11 @@ def knn_indices(
         ``include_self``).
     include_self:
         When ``True`` the node itself counts as its own first neighbour.
+    block_size:
+        Query rows processed per distance slab (default
+        :data:`DEFAULT_BLOCK_SIZE`).  Any positive value — including one
+        larger than ``n`` — yields the same result; it only trades memory
+        for the number of ``cdist`` calls.
 
     Returns
     -------
@@ -41,19 +102,39 @@ def knn_indices(
         ``(n, k)`` integer array of neighbour indices, ordered by increasing
         distance (ties broken by node index for determinism).
     """
-    features = np.asarray(features, dtype=np.float64)
-    if features.ndim != 2:
-        raise ShapeError(f"features must be 2-D, got shape {features.shape}")
+    features = _validate(features, k, include_self)
     n = features.shape[0]
-    if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
-    limit = n if include_self else n - 1
-    if k > limit:
-        raise ValueError(f"k={k} is too large for {n} nodes (include_self={include_self})")
+    if block_size is None:
+        block_size = DEFAULT_BLOCK_SIZE
+    block_size = int(block_size)
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
 
-    distances = pairwise_distances(features, metric=metric)
-    if not include_self:
-        np.fill_diagonal(distances, np.inf)
-    # Deterministic tie-breaking: lexsort on (distance, index).
-    order = np.lexsort((np.broadcast_to(np.arange(n), (n, n)), distances), axis=1)
-    return order[:, :k].astype(np.int64)
+    result = np.empty((n, k), dtype=np.int64)
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        block = cdist(features[start:stop], features, metric=metric)
+        if not include_self:
+            block[np.arange(stop - start), np.arange(start, stop)] = np.inf
+        _topk_rows(block, k, out=result[start:stop])
+    return result
+
+
+def _topk_rows(distances: np.ndarray, k: int, out: np.ndarray) -> None:
+    """Tie-safe top-``k`` of every row of ``distances`` into ``out``.
+
+    ``argpartition`` alone splits ties at the k-th boundary arbitrarily, so the
+    partition is only used to find the k-th smallest value; the final selection
+    re-sorts every entry at or below that threshold by ``(distance, index)``,
+    which reproduces the brute-force lexsort exactly.
+    """
+    n = distances.shape[1]
+    if k < n:
+        partition = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        thresholds = np.take_along_axis(distances, partition, axis=1).max(axis=1)
+    else:
+        thresholds = distances.max(axis=1)
+    for row in range(distances.shape[0]):
+        candidates = np.flatnonzero(distances[row] <= thresholds[row])
+        order = np.lexsort((candidates, distances[row, candidates]))
+        out[row] = candidates[order[:k]]

@@ -1,0 +1,245 @@
+"""The topology-refresh engine: cached propagation operators.
+
+The dynamic-topology models (DHGCN, DHGNN) rebuild a hypergraph and its
+normalised propagation operator every ``refresh_period`` epochs.  Whenever the
+hypergraph is structurally unchanged — repeated forward passes between
+refreshes, the static channel across a multi-seed sweep, eval after training —
+that sparse pipeline (degree computation, four diagonal/sparse products,
+CSR conversion) is pure waste.
+
+:class:`OperatorCache` memoises ``hypergraph_propagation_operator`` /
+``hypergraph_laplacian`` results behind :meth:`Hypergraph.fingerprint`, an
+O(edges) structural key, with LRU eviction.  :class:`TopologyRefreshEngine`
+bundles a cache with the chunked k-NN block size and is the single object the
+model / training layers thread around.
+
+Invalidation rules
+------------------
+* A cache entry can never go stale: the key covers node count, hyperedge
+  tuples and bit-identical weights, and :class:`Hypergraph` is immutable, so a
+  mutated topology (``with_weights``, ``add_hyperedges``, …) is a *different*
+  key, never a wrong hit.
+* On a dynamic refresh the previous topology's operators are dead weight; the
+  builder calls :meth:`OperatorCache.discard` on the superseded hypergraph so
+  abandoned dynamic entries do not evict live static ones.
+* :meth:`OperatorCache.invalidate` drops everything (used between unrelated
+  experiments and by tests).
+
+Cached matrices are shared, not copied — propagation operators are constants
+to the autograd layer (:mod:`repro.autograd.ops_sparse`) and must not be
+mutated by callers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+import scipy.sparse as sp
+
+from repro.errors import ConfigurationError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.laplacian import hypergraph_laplacian, hypergraph_propagation_operator
+
+#: Default LRU capacity; sized for a full benchmark sweep (one static operator
+#: per dataset realisation plus the live dynamic operators of a deep model).
+DEFAULT_CACHE_SIZE = 128
+
+
+class OperatorCache:
+    """LRU cache of sparse operators keyed by hypergraph fingerprint.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity; the least recently used operator is evicted beyond it.
+    enabled:
+        When ``False`` every request recomputes from scratch (used by the
+        cache-equivalence regression tests and as the ablation switch).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE, *, enabled: bool = True) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self.enabled = bool(enabled)
+        self._entries: OrderedDict[tuple, sp.csr_matrix] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def _get(self, hypergraph: Hypergraph, kind: Hashable, build) -> sp.csr_matrix:
+        if not self.enabled:
+            self.misses += 1
+            return build(hypergraph)
+        key = (kind, hypergraph.fingerprint())
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        operator = build(hypergraph)
+        self._entries[key] = operator
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return operator
+
+    def propagation_operator(
+        self, hypergraph: Hypergraph, *, self_loop_isolated: bool = True
+    ) -> sp.csr_matrix:
+        """Cached ``Dv^-1/2 H W De^-1 Hᵀ Dv^-1/2`` (see :mod:`..laplacian`)."""
+        return self._get(
+            hypergraph,
+            ("propagation", self_loop_isolated),
+            lambda hg: hypergraph_propagation_operator(hg, self_loop_isolated=self_loop_isolated),
+        )
+
+    def laplacian(self, hypergraph: Hypergraph) -> sp.csr_matrix:
+        """Cached normalised hypergraph Laplacian ``Δ = I - Θ``."""
+        return self._get(hypergraph, "laplacian", hypergraph_laplacian)
+
+    # ------------------------------------------------------------------ #
+    # Invalidation / introspection
+    # ------------------------------------------------------------------ #
+    def discard(self, hypergraph: Hypergraph) -> int:
+        """Drop every cached operator of ``hypergraph``; returns the count.
+
+        Called on refresh for the superseded dynamic topology — its operators
+        can never be requested again, so keeping them would only push live
+        entries out of the LRU.
+        """
+        fingerprint = hypergraph.fingerprint()
+        stale = [key for key in self._entries if key[1] == fingerprint]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def invalidate(self) -> None:
+        """Drop every cached operator (counters are preserved)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int | float]:
+        """Hit/miss counters plus the current occupancy and hit rate."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"OperatorCache(entries={len(self._entries)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses}, enabled={self.enabled})"
+        )
+
+
+class TopologyRefreshEngine:
+    """Bundles the operator cache with the chunked k-NN configuration.
+
+    One engine is shared process-wide by default (:func:`get_default_engine`)
+    so repeated runs in a sweep — same dataset realisation, different model
+    seeds or refresh periods — reuse each other's static operators.  Models
+    accept a private engine for isolation (``use_operator_cache=False``
+    constructs a disabled one).
+
+    Parameters
+    ----------
+    cache:
+        The :class:`OperatorCache` to use; a fresh one is created by default.
+    max_entries / enabled:
+        Forwarded to the cache when ``cache`` is not given.
+    block_size:
+        Query-block size of the chunked k-NN
+        (:func:`repro.hypergraph.knn.knn_indices`); ``None`` keeps the
+        library default.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: OperatorCache | None = None,
+        max_entries: int = DEFAULT_CACHE_SIZE,
+        enabled: bool = True,
+        block_size: int | None = None,
+    ) -> None:
+        if block_size is not None and block_size < 1:
+            raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
+        self.cache = cache if cache is not None else OperatorCache(max_entries, enabled=enabled)
+        self.block_size = block_size
+
+    @classmethod
+    def for_model(
+        cls, *, use_cache: bool = True, block_size: int | None = None
+    ) -> "TopologyRefreshEngine":
+        """Engine for one model: shared process-wide cache, or a private
+        always-rebuild one when ``use_cache`` is off."""
+        cache = get_default_engine().cache if use_cache else OperatorCache(enabled=False)
+        return cls(cache=cache, block_size=block_size)
+
+    def propagation_operator(
+        self, hypergraph: Hypergraph, *, self_loop_isolated: bool = True
+    ) -> sp.csr_matrix:
+        return self.cache.propagation_operator(
+            hypergraph, self_loop_isolated=self_loop_isolated
+        )
+
+    def refresh_operator(
+        self,
+        previous: Hypergraph | None,
+        hypergraph: Hypergraph,
+        *,
+        self_loop_isolated: bool = True,
+    ) -> sp.csr_matrix:
+        """Operator of a refreshed topology, invalidating the superseded one.
+
+        The single home of the supersede protocol: ``previous``'s cache
+        entries are discarded only when the refresh actually changed the
+        structure — a rebuild that reproduces the same fingerprint keeps (and
+        hits) its entry.
+        """
+        if previous is not None and previous.fingerprint() != hypergraph.fingerprint():
+            self.discard(previous)
+        return self.propagation_operator(hypergraph, self_loop_isolated=self_loop_isolated)
+
+    def laplacian(self, hypergraph: Hypergraph) -> sp.csr_matrix:
+        return self.cache.laplacian(hypergraph)
+
+    def discard(self, hypergraph: Hypergraph) -> int:
+        return self.cache.discard(hypergraph)
+
+    def invalidate(self) -> None:
+        self.cache.invalidate()
+
+    def stats(self) -> dict[str, int | float]:
+        return self.cache.stats()
+
+    def __repr__(self) -> str:
+        return f"TopologyRefreshEngine(block_size={self.block_size}, cache={self.cache!r})"
+
+
+_DEFAULT_ENGINE: TopologyRefreshEngine | None = None
+
+
+def get_default_engine() -> TopologyRefreshEngine:
+    """The process-wide shared engine (created lazily)."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = TopologyRefreshEngine()
+    return _DEFAULT_ENGINE
+
+
+def reset_default_engine() -> None:
+    """Replace the shared engine with a fresh one (test isolation hook)."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = None

@@ -19,7 +19,8 @@ from repro.autograd.tensor import Tensor, as_tensor
 from repro.data.dataset import NodeClassificationDataset
 from repro.errors import ConfigurationError
 from repro.hypergraph.construction import kmeans_hyperedges, knn_hyperedges, union_hypergraphs
-from repro.hypergraph.laplacian import hypergraph_propagation_operator
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.refresh import TopologyRefreshEngine
 from repro.models.base import BaseNodeClassifier
 from repro.nn import Dropout, Linear
 from repro.nn.container import ModuleList
@@ -39,6 +40,13 @@ class DHGNN(BaseNodeClassifier):
         Rebuild the dynamic topology every this many epochs (1 = every epoch,
         matching the original formulation; larger values trade adaptivity for
         speed).
+    knn_block_size:
+        Query-block size of the chunked k-NN (``None`` = library default);
+        memory knob only, the neighbour sets are identical for every value.
+    use_operator_cache:
+        Reuse propagation operators through the process-wide
+        :class:`repro.hypergraph.TopologyRefreshEngine`; never changes model
+        outputs.
     """
 
     name = "DHGNN"
@@ -54,6 +62,8 @@ class DHGNN(BaseNodeClassifier):
         n_clusters: int = 4,
         refresh_period: int = 5,
         seed=None,
+        knn_block_size: int | None = None,
+        use_operator_cache: bool = True,
     ) -> None:
         super().__init__()
         if n_layers < 1:
@@ -73,9 +83,13 @@ class DHGNN(BaseNodeClassifier):
         self.k_neighbors = int(k_neighbors)
         self.n_clusters = int(n_clusters)
         self.refresh_period = int(refresh_period)
+        self.refresh_engine = TopologyRefreshEngine.for_model(
+            use_cache=use_operator_cache, block_size=knn_block_size
+        )
         self._construction_rng = as_rng(seed)
         self._static_hypergraph = None
         self._operators: list[sp.csr_matrix | None] = [None] * n_layers
+        self._layer_hypergraphs: list[Hypergraph | None] = [None] * n_layers
         self._layer_inputs: list[np.ndarray | None] = [None] * n_layers
         self._needs_refresh = True
 
@@ -86,6 +100,7 @@ class DHGNN(BaseNodeClassifier):
             dataset.hypergraph if dataset.hypergraph.n_hyperedges > 0 else None
         )
         self._operators = [None] * len(self.layers)
+        self._layer_hypergraphs = [None] * len(self.layers)
         self._layer_inputs = [None] * len(self.layers)
         self._needs_refresh = True
 
@@ -93,16 +108,26 @@ class DHGNN(BaseNodeClassifier):
         if epoch % self.refresh_period == 0:
             self._needs_refresh = True
 
-    def _build_operator(self, embedding: np.ndarray) -> sp.csr_matrix:
+    def _build_operator(self, embedding: np.ndarray, position: int) -> sp.csr_matrix:
         k = min(self.k_neighbors, embedding.shape[0] - 1)
         clusters = min(self.n_clusters, embedding.shape[0])
-        local = knn_hyperedges(embedding, k)
+        local = knn_hyperedges(embedding, k, block_size=self.refresh_engine.block_size)
         global_ = kmeans_hyperedges(embedding, clusters, seed=self._construction_rng)
         parts = [local, global_]
         if self._static_hypergraph is not None:
             parts.append(self._static_hypergraph)
         pooled = union_hypergraphs(*parts)
-        return hypergraph_propagation_operator(pooled)
+        # Refresh protocol: a structurally changed topology invalidates the
+        # one this layer is abandoning; an identical rebuild hits the cache.
+        operator = self.refresh_engine.refresh_operator(
+            self._layer_hypergraphs[position], pooled
+        )
+        self._layer_hypergraphs[position] = pooled
+        return operator
+
+    def topology_cache_stats(self) -> dict[str, int | float]:
+        """Operator-cache statistics of the refresh engine (shared cache)."""
+        return self.refresh_engine.stats()
 
     def forward(self, features: Tensor) -> Tensor:
         self.require_setup()
@@ -114,7 +139,7 @@ class DHGNN(BaseNodeClassifier):
                 reference = self._layer_inputs[position]
                 if reference is None:
                     reference = hidden.data
-                self._operators[position] = self._build_operator(reference)
+                self._operators[position] = self._build_operator(reference, position)
             self._layer_inputs[position] = hidden.data
             hidden = self.dropout(hidden)
             hidden = spmm(self._operators[position], layer(hidden))

@@ -166,6 +166,15 @@ class Trainer:
         if config.restore_best:
             self.model.load_state_dict(best_state)
         final = self.evaluate()
+        extras: dict[str, Any] = {}
+        # Dynamic-topology models report their refresh-engine cache counters
+        # so experiment sweeps (and bench_refresh_engine) can audit reuse.
+        stats_hook = getattr(self.model, "topology_cache_stats", None)
+        if callable(stats_hook):
+            extras["operator_cache"] = stats_hook()
+        builds_hook = getattr(self.model, "dynamic_hypergraphs_built", None)
+        if callable(builds_hook):
+            extras["dynamic_hypergraphs_built"] = builds_hook()
         return TrainResult(
             test_accuracy=final["test_accuracy"],
             test_macro_f1=final["test_macro_f1"],
@@ -176,6 +185,7 @@ class Trainer:
             mean_epoch_time=epoch_timer.mean,
             n_parameters=self.model.num_parameters(),
             history=history,
+            extras=extras,
         )
 
     # ------------------------------------------------------------------ #

@@ -26,7 +26,7 @@ class TestHypergraphStructure:
 
     def test_duplicate_nodes_in_hyperedge_removed(self):
         hypergraph = Hypergraph(4, [[0, 0, 1]])
-        assert hypergraph.hyperedges == [(0, 1)]
+        assert hypergraph.hyperedges == ((0, 1),)
 
     def test_empty_hyperedge_rejected(self):
         with pytest.raises(HypergraphStructureError):
@@ -37,6 +37,29 @@ class TestHypergraphStructure:
             Hypergraph(3, [[0, 7]])
         with pytest.raises(HypergraphStructureError):
             Hypergraph(0, [])
+
+    def test_accessors_are_cached_readonly_views(self, small_hypergraph):
+        # .weights returns the same read-only array every time (no per-access
+        # copy), and writing through it is rejected.
+        weights = small_hypergraph.weights
+        assert weights is small_hypergraph.weights
+        assert not weights.flags.writeable
+        with pytest.raises(ValueError):
+            weights[0] = 99.0
+        assert small_hypergraph.weights[0] == 1.0
+        # .hyperedges is an immutable tuple of tuples, shared, not copied.
+        hyperedges = small_hypergraph.hyperedges
+        assert hyperedges is small_hypergraph.hyperedges
+        assert isinstance(hyperedges, tuple)
+        assert all(isinstance(edge, tuple) for edge in hyperedges)
+
+    def test_derived_hypergraphs_do_not_alias_mutations(self, small_hypergraph):
+        # A reweighted copy leaves the original untouched even though the
+        # accessors share storage with the instance.
+        reweighted = small_hypergraph.with_weights([2.0, 2.0, 2.0, 2.0])
+        assert np.allclose(small_hypergraph.weights, 1.0)
+        assert np.allclose(reweighted.weights, 2.0)
+        assert reweighted.hyperedges == small_hypergraph.hyperedges
 
     def test_weights_default_and_custom(self, small_hypergraph):
         assert np.allclose(small_hypergraph.weights, 1.0)

@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) for the autograd engine."""
 
 import numpy as np
+import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import array_shapes, arrays
@@ -8,6 +9,8 @@ from hypothesis.extra.numpy import array_shapes, arrays
 from repro.autograd import Tensor, check_gradients
 from repro.autograd.function import unbroadcast
 from repro.autograd.ops_activation import log_softmax, softmax
+from repro.autograd.ops_sparse import spmm
+from repro.hypergraph import Hypergraph, OperatorCache, hypergraph_propagation_operator
 
 _FINITE_FLOATS = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
 
@@ -93,3 +96,45 @@ def test_backward_of_sum_is_ones(data):
     x = Tensor(data, requires_grad=True)
     x.sum().backward()
     assert np.allclose(x.grad, np.ones_like(data))
+
+
+# --------------------------------------------------------------------------- #
+# spmm: constant-operator backward (ops_sparse.py)
+# --------------------------------------------------------------------------- #
+@given(seed=st.integers(0, 2**32 - 1), d=st.integers(1, 3))
+@settings(max_examples=15, deadline=None)
+def test_spmm_gradient_against_cached_csr_operator(seed, d):
+    """The backward rule must hold for an operator served from the cache."""
+    rng = np.random.default_rng(seed)
+    hypergraph = Hypergraph(
+        6, [[0, 1, 2], [2, 3], [3, 4, 5], [0, 5]], weights=rng.uniform(0.5, 2.0, 4)
+    )
+    cache = OperatorCache()
+    cache.propagation_operator(hypergraph)  # warm
+    operator = cache.propagation_operator(hypergraph)  # cache hit
+    assert sp.issparse(operator)
+    x = Tensor(rng.normal(size=(6, d)), requires_grad=True)
+    check_gradients(lambda t: (spmm(operator, t) * spmm(operator, t)).sum(), [x], atol=1e-4, rtol=1e-3)
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=15, deadline=None)
+def test_spmm_gradient_with_explicit_zero_rows(seed):
+    """Isolated nodes give all-zero operator rows; their gradient is zero."""
+    rng = np.random.default_rng(seed)
+    # Nodes 4 and 5 belong to no hyperedge; without self-loops their operator
+    # rows (and columns) are explicitly zero.
+    hypergraph = Hypergraph(6, [[0, 1], [1, 2, 3]])
+    operator = hypergraph_propagation_operator(hypergraph, self_loop_isolated=False)
+    dense = operator.toarray()
+    assert np.all(dense[4] == 0.0) and np.all(dense[5] == 0.0)
+
+    x = Tensor(rng.normal(size=(6, 2)), requires_grad=True)
+    check_gradients(lambda t: (spmm(operator, t) * spmm(operator, t)).sum(), [x], atol=1e-4, rtol=1e-3)
+
+    # The analytic gradient w.r.t. an isolated node's features is exactly zero
+    # (its column of the symmetric operator is zero).
+    x.zero_grad()
+    (spmm(operator, x) * spmm(operator, x)).sum().backward()
+    assert np.all(x.grad[4] == 0.0) and np.all(x.grad[5] == 0.0)
+    assert np.any(x.grad[:4] != 0.0)
