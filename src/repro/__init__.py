@@ -33,6 +33,12 @@ from repro.hypergraph import (
     reset_default_engine,
 )
 from repro.models import DHGNN, GAT, GCN, HGNN, HGNNP, MLP, SGC, ChebNet, HyperGCN
+from repro.precision import (
+    SUPPORTED_PRECISIONS,
+    get_precision,
+    precision,
+    set_precision,
+)
 from repro.training import (
     ExperimentResult,
     ResultTable,
@@ -57,6 +63,10 @@ __all__ = [
     "get_default_engine",
     "reset_default_engine",
     "Graph",
+    "SUPPORTED_PRECISIONS",
+    "precision",
+    "get_precision",
+    "set_precision",
     "NodeClassificationDataset",
     "Split",
     "get_dataset",

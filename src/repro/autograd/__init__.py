@@ -20,7 +20,7 @@ Design notes
 """
 
 from repro.autograd.function import Context, Function
-from repro.autograd.grad_check import check_gradients, numerical_gradient
+from repro.autograd.grad_check import check_gradients, numerical_gradient, recommended_tolerances
 from repro.autograd.ops_activation import (
     elu,
     leaky_relu,
@@ -76,4 +76,5 @@ __all__ = [
     "spmm",
     "check_gradients",
     "numerical_gradient",
+    "recommended_tolerances",
 ]

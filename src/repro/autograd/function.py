@@ -8,11 +8,14 @@ runs ``forward``, wraps the result and wires the backward graph.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Sequence
 
 import numpy as np
 
 from repro.errors import AutogradError
+from repro.precision import get_dtype
+from repro.utils import profiling
 
 
 class Context:
@@ -77,14 +80,28 @@ class Function:
 
         raw_args = [arg.data if isinstance(arg, Tensor) else arg for arg in args]
         ctx = Context()
-        output_data = cls.forward(ctx, *raw_args, **kwargs)
+        profiler = profiling.ACTIVE
+        if profiler is None:
+            output_data = cls.forward(ctx, *raw_args, **kwargs)
+        else:
+            start = time.perf_counter()
+            output_data = cls.forward(ctx, *raw_args, **kwargs)
+            elapsed = time.perf_counter() - start
+            nbytes = output_data.nbytes if isinstance(output_data, np.ndarray) else 0
+            profiler.record_forward(cls.__name__, elapsed, nbytes)
         if not isinstance(output_data, np.ndarray):
-            output_data = np.asarray(output_data, dtype=np.float64)
+            # Numpy scalars (full reductions) keep their dtype — ops follow
+            # their operands; only non-float results adopt the policy dtype.
+            output_data = np.asarray(output_data)
+            if not np.issubdtype(output_data.dtype, np.floating):
+                output_data = output_data.astype(get_dtype())
 
         requires_grad = is_grad_enabled() and any(
             isinstance(arg, Tensor) and arg.requires_grad for arg in args
         )
-        output = Tensor(output_data, requires_grad=requires_grad)
+        # The output keeps the dtype ``forward`` computed in (the operand
+        # dtype), so a float32 graph never silently re-expands to float64.
+        output = Tensor(output_data, requires_grad=requires_grad, dtype=output_data.dtype)
         if requires_grad:
             inputs = [arg if isinstance(arg, Tensor) else None for arg in args]
             output._node = BackwardNode(cls, ctx, inputs)
@@ -93,7 +110,18 @@ class Function:
     @classmethod
     def run_backward(cls, node: BackwardNode, grad_output: np.ndarray) -> tuple[np.ndarray | None, ...]:
         """Execute the backward rule of ``node`` and validate its arity."""
-        grads = cls.backward(node.ctx, grad_output)
+        profiler = profiling.ACTIVE
+        if profiler is None:
+            grads = cls.backward(node.ctx, grad_output)
+        else:
+            start = time.perf_counter()
+            grads = cls.backward(node.ctx, grad_output)
+            elapsed = time.perf_counter() - start
+            nbytes = 0
+            for grad in grads if isinstance(grads, tuple) else (grads,):
+                if isinstance(grad, np.ndarray):
+                    nbytes += grad.nbytes
+            profiler.record_backward(cls.__name__, elapsed, nbytes)
         if not isinstance(grads, tuple):
             grads = (grads,)
         if len(grads) != len(node.inputs):

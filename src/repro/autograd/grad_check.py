@@ -13,6 +13,19 @@ import numpy as np
 from repro.autograd.tensor import Tensor
 
 
+def recommended_tolerances(dtype: np.dtype | str) -> dict[str, float]:
+    """Central-difference settings appropriate for ``dtype``.
+
+    float32 stores ~7 significant digits, so the perturbation must be much
+    larger (and the tolerances much looser) than the float64 defaults for the
+    difference quotient to rise above rounding noise.  Returns a dict of
+    ``epsilon`` / ``atol`` / ``rtol`` suitable for :func:`check_gradients`.
+    """
+    if np.dtype(dtype) == np.float32:
+        return {"epsilon": 1e-2, "atol": 5e-3, "rtol": 1e-2}
+    return {"epsilon": 1e-6, "atol": 1e-5, "rtol": 1e-4}
+
+
 def numerical_gradient(
     func: Callable[..., Tensor],
     inputs: Sequence[Tensor],

@@ -33,7 +33,9 @@ class LeakyReLU(Function):
     def backward(ctx: Context, grad: np.ndarray):
         mask = ctx.extras["mask"]
         slope = ctx.extras["slope"]
-        return (grad * np.where(mask, 1.0, slope),)
+        # where(mask, grad, grad*slope) keeps the operand dtype; a float
+        # np.where(mask, 1.0, slope) factor would up-cast float32 to float64.
+        return (np.where(mask, grad, grad * slope),)
 
 
 class ELU(Function):
@@ -50,7 +52,7 @@ class ELU(Function):
         a = ctx.extras["input"]
         alpha = ctx.extras["alpha"]
         out = ctx.extras["output"]
-        return (grad * np.where(a > 0, 1.0, out + alpha),)
+        return (np.where(a > 0, grad, grad * (out + alpha)),)
 
 
 class Sigmoid(Function):

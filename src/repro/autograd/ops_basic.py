@@ -151,24 +151,42 @@ class MatMul(Function):
         )
 
 
+def _operand_pair(a: Any, b: Any) -> tuple[Tensor, Tensor]:
+    """Wrap a binary op's operands, scalars/arrays adopting the tensor's dtype.
+
+    A non-tensor operand next to a tensor one (``x * 2.0``, ``x + eps``)
+    follows the *tensor's* dtype rather than the ambient policy, so a float32
+    graph stays float32 even when used outside the precision context it was
+    built under.  Two non-tensor operands are fresh leaves and follow the
+    policy as usual.
+    """
+    a_is_tensor = isinstance(a, Tensor)
+    b_is_tensor = isinstance(b, Tensor)
+    if a_is_tensor and not b_is_tensor:
+        return a, Tensor(b, dtype=a.data.dtype)
+    if b_is_tensor and not a_is_tensor:
+        return Tensor(a, dtype=b.data.dtype), b
+    return as_tensor(a), as_tensor(b)
+
+
 def add(a: Any, b: Any) -> Tensor:
     """Elementwise (broadcasting) addition."""
-    return Add.apply(as_tensor(a), as_tensor(b))
+    return Add.apply(*_operand_pair(a, b))
 
 
 def sub(a: Any, b: Any) -> Tensor:
     """Elementwise (broadcasting) subtraction."""
-    return Sub.apply(as_tensor(a), as_tensor(b))
+    return Sub.apply(*_operand_pair(a, b))
 
 
 def mul(a: Any, b: Any) -> Tensor:
     """Elementwise (broadcasting) multiplication."""
-    return Mul.apply(as_tensor(a), as_tensor(b))
+    return Mul.apply(*_operand_pair(a, b))
 
 
 def div(a: Any, b: Any) -> Tensor:
     """Elementwise (broadcasting) division."""
-    return Div.apply(as_tensor(a), as_tensor(b))
+    return Div.apply(*_operand_pair(a, b))
 
 
 def neg(a: Any) -> Tensor:
@@ -198,4 +216,4 @@ def sqrt(a: Any) -> Tensor:
 
 def matmul(a: Any, b: Any) -> Tensor:
     """Matrix multiplication (1-D and 2-D operands)."""
-    return MatMul.apply(as_tensor(a), as_tensor(b))
+    return MatMul.apply(*_operand_pair(a, b))

@@ -44,6 +44,7 @@ class NLLLoss(Function):
         ctx.extras["index"] = index
         ctx.extras["targets"] = selected_targets
         ctx.extras["shape"] = log_probs.shape
+        ctx.extras["dtype"] = log_probs.dtype
         return np.asarray(-np.mean(picked))
 
     @staticmethod
@@ -51,7 +52,7 @@ class NLLLoss(Function):
         index = ctx.extras["index"]
         targets = ctx.extras["targets"]
         shape = ctx.extras["shape"]
-        full = np.zeros(shape, dtype=np.float64)
+        full = np.zeros(shape, dtype=ctx.extras["dtype"])
         full[index, targets] = -1.0 / index.shape[0]
         return (full * grad, None, None)
 
@@ -63,7 +64,7 @@ class MSELoss(Function):
             raise ShapeError(
                 f"mse_loss shapes differ: {prediction.shape} vs {target.shape}"
             )
-        diff = prediction - target
+        diff = prediction - np.asarray(target, dtype=prediction.dtype)
         ctx.extras["diff"] = diff
         return np.asarray(np.mean(diff * diff))
 
@@ -102,4 +103,4 @@ def mse_loss(prediction: Any, target: Any) -> Tensor:
     """Mean squared error between ``prediction`` and a constant ``target``."""
     if isinstance(target, Tensor):
         target = target.data
-    return MSELoss.apply(as_tensor(prediction), np.asarray(target, dtype=np.float64))
+    return MSELoss.apply(as_tensor(prediction), np.asarray(target))

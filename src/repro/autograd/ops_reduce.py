@@ -12,15 +12,15 @@ from repro.autograd.tensor import Tensor, as_tensor
 
 def _expand_reduced(grad: np.ndarray, input_shape: tuple[int, ...],
                     axis: int | tuple[int, ...] | None, keepdims: bool) -> np.ndarray:
-    """Broadcast a reduced gradient back to ``input_shape``."""
+    """Broadcast a reduced gradient back to ``input_shape`` (dtype preserved)."""
     if axis is None:
-        return np.broadcast_to(grad, input_shape).astype(np.float64)
+        return np.broadcast_to(grad, input_shape).astype(grad.dtype)
     axes = (axis,) if isinstance(axis, int) else tuple(axis)
     axes = tuple(a % len(input_shape) for a in axes)
     if not keepdims:
         for a in sorted(axes):
             grad = np.expand_dims(grad, axis=a)
-    return np.broadcast_to(grad, input_shape).astype(np.float64)
+    return np.broadcast_to(grad, input_shape).astype(grad.dtype)
 
 
 class Sum(Function):
@@ -78,7 +78,7 @@ class Max(Function):
         out = ctx.extras["output"]
         expanded_out = _expand_reduced(np.asarray(out), a.shape, axis, keepdims)
         expanded_grad = _expand_reduced(np.asarray(grad), a.shape, axis, keepdims)
-        mask = (a == expanded_out).astype(np.float64)
+        mask = (a == expanded_out).astype(a.dtype)
         # Split gradient evenly between ties so the op stays a valid subgradient.
         normaliser = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
         normaliser = np.where(normaliser == 0, 1.0, normaliser)
@@ -103,7 +103,7 @@ class Min(Function):
         out = ctx.extras["output"]
         expanded_out = _expand_reduced(np.asarray(out), a.shape, axis, keepdims)
         expanded_grad = _expand_reduced(np.asarray(grad), a.shape, axis, keepdims)
-        mask = (a == expanded_out).astype(np.float64)
+        mask = (a == expanded_out).astype(a.dtype)
         normaliser = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
         normaliser = np.where(normaliser == 0, 1.0, normaliser)
         return (expanded_grad * mask / normaliser,)

@@ -42,12 +42,13 @@ class GetItem(Function):
     def forward(ctx: Context, a: np.ndarray, index: Any) -> np.ndarray:
         ctx.extras["index"] = index
         ctx.extras["input_shape"] = a.shape
+        ctx.extras["dtype"] = a.dtype
         out = a[index]
-        return np.asarray(out, dtype=np.float64)
+        return np.asarray(out, dtype=a.dtype)
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
-        full = np.zeros(ctx.extras["input_shape"], dtype=np.float64)
+        full = np.zeros(ctx.extras["input_shape"], dtype=ctx.extras["dtype"])
         np.add.at(full, ctx.extras["index"], grad)
         return (full, None)
 
@@ -60,11 +61,12 @@ class GatherRows(Function):
         index = np.asarray(index, dtype=np.int64)
         ctx.extras["index"] = index
         ctx.extras["input_shape"] = a.shape
+        ctx.extras["dtype"] = a.dtype
         return a[index]
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
-        full = np.zeros(ctx.extras["input_shape"], dtype=np.float64)
+        full = np.zeros(ctx.extras["input_shape"], dtype=ctx.extras["dtype"])
         np.add.at(full, ctx.extras["index"], grad)
         return (full, None)
 

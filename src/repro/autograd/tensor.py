@@ -8,6 +8,7 @@ from typing import Any, Iterator
 import numpy as np
 
 from repro.errors import AutogradError
+from repro.precision import resolve_dtype
 
 _GRAD_ENABLED = True
 
@@ -35,25 +36,28 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything :func:`numpy.asarray` accepts.  Floating point data is kept
-        as ``float64`` for numerically robust gradient checks.
+        Anything :func:`numpy.asarray` accepts.  Data is cast to the active
+        precision policy (:mod:`repro.precision`); the ``float64`` default
+        keeps gradient checks numerically robust, ``float32`` is the fast
+        training path.
     requires_grad:
         When ``True`` the tensor participates in the backward graph and
         receives a ``.grad`` array after :meth:`backward`.
+    dtype:
+        Explicit dtype overriding the policy (used by ops to preserve their
+        operand dtype and by :meth:`detach`/:meth:`copy`).
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_node")
 
-    def __init__(self, data: Any, requires_grad: bool = False) -> None:
+    def __init__(self, data: Any, requires_grad: bool = False, dtype: Any = None) -> None:
         if isinstance(data, Tensor):
             data = data.data
         array = np.asarray(data)
         if array.dtype == object:
             raise TypeError("Tensor data must be numeric")
-        if np.issubdtype(array.dtype, np.floating):
-            array = array.astype(np.float64, copy=False)
-        else:
-            array = array.astype(np.float64)
+        target = np.dtype(dtype) if dtype is not None else resolve_dtype()
+        array = array.astype(target, copy=False)
         self.data: np.ndarray = array
         self.grad: np.ndarray | None = None
         self.requires_grad: bool = bool(requires_grad)
@@ -107,11 +111,23 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but outside the backward graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
 
     def copy(self) -> "Tensor":
         """Return a deep copy (detached from the graph)."""
-        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad, dtype=self.data.dtype)
+
+    def astype(self, dtype: Any) -> "Tensor":
+        """Return a copy cast to ``dtype``, outside the backward graph.
+
+        Always copies (like :meth:`numpy.ndarray.astype`), so mutating the
+        result never aliases back into ``self``.
+        """
+        return Tensor(
+            self.data.astype(np.dtype(dtype), copy=True),
+            requires_grad=self.requires_grad,
+            dtype=dtype,
+        )
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
@@ -135,9 +151,11 @@ class Tensor:
             if self.data.size != 1:
                 raise AutogradError("backward() without an explicit gradient needs a scalar tensor")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        # Gradients live in the dtype of the tensor they belong to, which is
+        # the policy dtype for any graph built under one precision policy.
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
-            grad = np.broadcast_to(grad, self.data.shape).astype(np.float64)
+            grad = np.broadcast_to(grad, self.data.shape).astype(self.data.dtype)
 
         order = self._topological_order()
         grads: dict[int, np.ndarray] = {id(self): grad}
@@ -158,7 +176,7 @@ class Tensor:
                     continue
                 if not parent.requires_grad and parent._node is None:
                     continue
-                parent_grad = np.asarray(parent_grad, dtype=np.float64)
+                parent_grad = np.asarray(parent_grad, dtype=parent.data.dtype)
                 if parent_grad.shape != parent.data.shape:
                     raise AutogradError(
                         f"{node.function.__name__}.backward produced gradient of shape "
@@ -357,6 +375,7 @@ def as_tensor(value: Any, requires_grad: bool = False) -> Tensor:
 
 
 def zeros_like(tensor: Tensor | np.ndarray, requires_grad: bool = False) -> Tensor:
-    """A tensor of zeros with the same shape as ``tensor``."""
+    """A tensor of zeros with the same shape (and float dtype) as ``tensor``."""
     data = tensor.data if isinstance(tensor, Tensor) else np.asarray(tensor)
-    return Tensor(np.zeros_like(data, dtype=np.float64), requires_grad=requires_grad)
+    dtype = data.dtype if np.issubdtype(data.dtype, np.floating) else resolve_dtype()
+    return Tensor(np.zeros_like(data, dtype=dtype), requires_grad=requires_grad, dtype=dtype)

@@ -66,6 +66,17 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--hidden-dim", type=int, default=32)
     train.add_argument("--patience", type=int, default=50)
     train.add_argument("--nodes", type=int, default=None, help="override dataset size")
+    train.add_argument(
+        "--precision",
+        choices=("float64", "float32"),
+        default="float64",
+        help="floating-point policy: float64 (bit-exact) or float32 (fast path)",
+    )
+    train.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-op timings and print the hottest ops after training",
+    )
 
     compare = subparsers.add_parser("compare", help="compare several models on several datasets")
     compare.add_argument("--datasets", nargs="+", required=True)
@@ -74,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--epochs", type=int, default=100)
     compare.add_argument("--hidden-dim", type=int, default=32)
     compare.add_argument("--nodes", type=int, default=None, help="override dataset size")
+    compare.add_argument(
+        "--precision",
+        choices=("float64", "float32"),
+        default="float64",
+        help="floating-point policy for every training run",
+    )
     return parser
 
 
@@ -92,15 +109,26 @@ def _command_train(args: argparse.Namespace) -> int:
         lr=args.lr,
         weight_decay=args.weight_decay,
         patience=args.patience if args.patience > 0 else None,
+        precision=args.precision,
     )
-    result = Trainer(model, dataset, config).train()
+    result = Trainer(model, dataset, config, profile=args.profile).train()
     print(f"dataset          : {dataset.name} ({dataset.n_nodes} nodes)")
     print(f"model            : {args.model} ({result.n_parameters} parameters)")
+    print(f"precision        : {config.precision}")
     print(f"best val accuracy: {result.best_val_accuracy:.4f} (epoch {result.best_epoch})")
     print(f"test accuracy    : {result.test_accuracy:.4f}")
     print(f"test macro-F1    : {result.test_macro_f1:.4f}")
     print(f"train time       : {result.train_time:.1f}s "
           f"({result.mean_epoch_time * 1000:.1f} ms/epoch)")
+    profile = result.extras.get("profile")
+    if profile:
+        print(f"profiled op time : {profile['op_seconds']:.3f}s "
+              f"({profile['coverage'] * 100:.1f}% of epoch wall-clock)")
+        print("hottest ops      :")
+        for row in profile["ops"][:8]:
+            print(f"  {row['op']:<16} {row['total_seconds'] * 1000:8.1f} ms "
+                  f"({row['calls']} fwd / {row['backward_calls']} bwd, "
+                  f"{row['total_bytes'] / 1e6:.1f} MB)")
     return 0
 
 
@@ -118,7 +146,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         methods,
         datasets,
         n_seeds=args.seeds,
-        train_config=TrainConfig(epochs=args.epochs, patience=None),
+        train_config=TrainConfig(epochs=args.epochs, patience=None, precision=args.precision),
         title="repro compare",
     )
     print()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Hashable
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -66,7 +68,8 @@ class DynamicHypergraphBuilder:
         self.weight_temperature = float(weight_temperature)
         self.engine = engine if engine is not None else get_default_engine()
         self._rng = as_rng(seed)
-        self._last_hypergraph: Hypergraph | None = None
+        #: Previously built topology per slot (see :meth:`build_operator`).
+        self._last_hypergraphs: dict[Hashable, Hypergraph] = {}
         #: Number of hypergraph constructions performed (refresh diagnostics).
         self.build_count = 0
 
@@ -95,15 +98,21 @@ class DynamicHypergraphBuilder:
         self.build_count += 1
         return hypergraph
 
-    def build_operator(self, embedding: np.ndarray) -> sp.csr_matrix:
+    def build_operator(self, embedding: np.ndarray, *, slot: Hashable = None) -> sp.csr_matrix:
         """Construct the normalised propagation operator of the dynamic hypergraph.
 
         A refresh that changed the structure invalidates the superseded
         topology's cached operators; an identical rebuild hits the cache.
+
+        ``slot`` identifies *whose* previous topology this build supersedes.
+        A model whose layers share one builder (DHGCN) passes its layer index,
+        so layer k's refresh compares against layer k's own previous topology
+        — not the sibling layer built a moment earlier — and an unchanged
+        layer keeps hitting its cached operator.
         """
         hypergraph = self.build_hypergraph(embedding)
-        operator = self.engine.refresh_operator(self._last_hypergraph, hypergraph)
-        self._last_hypergraph = hypergraph
+        operator = self.engine.refresh_operator(self._last_hypergraphs.get(slot), hypergraph)
+        self._last_hypergraphs[slot] = hypergraph
         return operator
 
     def cache_stats(self) -> dict[str, int | float]:

@@ -16,6 +16,7 @@ from repro.hypergraph.refresh import TopologyRefreshEngine
 from repro.models.base import BaseNodeClassifier
 from repro.nn import Dropout
 from repro.nn.container import ModuleList
+from repro.utils.profiling import record_block
 from repro.utils.rng import as_rng, spawn_rngs
 
 
@@ -170,7 +171,8 @@ class DHGCN(BaseNodeClassifier):
         hidden = as_tensor(features)
         last = len(self.blocks) - 1
         if self._needs_refresh:
-            self._reweight_static_operator()
+            with record_block("DHGCN.topology_refresh"):
+                self._reweight_static_operator()
         for position, block in enumerate(self.blocks):
             if self.config.use_dynamic and (
                 self._needs_refresh or self._dynamic_operators[position] is None
@@ -178,7 +180,10 @@ class DHGCN(BaseNodeClassifier):
                 reference = self._block_inputs[position]
                 if reference is None:
                     reference = hidden.data
-                self._dynamic_operators[position] = self.builder.build_operator(reference)
+                with record_block("DHGCN.topology_refresh"):
+                    self._dynamic_operators[position] = self.builder.build_operator(
+                        reference, slot=position
+                    )
             self._block_inputs[position] = hidden.data
             hidden = self.dropout(hidden)
             hidden = block(hidden, self._static_operator, self._dynamic_operators[position])

@@ -6,6 +6,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graph.graph import Graph
+from repro.precision import resolve_dtype
 
 
 def _degree_inverse_sqrt(adjacency: sp.spmatrix) -> sp.dia_matrix:
@@ -16,13 +17,26 @@ def _degree_inverse_sqrt(adjacency: sp.spmatrix) -> sp.dia_matrix:
     return sp.diags(inverse_sqrt)
 
 
-def gcn_normalized_adjacency(graph: Graph | sp.spmatrix, self_loops: bool = True) -> sp.csr_matrix:
-    """Kipf & Welling propagation operator ``D̂^-1/2 (A + I) D̂^-1/2``."""
+def gcn_normalized_adjacency(
+    graph: Graph | sp.spmatrix,
+    self_loops: bool = True,
+    *,
+    dtype: np.dtype | str | None = None,
+) -> sp.csr_matrix:
+    """Kipf & Welling propagation operator ``D̂^-1/2 (A + I) D̂^-1/2``.
+
+    The normalisation runs in float64 and the result is stored in ``dtype``
+    (the active precision policy when ``None``).
+    """
+    target = resolve_dtype(dtype)
     adjacency = graph.adjacency(self_loops=False) if isinstance(graph, Graph) else sp.csr_matrix(graph)
     if self_loops:
         adjacency = adjacency + sp.eye(adjacency.shape[0])
     d_inv_sqrt = _degree_inverse_sqrt(adjacency)
-    return (d_inv_sqrt @ adjacency @ d_inv_sqrt).tocsr()
+    operator = (d_inv_sqrt @ adjacency @ d_inv_sqrt).tocsr()
+    if operator.dtype != target:
+        operator = operator.astype(target)
+    return operator
 
 
 def unnormalized_laplacian(graph: Graph | sp.spmatrix) -> sp.csr_matrix:

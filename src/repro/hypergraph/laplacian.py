@@ -18,6 +18,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.precision import resolve_dtype
 
 
 def _safe_inverse(values: np.ndarray, power: float = 1.0) -> np.ndarray:
@@ -32,6 +33,7 @@ def hypergraph_propagation_operator(
     hypergraph: Hypergraph,
     *,
     self_loop_isolated: bool = True,
+    dtype: np.dtype | str | None = None,
 ) -> sp.csr_matrix:
     """Return the HGNN smoothing operator ``Dv^-1/2 H W De^-1 Hᵀ Dv^-1/2``.
 
@@ -43,10 +45,18 @@ def hypergraph_propagation_operator(
         When ``True`` (default), nodes contained in no hyperedge keep their
         own features through an added identity entry, which prevents their
         representations from collapsing to zero.
+    dtype:
+        Storage dtype of the returned CSR matrix; ``None`` follows the active
+        precision policy.  The normalisation pipeline always runs in float64
+        and is cast once at the end, so float32 operators are bit-wise the
+        rounded float64 ones.
     """
+    target = resolve_dtype(dtype)
     n = hypergraph.n_nodes
     if hypergraph.n_hyperedges == 0:
-        return sp.eye(n, format="csr") if self_loop_isolated else sp.csr_matrix((n, n))
+        if self_loop_isolated:
+            return sp.eye(n, format="csr", dtype=target)
+        return sp.csr_matrix((n, n), dtype=target)
 
     incidence = hypergraph.incidence_matrix()
     weights = hypergraph.weights
@@ -66,13 +76,24 @@ def hypergraph_propagation_operator(
                 (np.ones(isolated.size), (isolated, isolated)), shape=(n, n)
             )
             operator = operator + loops
-    return operator.tocsr()
+    operator = operator.tocsr()
+    if operator.dtype != target:
+        operator = operator.astype(target)
+    return operator
 
 
-def hypergraph_laplacian(hypergraph: Hypergraph) -> sp.csr_matrix:
+def hypergraph_laplacian(
+    hypergraph: Hypergraph, *, dtype: np.dtype | str | None = None
+) -> sp.csr_matrix:
     """Normalised hypergraph Laplacian ``Δ = I - Θ`` (Zhou et al., 2006)."""
-    operator = hypergraph_propagation_operator(hypergraph, self_loop_isolated=False)
-    return (sp.eye(hypergraph.n_nodes) - operator).tocsr()
+    target = resolve_dtype(dtype)
+    operator = hypergraph_propagation_operator(
+        hypergraph, self_loop_isolated=False, dtype=np.float64
+    )
+    laplacian = (sp.eye(hypergraph.n_nodes) - operator).tocsr()
+    if laplacian.dtype != target:
+        laplacian = laplacian.astype(target)
+    return laplacian
 
 
 def compactness_hyperedge_weights(

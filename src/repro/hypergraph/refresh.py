@@ -35,11 +35,13 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Hashable
 
+import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import ConfigurationError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.laplacian import hypergraph_laplacian, hypergraph_propagation_operator
+from repro.precision import resolve_dtype
 
 #: Default LRU capacity; sized for a full benchmark sweep (one static operator
 #: per dataset realisation plus the live dynamic operators of a deep model).
@@ -90,18 +92,37 @@ class OperatorCache:
         return operator
 
     def propagation_operator(
-        self, hypergraph: Hypergraph, *, self_loop_isolated: bool = True
+        self,
+        hypergraph: Hypergraph,
+        *,
+        self_loop_isolated: bool = True,
+        dtype: np.dtype | str | None = None,
     ) -> sp.csr_matrix:
-        """Cached ``Dv^-1/2 H W De^-1 Hᵀ Dv^-1/2`` (see :mod:`..laplacian`)."""
+        """Cached ``Dv^-1/2 H W De^-1 Hᵀ Dv^-1/2`` (see :mod:`..laplacian`).
+
+        The cache key includes the storage dtype (resolved from the precision
+        policy when ``dtype`` is ``None``), so float64 and float32 requests
+        for the same topology coexist without ever returning the wrong kind.
+        """
+        target = resolve_dtype(dtype)
         return self._get(
             hypergraph,
-            ("propagation", self_loop_isolated),
-            lambda hg: hypergraph_propagation_operator(hg, self_loop_isolated=self_loop_isolated),
+            ("propagation", self_loop_isolated, target.name),
+            lambda hg: hypergraph_propagation_operator(
+                hg, self_loop_isolated=self_loop_isolated, dtype=target
+            ),
         )
 
-    def laplacian(self, hypergraph: Hypergraph) -> sp.csr_matrix:
+    def laplacian(
+        self, hypergraph: Hypergraph, *, dtype: np.dtype | str | None = None
+    ) -> sp.csr_matrix:
         """Cached normalised hypergraph Laplacian ``Δ = I - Θ``."""
-        return self._get(hypergraph, "laplacian", hypergraph_laplacian)
+        target = resolve_dtype(dtype)
+        return self._get(
+            hypergraph,
+            ("laplacian", target.name),
+            lambda hg: hypergraph_laplacian(hg, dtype=target),
+        )
 
     # ------------------------------------------------------------------ #
     # Invalidation / introspection
@@ -188,10 +209,14 @@ class TopologyRefreshEngine:
         return cls(cache=cache, block_size=block_size)
 
     def propagation_operator(
-        self, hypergraph: Hypergraph, *, self_loop_isolated: bool = True
+        self,
+        hypergraph: Hypergraph,
+        *,
+        self_loop_isolated: bool = True,
+        dtype: np.dtype | str | None = None,
     ) -> sp.csr_matrix:
         return self.cache.propagation_operator(
-            hypergraph, self_loop_isolated=self_loop_isolated
+            hypergraph, self_loop_isolated=self_loop_isolated, dtype=dtype
         )
 
     def refresh_operator(
@@ -200,6 +225,7 @@ class TopologyRefreshEngine:
         hypergraph: Hypergraph,
         *,
         self_loop_isolated: bool = True,
+        dtype: np.dtype | str | None = None,
     ) -> sp.csr_matrix:
         """Operator of a refreshed topology, invalidating the superseded one.
 
@@ -210,10 +236,14 @@ class TopologyRefreshEngine:
         """
         if previous is not None and previous.fingerprint() != hypergraph.fingerprint():
             self.discard(previous)
-        return self.propagation_operator(hypergraph, self_loop_isolated=self_loop_isolated)
+        return self.propagation_operator(
+            hypergraph, self_loop_isolated=self_loop_isolated, dtype=dtype
+        )
 
-    def laplacian(self, hypergraph: Hypergraph) -> sp.csr_matrix:
-        return self.cache.laplacian(hypergraph)
+    def laplacian(
+        self, hypergraph: Hypergraph, *, dtype: np.dtype | str | None = None
+    ) -> sp.csr_matrix:
+        return self.cache.laplacian(hypergraph, dtype=dtype)
 
     def discard(self, hypergraph: Hypergraph) -> int:
         return self.cache.discard(hypergraph)

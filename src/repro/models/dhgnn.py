@@ -24,6 +24,7 @@ from repro.hypergraph.refresh import TopologyRefreshEngine
 from repro.models.base import BaseNodeClassifier
 from repro.nn import Dropout, Linear
 from repro.nn.container import ModuleList
+from repro.utils.profiling import record_block
 from repro.utils.rng import as_rng, spawn_rngs
 
 
@@ -139,7 +140,8 @@ class DHGNN(BaseNodeClassifier):
                 reference = self._layer_inputs[position]
                 if reference is None:
                     reference = hidden.data
-                self._operators[position] = self._build_operator(reference, position)
+                with record_block("DHGNN.topology_refresh"):
+                    self._operators[position] = self._build_operator(reference, position)
             self._layer_inputs[position] = hidden.data
             hidden = self.dropout(hidden)
             hidden = spmm(self._operators[position], layer(hidden))

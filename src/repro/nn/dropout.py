@@ -6,8 +6,12 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.nn.module import Module
+from repro.utils.profiling import record_block
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_fraction
+
+#: Dtypes ``Generator.random`` can sample directly (the two policy dtypes).
+_NATIVE_RANDOM_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 
 class Dropout(Module):
@@ -15,6 +19,11 @@ class Dropout(Module):
 
     Uses the *inverted* convention: surviving activations are rescaled by
     ``1 / (1 - p)`` so evaluation needs no adjustment.
+
+    The keep/scale mask is built fused in the dtype of the input: the random
+    draw happens directly in that dtype and the threshold + rescale collapse
+    into a single ``multiply`` pass, instead of the naive bool ``astype``
+    float64 plus separate divide (three full-size temporaries).
     """
 
     def __init__(self, p: float = 0.5, seed=None) -> None:
@@ -30,9 +39,13 @@ class Dropout(Module):
         if not self.training or self.p == 0.0:
             return x
         keep_probability = 1.0 - self.p
-        mask = (self._rng.random(x.shape) < keep_probability).astype(np.float64)
-        mask /= keep_probability
-        return x * Tensor(mask)
+        dtype = x.dtype if x.dtype in _NATIVE_RANDOM_DTYPES else np.dtype(np.float64)
+        with record_block("Dropout.mask"):
+            draws = self._rng.random(x.shape, dtype=dtype)
+            mask = np.multiply(
+                draws < keep_probability, 1.0 / keep_probability, dtype=dtype
+            )
+        return x * Tensor(mask, dtype=dtype)
 
     def __repr__(self) -> str:
         return f"Dropout(p={self.p})"

@@ -58,17 +58,19 @@ def kaiming_uniform(shape: tuple[int, ...], nonlinearity: str = "relu", seed=Non
 
 def uniform_(tensor: Tensor, low: float = -0.1, high: float = 0.1, seed=None) -> Tensor:
     """Fill ``tensor`` in place with values drawn uniformly from [low, high]."""
-    tensor.data = as_rng(seed).uniform(low, high, size=tensor.shape)
+    draws = as_rng(seed).uniform(low, high, size=tensor.shape)
+    tensor.data = draws.astype(tensor.data.dtype, copy=False)
     return tensor
 
 
 def normal_(tensor: Tensor, mean: float = 0.0, std: float = 0.01, seed=None) -> Tensor:
     """Fill ``tensor`` in place with Gaussian values."""
-    tensor.data = as_rng(seed).normal(mean, std, size=tensor.shape)
+    draws = as_rng(seed).normal(mean, std, size=tensor.shape)
+    tensor.data = draws.astype(tensor.data.dtype, copy=False)
     return tensor
 
 
 def zeros_(tensor: Tensor) -> Tensor:
-    """Fill ``tensor`` in place with zeros."""
-    tensor.data = np.zeros(tensor.shape, dtype=np.float64)
+    """Fill ``tensor`` in place with zeros (keeping the tensor's dtype)."""
+    tensor.data = np.zeros(tensor.shape, dtype=tensor.data.dtype)
     return tensor

@@ -13,6 +13,7 @@ from typing import Any, Iterator
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.precision import resolve_dtype
 
 
 class Parameter(Tensor):
@@ -108,6 +109,26 @@ class Module:
         """Set evaluation mode recursively."""
         return self.train(False)
 
+    def to(self, precision: Any = None) -> "Module":
+        """Cast every parameter (and registered buffer) to ``precision``.
+
+        ``precision`` is a policy name / dtype accepted by
+        :func:`repro.precision.resolve_dtype`; ``None`` means the active
+        policy.  Casting is in place and clears stale gradients; a same-dtype
+        cast is free.  Modules holding non-parameter arrays (e.g. batch-norm
+        running statistics) override :meth:`_cast_buffers`.
+        """
+        dtype = resolve_dtype(precision)
+        for parameter in self.parameters():
+            parameter.data = parameter.data.astype(dtype, copy=False)
+            parameter.grad = None
+        for _, module in self.named_modules():
+            module._cast_buffers(dtype)
+        return self
+
+    def _cast_buffers(self, dtype: np.dtype) -> None:
+        """Hook for subclasses with non-parameter arrays (default: nothing)."""
+
     def zero_grad(self) -> None:
         """Clear gradients of every parameter."""
         for parameter in self.parameters():
@@ -132,7 +153,7 @@ class Module:
                 f"state_dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
             )
         for name, parameter in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=parameter.data.dtype)
             if value.shape != parameter.data.shape:
                 raise ValueError(
                     f"parameter {name!r} has shape {parameter.data.shape}, "

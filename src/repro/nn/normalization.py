@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.nn.module import Module, Parameter
+from repro.precision import resolve_dtype
 
 
 class BatchNorm1d(Module):
@@ -24,8 +25,15 @@ class BatchNorm1d(Module):
         self.momentum = float(momentum)
         self.weight = Parameter(np.ones(num_features))
         self.bias = Parameter(np.zeros(num_features))
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        # Running statistics follow the precision policy (like the
+        # parameters); eps stays a python float so ``var + eps`` never
+        # promotes a float32 batch to float64.
+        self.running_mean = np.zeros(num_features, dtype=resolve_dtype())
+        self.running_var = np.ones(num_features, dtype=resolve_dtype())
+
+    def _cast_buffers(self, dtype: np.dtype) -> None:
+        self.running_mean = self.running_mean.astype(dtype, copy=False)
+        self.running_var = self.running_var.astype(dtype, copy=False)
 
     def forward(self, x: Tensor) -> Tensor:
         x = as_tensor(x)
@@ -46,7 +54,7 @@ class BatchNorm1d(Module):
         else:
             mean, var = self.running_mean, self.running_var
         scale = 1.0 / np.sqrt(var + self.eps)
-        normalised = (x - Tensor(mean)) * Tensor(scale)
+        normalised = (x - Tensor(mean, dtype=x.dtype)) * Tensor(scale, dtype=x.dtype)
         return normalised * self.weight + self.bias
 
     def __repr__(self) -> str:

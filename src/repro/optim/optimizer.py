@@ -40,10 +40,15 @@ class Optimizer:
         raise NotImplementedError
 
     def _gradient(self, parameter: Tensor) -> np.ndarray:
-        """Return the parameter's gradient (zeros when it never received one)."""
+        """Return the parameter's gradient (zeros when it never received one).
+
+        The gradient is coerced to the parameter's dtype so optimizer state
+        (momenta, velocities — allocated with ``zeros_like``) never silently
+        promotes a float32 model back to float64.
+        """
         if parameter.grad is None:
             return np.zeros_like(parameter.data)
-        return parameter.grad
+        return parameter.grad.astype(parameter.data.dtype, copy=False)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(lr={self.lr}, parameters={len(self.parameters)})"

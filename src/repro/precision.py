@@ -1,0 +1,104 @@
+"""Process-wide floating-point precision policy.
+
+Every floating-point allocation of the numeric stack — leaf tensors, forward
+results, backward gradients, dropout masks, optimizer state and the cached
+propagation operators — follows one *precision policy*:
+
+* ``"float64"`` (the default) keeps the bit-exact reproduction behaviour and
+  the tight tolerances of the numerical gradient checks;
+* ``"float32"`` is the fast path: half the memory bandwidth, SIMD-friendlier
+  BLAS/CSR kernels, and the dtype real GNN stacks train in.
+
+The policy is process-wide state, mutated with :func:`set_precision` or scoped
+with the :func:`precision` context manager::
+
+    from repro.precision import precision
+
+    with precision("float32"):
+        result = Trainer(model, dataset, config).train()
+
+Design rules
+------------
+* **Leaves follow the policy.** ``Tensor(data)`` casts floating data to the
+  policy dtype, so a graph built under one policy is uniformly typed.
+* **Operations follow their operands.** ``Function.apply`` and every backward
+  rule preserve the operand dtype instead of re-reading the policy, so a
+  float32 model keeps producing float32 activations even when called outside
+  the context it was built in, and no op silently up-casts to float64.
+* **Structural code stays float64.** Hypergraph construction (k-NN, k-means,
+  compactness weights, degree pipelines) is data preprocessing, not hot-path
+  linear algebra; operators are built in float64 and cast once to the policy
+  dtype when they enter the cache (:mod:`repro.hypergraph.refresh`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Precision names accepted by :func:`set_precision` / :class:`TrainConfig`.
+SUPPORTED_PRECISIONS: tuple[str, ...] = ("float64", "float32")
+
+_DTYPES: dict[str, np.dtype] = {name: np.dtype(name) for name in SUPPORTED_PRECISIONS}
+
+_CURRENT: np.dtype = _DTYPES["float64"]
+
+
+def normalize_precision(precision: Any) -> str:
+    """Canonical precision name for ``precision``.
+
+    Accepts the string names, numpy scalar types (``np.float32``) and
+    :class:`numpy.dtype` instances; raises :class:`ConfigurationError` for
+    anything outside :data:`SUPPORTED_PRECISIONS`.
+    """
+    if isinstance(precision, np.dtype):
+        name = precision.name
+    elif isinstance(precision, type) and issubclass(precision, np.generic):
+        name = np.dtype(precision).name
+    else:
+        name = str(precision)
+    if name not in _DTYPES:
+        raise ConfigurationError(
+            f"precision must be one of {SUPPORTED_PRECISIONS}, got {precision!r}"
+        )
+    return name
+
+
+def get_precision() -> str:
+    """Name of the active policy (``"float64"`` or ``"float32"``)."""
+    return _CURRENT.name
+
+
+def get_dtype() -> np.dtype:
+    """The active policy as a :class:`numpy.dtype`."""
+    return _CURRENT
+
+
+def set_precision(precision: Any) -> np.dtype:
+    """Set the process-wide policy; returns the resolved dtype."""
+    global _CURRENT
+    _CURRENT = _DTYPES[normalize_precision(precision)]
+    return _CURRENT
+
+
+def resolve_dtype(precision: Any | None = None) -> np.dtype:
+    """Dtype for an explicit ``precision``, or the active policy when ``None``."""
+    if precision is None:
+        return _CURRENT
+    return _DTYPES[normalize_precision(precision)]
+
+
+@contextlib.contextmanager
+def precision(name: Any) -> Iterator[np.dtype]:
+    """Scope the policy to a ``with`` block (restored on exit, even on error)."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = _DTYPES[normalize_precision(name)]
+    try:
+        yield _CURRENT
+    finally:
+        _CURRENT = previous

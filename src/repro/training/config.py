@@ -6,6 +6,7 @@ from dataclasses import asdict, dataclass
 from typing import Any
 
 from repro.errors import ConfigurationError
+from repro.precision import SUPPORTED_PRECISIONS
 
 _OPTIMIZERS = ("adam", "adamw", "sgd")
 
@@ -33,6 +34,11 @@ class TrainConfig:
     restore_best:
         Reload the parameters of the best validation epoch before the final
         test evaluation.
+    precision:
+        Floating-point policy of the run (:mod:`repro.precision`):
+        ``"float64"`` (default, bit-exact reproduction) or ``"float32"``
+        (fast path — parameters, activations, gradients, optimizer state and
+        cached operators all stored at half the bandwidth).
     verbose:
         Log progress through the library logger.
     """
@@ -45,6 +51,7 @@ class TrainConfig:
     patience: int | None = 50
     eval_every: int = 1
     restore_best: bool = True
+    precision: str = "float64"
     verbose: bool = False
 
     def __post_init__(self) -> None:
@@ -62,6 +69,10 @@ class TrainConfig:
             raise ConfigurationError(f"patience must be >= 1 or None, got {self.patience}")
         if self.eval_every < 1:
             raise ConfigurationError(f"eval_every must be >= 1, got {self.eval_every}")
+        if self.precision not in SUPPORTED_PRECISIONS:
+            raise ConfigurationError(
+                f"precision must be one of {SUPPORTED_PRECISIONS}, got {self.precision!r}"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -13,9 +14,11 @@ from repro.data.dataset import NodeClassificationDataset
 from repro.errors import TrainingError
 from repro.models.base import BaseNodeClassifier
 from repro.optim import SGD, Adam, AdamW, EarlyStopping
+from repro.precision import precision
 from repro.training.config import TrainConfig
 from repro.training.metrics import accuracy, macro_f1
 from repro.utils.logging import get_logger
+from repro.utils.profiling import OpProfiler, record_block
 from repro.utils.timer import Timer
 
 logger = get_logger("training")
@@ -71,14 +74,22 @@ class Trainer:
         model: BaseNodeClassifier,
         dataset: NodeClassificationDataset,
         config: TrainConfig | None = None,
+        *,
+        profile: bool = False,
     ) -> None:
         if not isinstance(model, BaseNodeClassifier):
             raise TrainingError(f"model must be a BaseNodeClassifier, got {type(model)!r}")
         self.model = model
         self.dataset = dataset
         self.config = config or TrainConfig()
-        self.model.setup(dataset)
-        self._features = Tensor(dataset.features)
+        self.profile = bool(profile)
+        # The whole run — parameter casts, operator precomputation, the
+        # feature tensor and later every epoch — executes under the
+        # configured precision policy.
+        with precision(self.config.precision):
+            self.model.to(self.config.precision)
+            self.model.setup(dataset)
+            self._features = Tensor(dataset.features)
         self._labels = dataset.labels
 
     # ------------------------------------------------------------------ #
@@ -101,6 +112,10 @@ class Trainer:
 
     def train(self) -> TrainResult:
         """Run the full training loop and return the evaluation summary."""
+        with precision(self.config.precision):
+            return self._train_loop()
+
+    def _train_loop(self) -> TrainResult:
         config = self.config
         split = self.dataset.split
         optimizer = self._make_optimizer()
@@ -120,8 +135,11 @@ class Trainer:
         epoch_timer = Timer()
         best_val = -np.inf
         best_epoch = 0
-        best_state = self.model.state_dict()
+        # The upfront parameter snapshot only exists to be restored later;
+        # without restore_best it would be a dead full-model deep copy.
+        best_state = self.model.state_dict() if config.restore_best else None
         epochs_run = 0
+        profiler = OpProfiler() if self.profile else None
 
         with total_timer.measure():
             for epoch in range(config.epochs):
@@ -129,14 +147,18 @@ class Trainer:
                 self.model.on_epoch(epoch)
                 self.model.train()
                 with epoch_timer.measure():
-                    optimizer.zero_grad()
-                    logits = self.model(self._features)
-                    loss = cross_entropy(logits, self._labels, split.train)
-                    loss_value = float(loss.data)
-                    if not np.isfinite(loss_value):
-                        raise TrainingError(f"training loss became non-finite at epoch {epoch}")
-                    loss.backward()
-                    optimizer.step()
+                    with profiler.activate() if profiler is not None else nullcontext():
+                        optimizer.zero_grad()
+                        logits = self.model(self._features)
+                        loss = cross_entropy(logits, self._labels, split.train)
+                        loss_value = float(loss.data)
+                        if not np.isfinite(loss_value):
+                            raise TrainingError(
+                                f"training loss became non-finite at epoch {epoch}"
+                            )
+                        loss.backward()
+                        with record_block("Optimizer.step"):
+                            optimizer.step()
 
                 if epoch % config.eval_every == 0 or epoch == config.epochs - 1:
                     metrics = self.evaluate()
@@ -163,10 +185,14 @@ class Trainer:
                     ):
                         break
 
-        if config.restore_best:
+        if config.restore_best and best_state is not None:
             self.model.load_state_dict(best_state)
         final = self.evaluate()
         extras: dict[str, Any] = {}
+        if profiler is not None:
+            # Per-op totals against the summed epoch wall-clock: the coverage
+            # ratio is the profiler's own accounting check.
+            extras["profile"] = profiler.summary(wall_seconds=epoch_timer.total)
         # Dynamic-topology models report their refresh-engine cache counters
         # so experiment sweeps (and bench_refresh_engine) can audit reuse.
         stats_hook = getattr(self.model, "topology_cache_stats", None)
@@ -194,7 +220,7 @@ class Trainer:
     def predict(self) -> np.ndarray:
         """Predicted class of every node (evaluation mode, no gradients)."""
         self.model.eval()
-        with no_grad():
+        with precision(self.config.precision), no_grad():
             logits = self.model(self._features)
         return np.argmax(logits.data, axis=1)
 

@@ -1,6 +1,7 @@
 """Shared utilities: seeded RNG handling, validation, timing, logging and IO."""
 
 from repro.utils.logging import get_logger
+from repro.utils.profiling import OpProfiler, record_block
 from repro.utils.rng import RandomState, as_rng, set_global_seed, spawn_rngs
 from repro.utils.timer import Timer, timed
 from repro.utils.validation import (
@@ -13,6 +14,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "OpProfiler",
+    "record_block",
     "RandomState",
     "as_rng",
     "set_global_seed",

@@ -1,0 +1,129 @@
+"""Tests of the op-level profiler (repro.utils.profiling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import HGNN, TrainConfig, Trainer
+from repro.autograd import Tensor
+from repro.utils.profiling import OpProfiler, record_block
+from repro.utils import profiling
+
+
+def _small_graph_pass(profiler: OpProfiler | None = None):
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+    w = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+    if profiler is None:
+        loss = ((x @ w).relu()).sum()
+        loss.backward()
+    else:
+        with profiler.activate():
+            loss = ((x @ w).relu()).sum()
+            loss.backward()
+    return x, w
+
+
+class TestOpProfiler:
+    def test_records_forward_and_backward(self):
+        profiler = OpProfiler()
+        _small_graph_pass(profiler)
+        names = set(profiler.records)
+        assert {"MatMul", "ReLU", "Sum"} <= names
+        matmul = profiler.records["MatMul"]
+        assert matmul.calls == 1
+        assert matmul.backward_calls == 1
+        assert matmul.forward_seconds >= 0.0
+        # 6x3 float64 output = 144 bytes; backward returns both grads.
+        assert matmul.forward_bytes == 6 * 3 * 8
+        assert matmul.backward_bytes == (6 * 4 + 4 * 3) * 8
+
+    def test_inactive_by_default(self):
+        profiler = OpProfiler()
+        _small_graph_pass(None)
+        assert profiler.records == {}
+        assert profiling.ACTIVE is None
+
+    def test_activation_is_scoped_and_restored(self):
+        profiler = OpProfiler()
+        assert profiling.ACTIVE is None
+        with profiler.activate():
+            assert profiling.ACTIVE is profiler
+        assert profiling.ACTIVE is None
+
+    def test_activation_restored_on_exception(self):
+        profiler = OpProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.activate():
+                raise RuntimeError("boom")
+        assert profiling.ACTIVE is None
+
+    def test_table_sorted_by_total_time(self):
+        profiler = OpProfiler()
+        _small_graph_pass(profiler)
+        table = profiler.table()
+        totals = [row["total_seconds"] for row in table]
+        assert totals == sorted(totals, reverse=True)
+        assert all("op" in row and "calls" in row for row in table)
+
+    def test_summary_totals_consistent(self):
+        profiler = OpProfiler()
+        _small_graph_pass(profiler)
+        summary = profiler.summary(wall_seconds=1.0)
+        assert summary["op_seconds"] == pytest.approx(
+            sum(row["total_seconds"] for row in summary["ops"])
+        )
+        assert summary["coverage"] == pytest.approx(summary["op_seconds"])
+        assert summary["op_bytes"] == sum(row["total_bytes"] for row in summary["ops"])
+
+    def test_reset(self):
+        profiler = OpProfiler()
+        _small_graph_pass(profiler)
+        profiler.reset()
+        assert profiler.records == {}
+
+
+class TestRecordBlock:
+    def test_noop_without_active_profiler(self):
+        with record_block("anything"):
+            pass  # must not raise nor record anywhere
+
+    def test_attributes_block_to_active_profiler(self):
+        profiler = OpProfiler()
+        with profiler.activate():
+            with record_block("custom.block"):
+                _ = sum(range(100))
+        assert "custom.block" in profiler.records
+        record = profiler.records["custom.block"]
+        assert record.calls == 1
+        assert record.forward_seconds >= 0.0
+
+
+class TestTrainerProfiling:
+    def test_trainer_profile_extras(self, tiny_citation_dataset):
+        model = HGNN(
+            tiny_citation_dataset.n_features, tiny_citation_dataset.n_classes, seed=0
+        )
+        config = TrainConfig(epochs=5, patience=None)
+        result = Trainer(model, tiny_citation_dataset, config, profile=True).train()
+        profile = result.extras["profile"]
+        assert profile["wall_seconds"] > 0.0
+        assert profile["op_seconds"] > 0.0
+        names = {row["op"] for row in profile["ops"]}
+        # Forward ops, the optimizer step and the fused dropout mask all show.
+        assert "MatMul" in names
+        assert "SparseMatMul" in names
+        assert "Optimizer.step" in names
+        assert "Dropout.mask" in names
+        # Per-op totals should explain the large majority of the epoch time.
+        assert 0.5 <= profile["coverage"] <= 1.2
+
+    def test_trainer_without_profile_has_no_extras_entry(self, tiny_citation_dataset):
+        model = HGNN(
+            tiny_citation_dataset.n_features, tiny_citation_dataset.n_classes, seed=0
+        )
+        config = TrainConfig(epochs=2, patience=None)
+        result = Trainer(model, tiny_citation_dataset, config).train()
+        assert "profile" not in result.extras
+        assert profiling.ACTIVE is None
