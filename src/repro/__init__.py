@@ -26,9 +26,14 @@ from repro.core import DHGCN, DHGCNConfig, DynamicHypergraphBuilder
 from repro.data import NodeClassificationDataset, Split, available_datasets, get_dataset
 from repro.graph import Graph
 from repro.hypergraph import (
+    ExactBackend,
     Hypergraph,
+    IncrementalBackend,
+    LSHBackend,
+    NeighborBackend,
     OperatorCache,
     TopologyRefreshEngine,
+    available_neighbor_backends,
     get_default_engine,
     reset_default_engine,
 )
@@ -62,6 +67,11 @@ __all__ = [
     "TopologyRefreshEngine",
     "get_default_engine",
     "reset_default_engine",
+    "NeighborBackend",
+    "ExactBackend",
+    "IncrementalBackend",
+    "LSHBackend",
+    "available_neighbor_backends",
     "Graph",
     "SUPPORTED_PRECISIONS",
     "precision",

@@ -32,6 +32,7 @@ from repro import (
     compare_methods,
     get_dataset,
 )
+from repro.hypergraph import available_neighbor_backends
 from repro.models import SGC, ChebNet, HGNNP
 
 MODEL_REGISTRY: dict[str, Callable] = {
@@ -73,6 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="floating-point policy: float64 (bit-exact) or float32 (fast path)",
     )
     train.add_argument(
+        "--neighbor-backend",
+        choices=available_neighbor_backends(),
+        default=None,
+        help="neighbour-search backend of the dynamic topology "
+        "(exact = bit-identical default, incremental = partial re-queries, "
+        "lsh = approximate hashing)",
+    )
+    train.add_argument(
         "--profile",
         action="store_true",
         help="record per-op timings and print the hottest ops after training",
@@ -90,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("float64", "float32"),
         default="float64",
         help="floating-point policy for every training run",
+    )
+    compare.add_argument(
+        "--neighbor-backend",
+        choices=available_neighbor_backends(),
+        default=None,
+        help="neighbour-search backend for every dynamic-topology model",
     )
     return parser
 
@@ -110,11 +125,14 @@ def _command_train(args: argparse.Namespace) -> int:
         weight_decay=args.weight_decay,
         patience=args.patience if args.patience > 0 else None,
         precision=args.precision,
+        neighbor_backend=args.neighbor_backend,
     )
     result = Trainer(model, dataset, config, profile=args.profile).train()
     print(f"dataset          : {dataset.name} ({dataset.n_nodes} nodes)")
     print(f"model            : {args.model} ({result.n_parameters} parameters)")
     print(f"precision        : {config.precision}")
+    if config.neighbor_backend is not None:
+        print(f"neighbor backend : {config.neighbor_backend}")
     print(f"best val accuracy: {result.best_val_accuracy:.4f} (epoch {result.best_epoch})")
     print(f"test accuracy    : {result.test_accuracy:.4f}")
     print(f"test macro-F1    : {result.test_macro_f1:.4f}")
@@ -146,7 +164,12 @@ def _command_compare(args: argparse.Namespace) -> int:
         methods,
         datasets,
         n_seeds=args.seeds,
-        train_config=TrainConfig(epochs=args.epochs, patience=None, precision=args.precision),
+        train_config=TrainConfig(
+            epochs=args.epochs,
+            patience=None,
+            precision=args.precision,
+            neighbor_backend=args.neighbor_backend,
+        ),
         title="repro compare",
     )
     print()

@@ -34,10 +34,13 @@ class DynamicHypergraphBuilder:
     as in the DHGNN family.
 
     Construction runs through a :class:`TopologyRefreshEngine`: the k-NN step
-    is chunked (``engine.block_size``) and the propagation operator comes from
-    the engine's cache.  On every :meth:`build_operator` call the previously
-    built topology's cache entries are discarded — a refresh supersedes them,
-    so keeping them would only crowd out live static operators.
+    goes through the engine's neighbour-search backend (exact chunked by
+    default; incremental / LSH via ``engine.backend`` — see
+    :mod:`repro.hypergraph.neighbors`) and the propagation operator comes
+    from the engine's cache.  On every :meth:`build_operator` call the
+    previously built topology's cache entries are discarded — a refresh
+    supersedes them, so keeping them would only crowd out live static
+    operators.
     """
 
     def __init__(
@@ -77,15 +80,28 @@ class DynamicHypergraphBuilder:
     # Construction
     # ------------------------------------------------------------------ #
     def build_hypergraph(self, embedding: np.ndarray) -> Hypergraph:
-        """Construct the dynamic hypergraph for ``embedding`` (``(n, d)`` array)."""
-        embedding = np.asarray(embedding, dtype=np.float64)
+        """Construct the dynamic hypergraph for ``embedding`` (``(n, d)`` array).
+
+        The k-NN generator keeps the embedding dtype (float32 embeddings get
+        float32 distance slabs); k-means and the compactness weights cast to
+        float64 internally as before — they are cheap relative to the
+        distance pass and feed weight values, not neighbour selections.
+        """
+        embedding = np.asarray(embedding)
         if embedding.ndim != 2:
             raise ConfigurationError(f"embedding must be 2-D, got shape {embedding.shape}")
         n = embedding.shape[0]
         parts: list[Hypergraph] = []
         if self.use_knn:
             k = min(self.k_neighbors, max(n - 1, 1))
-            parts.append(knn_hyperedges(embedding, k, block_size=self.engine.block_size))
+            parts.append(
+                knn_hyperedges(
+                    embedding,
+                    k,
+                    block_size=self.engine.block_size,
+                    backend=self.engine.backend,
+                )
+            )
         if self.use_cluster:
             clusters = min(self.n_clusters, n)
             parts.append(kmeans_hyperedges(embedding, clusters, seed=self._rng))

@@ -79,6 +79,7 @@ class DHGCN(BaseNodeClassifier):
         self.refresh_engine = TopologyRefreshEngine.for_model(
             use_cache=self.config.use_operator_cache,
             block_size=self.config.knn_block_size,
+            backend=self.config.neighbor_backend,
         )
 
         if self.config.use_dynamic:

@@ -27,9 +27,23 @@ from repro.hypergraph.construction import (
 from repro.hypergraph.expansion import clique_expansion, star_expansion
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.kmeans import KMeansResult, kmeans
-from repro.hypergraph.knn import knn_indices, knn_indices_bruteforce, pairwise_distances
+from repro.hypergraph.knn import (
+    knn_indices,
+    knn_indices_bruteforce,
+    knn_query_rows,
+    pairwise_distances,
+)
 from repro.hypergraph.laplacian import hypergraph_laplacian, hypergraph_propagation_operator
 from repro.hypergraph.metrics import hyperedge_homophily, hypergraph_statistics
+from repro.hypergraph.neighbors import (
+    ExactBackend,
+    IncrementalBackend,
+    LSHBackend,
+    NeighborBackend,
+    available_neighbor_backends,
+    register_neighbor_backend,
+    resolve_backend,
+)
 from repro.hypergraph.refresh import (
     OperatorCache,
     TopologyRefreshEngine,
@@ -47,7 +61,15 @@ __all__ = [
     "reset_default_engine",
     "knn_indices",
     "knn_indices_bruteforce",
+    "knn_query_rows",
     "pairwise_distances",
+    "NeighborBackend",
+    "ExactBackend",
+    "IncrementalBackend",
+    "LSHBackend",
+    "available_neighbor_backends",
+    "register_neighbor_backend",
+    "resolve_backend",
     "kmeans",
     "KMeansResult",
     "knn_hyperedges",

@@ -16,7 +16,7 @@ from repro.errors import HypergraphStructureError
 from repro.graph.graph import Graph
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.kmeans import kmeans
-from repro.hypergraph.knn import knn_indices, pairwise_distances
+from repro.hypergraph.knn import as_feature_matrix, knn_indices, pairwise_distances
 
 
 def knn_hyperedges(
@@ -25,17 +25,26 @@ def knn_hyperedges(
     *,
     metric: str = "euclidean",
     block_size: int | None = None,
+    backend=None,
 ) -> Hypergraph:
     """One hyperedge per node: the node plus its ``k`` nearest neighbours.
 
     This is the "common/local information" generator of the dynamic topology:
     it produces ``n`` hyperedges of size ``k + 1``.  ``block_size`` is
     forwarded to the chunked k-NN (:func:`repro.hypergraph.knn.knn_indices`)
-    and changes memory use only, never the neighbour sets.
+    and changes memory use only, never the neighbour sets.  ``backend``
+    selects the neighbour-search backend (``None`` = the exact chunked
+    kernel; see :mod:`repro.hypergraph.neighbors`) — approximate backends may
+    change the neighbour sets, exact ones never do.
+
+    float32 features are queried in float32 (the distance slabs stay float32
+    — see :func:`repro.hypergraph.knn.distance_block`); everything else is
+    cast to float64 as before.
     """
-    features = np.asarray(features, dtype=np.float64)
+    features = as_feature_matrix(features)
     neighbours = knn_indices(
-        features, k, include_self=False, metric=metric, block_size=block_size
+        features, k, include_self=False, metric=metric, block_size=block_size,
+        backend=backend,
     )
     hyperedges = [
         [node, *neighbours[node].tolist()] for node in range(features.shape[0])

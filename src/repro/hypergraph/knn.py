@@ -1,18 +1,36 @@
 """Nearest-neighbour search in Euclidean feature space.
 
-Two interchangeable back-ends compute the same answer:
+This module is the *exact* kernel of the neighbour-search layer:
 
 * :func:`knn_indices_bruteforce` materialises the full ``(n, n)`` distance
   matrix and sorts every row — simple, but O(n²) memory;
 * :func:`knn_indices` (the default) walks the query rows in blocks of
   ``block_size``, keeps only an ``(block, n)`` distance slab alive at a time
   and extracts the top-``k`` per row with ``argpartition`` — O(n·block)
-  memory.
+  memory;
+* :func:`knn_query_rows` answers the same question for an arbitrary *subset*
+  of query rows (the primitive the incremental backend re-queries moved
+  nodes with).
 
-Both use the same distance kernel (:func:`scipy.spatial.distance.cdist`) and
-the same deterministic tie-break (smaller node index wins among equidistant
-neighbours), so their outputs are **bit-identical**; the equivalence is pinned
-by ``tests/test_refresh_engine.py``.
+Alternative backends (incremental re-query, locality-sensitive hashing) live
+in :mod:`repro.hypergraph.neighbors` and are reachable from here through
+``knn_indices(backend=...)`` — every backend honours the same contract and is
+pinned against this kernel by ``tests/test_neighbor_backends.py``.
+
+Tie-breaking (the backend contract)
+-----------------------------------
+Neighbour order is **fully deterministic**: rows are sorted by
+``(distance, node_index)``, so among equidistant neighbours the *smaller node
+index always wins*.  Both the brute-force and the chunked path implement this
+via a stable lexsort, which makes their outputs bit-identical and gives the
+pluggable backends a well-defined equivalence target (pinned by
+``tests/test_refresh_engine.py`` and the backend contract suite, including
+duplicated-point inputs where every distance ties at zero).
+
+Distance slabs follow the feature dtype: float64 features use
+:func:`scipy.spatial.distance.cdist` (bit-identical to the seed behaviour),
+float32 features keep every temporary in float32 (:func:`distance_block`), so
+a float32 precision-policy pipeline never silently allocates float64 slabs.
 """
 
 from __future__ import annotations
@@ -28,18 +46,59 @@ from repro.errors import ShapeError
 DEFAULT_BLOCK_SIZE = 512
 
 
+def distance_block(queries: np.ndarray, points: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+    """Distance slab ``(len(queries), len(points))`` in the query dtype.
+
+    float64 inputs go through :func:`scipy.spatial.distance.cdist` unchanged
+    (bit-identical to the historical behaviour).  float32 euclidean inputs are
+    computed entirely in float32 via the ``|a|² + |b|² − 2a·b`` expansion, so
+    the float32 precision-policy pipeline allocates no silent float64
+    temporaries.  The inputs are mean-centred first (euclidean distances are
+    translation-invariant): without it the expansion cancels catastrophically
+    for data away from the origin — |a|² grows with the offset squared while
+    the true squared distances stay small — e.g. post-ReLU embeddings, which
+    are all-positive with a large mean.  Non-euclidean float32 metrics fall
+    back to cdist and cast (documented exception — nothing in the library
+    uses them on the hot path).
+    """
+    if queries.dtype == np.float32:
+        if metric == "euclidean":
+            center = points.mean(axis=0)
+            queries = queries - center
+            points = points - center
+            q_norms = np.einsum("ij,ij->i", queries, queries)
+            p_norms = np.einsum("ij,ij->i", points, points)
+            sq = q_norms[:, None] + p_norms[None, :] - 2.0 * (queries @ points.T)
+            np.maximum(sq, np.float32(0.0), out=sq)
+            return np.sqrt(sq, out=sq)
+        return cdist(queries, points, metric=metric).astype(np.float32)
+    return cdist(queries, points, metric=metric)
+
+
 def pairwise_distances(features: np.ndarray, metric: str = "euclidean") -> np.ndarray:
-    """Full ``(n, n)`` pairwise distance matrix."""
-    features = np.asarray(features, dtype=np.float64)
+    """Full ``(n, n)`` pairwise distance matrix (in the feature dtype)."""
+    features = as_feature_matrix(features)
+    return distance_block(features, features, metric=metric)
+
+
+def as_feature_matrix(features: np.ndarray) -> np.ndarray:
+    """2-D float feature matrix; float32 is preserved, everything else
+    becomes float64 (the historical default).
+
+    The dtype gate of the structural pipeline: construction code normalises
+    inputs through this instead of a hard ``float64`` cast so that a float32
+    embedding keeps its dtype all the way into the distance slabs.
+    """
+    features = np.asarray(features)
+    if features.dtype != np.float32:
+        features = np.asarray(features, dtype=np.float64)
     if features.ndim != 2:
         raise ShapeError(f"features must be 2-D, got shape {features.shape}")
-    return cdist(features, features, metric=metric)
+    return features
 
 
 def _validate(features: np.ndarray, k: int, include_self: bool) -> np.ndarray:
-    features = np.asarray(features, dtype=np.float64)
-    if features.ndim != 2:
-        raise ShapeError(f"features must be 2-D, got shape {features.shape}")
+    features = as_feature_matrix(features)
     n = features.shape[0]
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
@@ -58,12 +117,12 @@ def knn_indices_bruteforce(
 ) -> np.ndarray:
     """Reference k-NN via the full distance matrix (O(n²) memory).
 
-    Kept as the ground truth the chunked path is verified against; prefer
+    Kept as the ground truth every other backend is verified against; prefer
     :func:`knn_indices` everywhere else.
     """
     features = _validate(features, k, include_self)
     n = features.shape[0]
-    distances = pairwise_distances(features, metric=metric)
+    distances = distance_block(features, features, metric=metric)
     if not include_self:
         np.fill_diagonal(distances, np.inf)
     # Deterministic tie-breaking: lexsort on (distance, index).
@@ -78,6 +137,7 @@ def knn_indices(
     include_self: bool = False,
     metric: str = "euclidean",
     block_size: int | None = None,
+    backend=None,
 ) -> np.ndarray:
     """Indices of the ``k`` nearest neighbours of every row of ``features``.
 
@@ -95,29 +155,78 @@ def knn_indices(
         :data:`DEFAULT_BLOCK_SIZE`).  Any positive value — including one
         larger than ``n`` — yields the same result; it only trades memory
         for the number of ``cdist`` calls.
+    backend:
+        Neighbour-search backend: ``None`` (this exact chunked kernel), a
+        registered backend name (``"exact"``, ``"incremental"``, ``"lsh"``)
+        or a :class:`repro.hypergraph.neighbors.NeighborBackend` instance.
+        Named backends are constructed with this ``block_size``.
 
     Returns
     -------
     ndarray
         ``(n, k)`` integer array of neighbour indices, ordered by increasing
-        distance (ties broken by node index for determinism).
+        distance (ties broken deterministically by node index — see the
+        module docstring).
     """
+    if backend is not None:
+        from repro.hypergraph.neighbors import resolve_backend
+
+        resolved = resolve_backend(backend, block_size=block_size)
+        return resolved.query(features, k, include_self=include_self, metric=metric)
+
     features = _validate(features, k, include_self)
     n = features.shape[0]
+    indices, _ = knn_query_rows(
+        features,
+        np.arange(n, dtype=np.int64),
+        k,
+        include_self=include_self,
+        metric=metric,
+        block_size=block_size,
+    )
+    return indices
+
+
+def knn_query_rows(
+    features: np.ndarray,
+    rows: np.ndarray,
+    k: int,
+    *,
+    include_self: bool = False,
+    metric: str = "euclidean",
+    block_size: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact k-NN restricted to the query ``rows`` (chunked, tie-safe).
+
+    The primitive shared by the full chunked search (``rows = arange(n)``)
+    and the incremental backend (``rows`` = the invalidated nodes).  Returns
+    ``(indices, distances)``, both ``(len(rows), k)``, where ``distances``
+    holds each selected neighbour's distance **as computed by the distance
+    kernel** — the incremental backend compares mover distances against (and
+    locally re-sorts) these values, so they must come from the same kernel,
+    not a recomputation.
+    """
+    features = _validate(features, k, include_self)
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.ndim != 1:
+        raise ShapeError(f"rows must be 1-D, got shape {rows.shape}")
     if block_size is None:
         block_size = DEFAULT_BLOCK_SIZE
     block_size = int(block_size)
     if block_size <= 0:
         raise ValueError(f"block_size must be positive, got {block_size}")
 
-    result = np.empty((n, k), dtype=np.int64)
-    for start in range(0, n, block_size):
-        stop = min(start + block_size, n)
-        block = cdist(features[start:stop], features, metric=metric)
+    indices = np.empty((rows.shape[0], k), dtype=np.int64)
+    distances = np.empty((rows.shape[0], k), dtype=features.dtype)
+    for start in range(0, rows.shape[0], block_size):
+        chunk = rows[start : start + block_size]
+        slab = distance_block(features[chunk], features, metric=metric)
         if not include_self:
-            block[np.arange(stop - start), np.arange(start, stop)] = np.inf
-        _topk_rows(block, k, out=result[start:stop])
-    return result
+            slab[np.arange(chunk.shape[0]), chunk] = np.inf
+        out = indices[start : start + chunk.shape[0]]
+        _topk_rows(slab, k, out=out)
+        distances[start : start + chunk.shape[0]] = np.take_along_axis(slab, out, axis=1)
+    return indices, distances
 
 
 def _topk_rows(distances: np.ndarray, k: int, out: np.ndarray) -> None:

@@ -1,0 +1,682 @@
+"""Pluggable neighbour-search backends behind the ``knn_indices`` contract.
+
+The dynamic-hypergraph models rebuild their k-NN topology from the evolving
+embedding at every refresh; PR 1's chunked kernel made one rebuild cheap in
+memory, but every refresh still pays a full O(n²) distance pass.  This module
+turns neighbour search into a *swappable backend* so the refresh engine can
+trade exactness for speed without touching any construction code:
+
+``"exact"``   :class:`ExactBackend` — the chunked kernel of
+              :mod:`repro.hypergraph.knn`, bit-identical to brute force.
+``"incremental"``  :class:`IncrementalBackend` — caches the previous feature
+              matrix and neighbour lists and re-queries only the nodes a
+              movement can possibly have invalidated.  With the default
+              ``tolerance=0`` it is **bit-identical to exact** after any
+              move/no-move sequence (float64 kernel; float32 may order
+              ~1-ulp near-ties differently — see the class docs); past
+              ``churn_threshold`` it falls back to a full rebuild.
+``"lsh"``     :class:`LSHBackend` — multi-probe random-projection hashing
+              with exact re-ranking of the candidate set; approximate, with a
+              measurable (and tunable) recall.
+
+The backend contract (pinned per-backend by
+``tests/test_neighbor_backends.py``):
+
+* ``query(features, k, *, include_self=False, metric="euclidean")`` returns an
+  ``(n, k)`` int64 array ordered by increasing distance with ties broken by
+  node index (the deterministic order documented in
+  :mod:`repro.hypergraph.knn`);
+* validation is uniform: non-2-D features raise
+  :class:`~repro.errors.ShapeError`; ``k <= 0``, ``k`` too large for ``n``
+  (including empty feature matrices) raise :class:`ValueError` — every
+  backend shares the kernel's validator;
+* ``update(moved_mask, features)`` lets callers push an explicit movement
+  hint into stateful backends; stateless backends return ``None``;
+* ``cache_key()`` is a hashable description the refresh engine folds into
+  :class:`repro.hypergraph.refresh.OperatorCache` keys for *dynamic*
+  (backend-derived) topologies, so refresh operators built from different
+  backends can never shadow each other; backend-independent static operators
+  stay shared.
+
+Backends are registered by name (:func:`register_neighbor_backend`) and
+resolved with :func:`resolve_backend`; selection threads through
+``knn_indices(backend=...)``, ``knn_hyperedges``, the refresh engine,
+``DHGCNConfig(neighbor_backend=...)``, ``DHGNN(neighbor_backend=...)``,
+``TrainConfig(neighbor_backend=...)`` and the CLI ``--neighbor-backend``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, ClassVar, Hashable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.hypergraph import knn as _knn
+
+
+class NeighborBackend(abc.ABC):
+    """Contract every neighbour-search backend implements."""
+
+    #: Registry name of the backend (class attribute).
+    name: ClassVar[str] = "abstract"
+
+    @abc.abstractmethod
+    def query(
+        self,
+        features: np.ndarray,
+        k: int,
+        *,
+        include_self: bool = False,
+        metric: str = "euclidean",
+    ) -> np.ndarray:
+        """``(n, k)`` int64 neighbour indices of every row of ``features``."""
+
+    def update(self, moved_mask: np.ndarray, features: np.ndarray) -> np.ndarray | None:
+        """Push a movement hint into a stateful backend.
+
+        Stateless backends ignore the hint and return ``None``; stateful ones
+        refresh the rows ``moved_mask`` marks (plus whatever those moves
+        invalidate) and return the updated ``(n, k)`` neighbour lists.
+        """
+        return None
+
+    def reset(self) -> None:
+        """Drop any internal state (stateless backends: no-op)."""
+
+    def cache_key(self) -> tuple[Hashable, ...]:
+        """Hashable identity folded into operator-cache keys."""
+        return (self.name,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+# --------------------------------------------------------------------------- #
+# Exact backend
+# --------------------------------------------------------------------------- #
+class ExactBackend(NeighborBackend):
+    """The chunked exact kernel (:func:`repro.hypergraph.knn.knn_indices`).
+
+    Stateless and bit-identical to the brute-force reference for every block
+    size; this is the default backend everywhere.
+    """
+
+    name = "exact"
+
+    def __init__(self, *, block_size: int | None = None) -> None:
+        self.block_size = block_size
+
+    def query(self, features, k, *, include_self=False, metric="euclidean"):
+        return _knn.knn_indices(
+            features, k, include_self=include_self, metric=metric, block_size=self.block_size
+        )
+
+    def __repr__(self) -> str:
+        return f"ExactBackend(block_size={self.block_size})"
+
+
+# --------------------------------------------------------------------------- #
+# Incremental backend
+# --------------------------------------------------------------------------- #
+class IncrementalBackend(NeighborBackend):
+    """Exact k-NN that re-queries only what a movement can invalidate.
+
+    Between topology refreshes of a mostly-converged model only a small
+    fraction of node embeddings move.  The backend caches the last feature
+    matrix and the last ``(n, k)`` neighbour lists *with their distances*,
+    and on the next query classifies every row:
+
+    1. **movers** — rows whose features changed (beyond ``tolerance``): all
+       their distances changed, re-run the exact kernel;
+    2. rows some *non-member* mover moved to within the cached k-th distance
+       of (the mover may enter the list): re-run the exact kernel;
+    3. rows whose cached list contains movers that all stayed **strictly
+       inside** the cached k-th distance: membership provably unchanged — the
+       row is repaired locally by substituting the movers' new distances and
+       re-sorting the cached ``(distance, index)`` pairs, no kernel query;
+    4. rows whose member-movers reach or cross the k-th distance (someone
+       outside might take the vacated slot): re-run the exact kernel;
+    5. everything else: untouched.
+
+    All distance comparisons use values produced by the shared kernel
+    (:func:`repro.hypergraph.knn.distance_block`).  For the **float64 kernel
+    (the default) the output at ``tolerance=0.0`` is bit-identical to the
+    exact backend after arbitrary move/no-move sequences** — cdist computes
+    each pair independently of slab shape, and the property tests pin this
+    including distance ties; boundary comparisons carry a small epsilon
+    margin that converts would-be misses into harmless re-queries.  The
+    float32 kernel mean-centres and expands, so its values shift by rounding
+    when the point set (and hence the centre) changes; the backend therefore
+    treats float32 conservatively — local repair is disabled (rows listing a
+    mover are re-queried) and the invalidation margin is widened to the
+    kernel's radius-scaled error bound.  Kept rows are still only correct up
+    to that error, and near-exact ties can order differently from a fresh
+    query, so the bit-identity contract is float64-only.  A positive
+    ``tolerance`` treats sub-tolerance drift (euclidean displacement) as
+    "did not move", trading exactness for fewer re-queries; drift does not
+    accumulate silently because a node's stored coordinates only advance
+    when the node is re-queried.
+
+    When the mover fraction exceeds ``churn_threshold`` the partial pass would
+    touch most rows anyway, so the backend falls back to one full rebuild
+    (still exact, and it resynchronises the stored coordinates).
+
+    The backend keeps up to :attr:`max_states` cached states (least recently
+    used evicted) and matches each query to the state with the same signature
+    ``(n, d, dtype, k, include_self, metric)`` that has the **fewest movers**
+    against the incoming features.  The dynamic models query one backend with
+    per-layer embedding streams — sometimes of equal width — and best-match
+    selection lets every stream track its own history instead of thrashing a
+    single slot; a query too churned for every candidate starts a fresh state
+    rather than destroying another stream's.
+    """
+
+    name = "incremental"
+
+    #: Mover fraction beyond which a full rebuild is cheaper than the
+    #: partial re-query (the invalidated set grows super-linearly in churn).
+    DEFAULT_CHURN_THRESHOLD = 0.35
+
+    def __init__(
+        self,
+        *,
+        tolerance: float = 0.0,
+        churn_threshold: float = DEFAULT_CHURN_THRESHOLD,
+        block_size: int | None = None,
+        max_states: int = 8,
+    ) -> None:
+        if tolerance < 0:
+            raise ConfigurationError(f"tolerance must be >= 0, got {tolerance}")
+        if not 0.0 < churn_threshold <= 1.0:
+            raise ConfigurationError(
+                f"churn_threshold must be in (0, 1], got {churn_threshold}"
+            )
+        if max_states < 1:
+            raise ConfigurationError(f"max_states must be >= 1, got {max_states}")
+        self.tolerance = float(tolerance)
+        self.churn_threshold = float(churn_threshold)
+        self.block_size = block_size
+        self.max_states = int(max_states)
+        #: Diagnostics: full rebuilds / partial refreshes / rows re-queried.
+        self.full_rebuilds = 0
+        self.partial_refreshes = 0
+        self.rows_requeried = 0
+        self.rows_repaired_locally = 0
+        #: LRU list of {"signature", "features", "indices", "distances"}.
+        self._states: list[dict] = []
+
+    def reset(self) -> None:
+        self._states.clear()
+
+    def cache_key(self) -> tuple[Hashable, ...]:
+        return (self.name, self.tolerance, self.churn_threshold)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "full_rebuilds": self.full_rebuilds,
+            "partial_refreshes": self.partial_refreshes,
+            "rows_requeried": self.rows_requeried,
+            "rows_repaired_locally": self.rows_repaired_locally,
+            "states": len(self._states),
+        }
+
+    # ------------------------------------------------------------------ #
+    def query(self, features, k, *, include_self=False, metric="euclidean"):
+        return self._query(features, k, include_self, metric, forced_movers=None)
+
+    def update(self, moved_mask, features):
+        """Refresh using an explicit mover hint (requires a prior query).
+
+        ``k``/``include_self``/``metric`` are taken from the most recently
+        used cached state whose ``(n, d, dtype)`` matches ``features`` — NOT
+        from the globally last query, which may belong to a different-shaped
+        stream.  If several same-shaped streams were queried with different
+        parameters the most recent one wins (call :meth:`query` directly to
+        disambiguate).
+        """
+        probe = _knn.as_feature_matrix(features)
+        shape_key = probe.shape + (probe.dtype.name,)
+        match = next(
+            (
+                state
+                for state in reversed(self._states)
+                if state["signature"][:3] == shape_key
+            ),
+            None,
+        )
+        if match is None:
+            raise ConfigurationError(
+                "IncrementalBackend.update() needs a prior query() of matching "
+                "shape/dtype to know k/include_self/metric"
+            )
+        moved_mask = np.asarray(moved_mask, dtype=bool)
+        _, _, _, k, include_self, metric = match["signature"]
+        return self._query(features, k, include_self, metric, forced_movers=moved_mask)
+
+    def _movers_against(self, features: np.ndarray, state: dict) -> np.ndarray:
+        if self.tolerance > 0.0:
+            drift = np.sqrt(((features - state["features"]) ** 2).sum(axis=1))
+            return drift > self.tolerance
+        return (features != state["features"]).any(axis=1)
+
+    def _query(self, features, k, include_self, metric, forced_movers):
+        features = _knn._validate(features, k, include_self)
+        n = features.shape[0]
+        signature = (n, features.shape[1], features.dtype.name, k, bool(include_self), metric)
+        # Best-match selection: among states of this signature, follow the one
+        # this query's stream most plausibly continues (fewest movers).
+        state = None
+        movers = None
+        best_count = n + 1
+        for candidate in self._states:
+            if candidate["signature"] != signature:
+                continue
+            candidate_movers = self._movers_against(features, candidate)
+            count = int(candidate_movers.sum())
+            if count < best_count:
+                state, movers, best_count = candidate, candidate_movers, count
+        if state is None or best_count > self.churn_threshold * n:
+            # No usable history: start a fresh state instead of overwriting a
+            # possibly still-live sibling stream's.
+            return self._full_rebuild(features, k, include_self, metric, signature)
+        # LRU bump (by identity — list.remove would == -compare ndarrays).
+        position = next(i for i, s in enumerate(self._states) if s is state)
+        self._states.append(self._states.pop(position))
+
+        if forced_movers is not None:
+            if forced_movers.shape != (n,):
+                raise ShapeError(
+                    f"moved_mask must have shape ({n},), got {forced_movers.shape}"
+                )
+            movers = movers | forced_movers
+
+        mover_ids = np.flatnonzero(movers)
+        if mover_ids.size == 0:
+            return state["indices"].copy()
+        if mover_ids.size > self.churn_threshold * n:
+            return self._full_rebuild(features, k, include_self, metric, signature)
+
+        indices = state["indices"]
+        distances = state["distances"]
+        kth = distances[:, -1]
+        float32_kernel = features.dtype == np.float32
+        if float32_kernel:
+            # The float32 kernel mean-centres on its operands, so slabs taken
+            # against different point sets round differently — its values are
+            # only trustworthy up to the expansion's error, which scales with
+            # the data radius.  Use a radius-aware conservative margin (any
+            # mover that could *possibly* matter triggers a re-query).
+            centered = features - features.mean(axis=0)
+            radius = float(np.sqrt((centered * centered).sum(axis=1).max()))
+            eps = np.finfo(np.float32).eps
+            margin = np.sqrt(eps) * (1.0 + radius) + 16 * eps * (1.0 + kth)
+        else:
+            # cdist computes each pair independently of slab shape, so a tiny
+            # relative margin only has to absorb boundary ties.
+            margin = 16 * np.finfo(features.dtype).eps * (1.0 + kth)
+
+        # Which cached members are movers, and the mover column they map to.
+        in_list = np.isin(indices, mover_ids)
+        member_rows, member_slots = np.nonzero(in_list)
+        member_cols = np.searchsorted(mover_ids, indices[member_rows, member_slots])
+        member_new = np.empty(member_rows.size, dtype=features.dtype)
+
+        # (2) entry: a NON-member mover now at/inside the k-th radius.  The
+        # mover slabs are walked in block_size chunks (running min) so the
+        # partial path keeps the same O(n·block) memory bound as the chunked
+        # kernel; member-movers are masked out so staying members do not
+        # force a re-query.
+        block = int(self.block_size) if self.block_size else _knn.DEFAULT_BLOCK_SIZE
+        outside_min = np.full(n, np.inf, dtype=features.dtype)
+        for start in range(0, mover_ids.size, block):
+            stop = min(start + block, mover_ids.size)
+            slab = _knn.distance_block(
+                features, features[mover_ids[start:stop]], metric=metric
+            )
+            in_chunk = (member_cols >= start) & (member_cols < stop)
+            member_new[in_chunk] = slab[member_rows[in_chunk], member_cols[in_chunk] - start]
+            slab[member_rows[in_chunk], member_cols[in_chunk] - start] = np.inf
+            if not include_self:
+                slab[mover_ids[start:stop], np.arange(stop - start)] = np.inf
+            np.minimum(outside_min, slab.min(axis=1), out=outside_min)
+        requery = movers | (outside_min <= kth + margin)
+
+        # (4) a member-mover reaching/crossing the k-th radius: someone
+        # unseen may take its slot, so the row cannot be repaired locally.
+        crossing = member_new >= kth[member_rows] - margin[member_rows]
+        requery[member_rows[crossing]] = True
+
+        # (3) local repair: member-movers all strictly inside the radius —
+        # membership is provably unchanged, only the order can shift.  The
+        # float32 kernel's values are not substitution-safe across slabs, so
+        # rows listing a mover are re-queried instead of repaired there.
+        repairable = np.zeros(n, dtype=bool)
+        repairable[member_rows] = True
+        if float32_kernel:
+            requery |= repairable
+            repairable[:] = False
+        repairable &= ~requery
+        keep = repairable[member_rows]
+        distances[member_rows[keep], member_slots[keep]] = member_new[keep]
+        repair_rows = np.flatnonzero(repairable)
+        if repair_rows.size:
+            order = np.lexsort(
+                (indices[repair_rows], distances[repair_rows]), axis=-1
+            )
+            indices[repair_rows] = np.take_along_axis(indices[repair_rows], order, axis=1)
+            distances[repair_rows] = np.take_along_axis(
+                distances[repair_rows], order, axis=1
+            )
+
+        rows = np.flatnonzero(requery)
+        if rows.size:
+            new_indices, new_distances = _knn.knn_query_rows(
+                features, rows, k, include_self=include_self, metric=metric,
+                block_size=self.block_size,
+            )
+            indices[rows] = new_indices
+            distances[rows] = new_distances
+        state["features"][rows] = features[rows]
+        self.partial_refreshes += 1
+        self.rows_requeried += int(rows.size)
+        self.rows_repaired_locally += int(repair_rows.size)
+        return indices.copy()
+
+    #: Cached states allowed per signature: enough for the distinct per-layer
+    #: streams a model realistically runs at one width, while a continuously
+    #: churning stream (early training) recycles its own slots instead of
+    #: evicting other layers' live states from the global LRU.
+    MAX_STATES_PER_SIGNATURE = 3
+
+    def _full_rebuild(self, features, k, include_self, metric, signature):
+        n = features.shape[0]
+        indices, distances = _knn.knn_query_rows(
+            features, np.arange(n, dtype=np.int64), k,
+            include_self=include_self, metric=metric, block_size=self.block_size,
+        )
+        siblings = [s for s in self._states if s["signature"] == signature]
+        if len(siblings) >= self.MAX_STATES_PER_SIGNATURE:
+            oldest = siblings[0]
+            self._states = [s for s in self._states if s is not oldest]
+        self._states.append(
+            {
+                "signature": signature,
+                "features": features.copy(),
+                "indices": indices,
+                "distances": distances,
+            }
+        )
+        del self._states[: -self.max_states]
+        self.full_rebuilds += 1
+        self.rows_requeried += n
+        return indices.copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalBackend(tolerance={self.tolerance}, "
+            f"churn_threshold={self.churn_threshold}, block_size={self.block_size})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# LSH backend
+# --------------------------------------------------------------------------- #
+class LSHBackend(NeighborBackend):
+    """Multi-probe random-projection LSH with exact candidate re-ranking.
+
+    Each of ``n_tables`` hash tables projects the features onto ``hash_bits``
+    random directions and buckets nodes by the sign pattern (SimHash).  A
+    query probes its own bucket plus — multi-probe — the buckets reached by
+    flipping the ``n_probes`` *least confident* bits (smallest projection
+    margin).  The union of bucket members is re-ranked by exact distance with
+    the kernel's ``(distance, index)`` tie-break, so whenever the candidate
+    set covers the true neighbours the output row is identical to the exact
+    backend.  Rows whose candidate pool is smaller than ``k`` fall back to an
+    exact row query (counted in :attr:`fallback_rows`).
+
+    Recall is *measured, not assumed*: :meth:`measured_recall` reports the
+    fraction of true neighbours retrieved on given data, and :meth:`tune` is
+    the recall knob — it doubles ``n_tables`` (and widens probing) until a
+    target recall is met.  Determinism: the hash projections derive from
+    ``seed`` alone, so repeated queries agree bit-for-bit.
+
+    ``hash_bits=None`` picks ``log2(n / 8)`` bits so the expected bucket
+    holds ~8 nodes regardless of ``n``.
+    """
+
+    name = "lsh"
+
+    def __init__(
+        self,
+        *,
+        n_tables: int = 8,
+        hash_bits: int | None = None,
+        n_probes: int = 2,
+        seed: int = 0,
+        block_size: int | None = None,
+    ) -> None:
+        if n_tables < 1:
+            raise ConfigurationError(f"n_tables must be >= 1, got {n_tables}")
+        if hash_bits is not None and not 1 <= hash_bits <= 62:
+            raise ConfigurationError(f"hash_bits must be in [1, 62], got {hash_bits}")
+        if n_probes < 0:
+            raise ConfigurationError(f"n_probes must be >= 0, got {n_probes}")
+        self.n_tables = int(n_tables)
+        self.hash_bits = hash_bits
+        self.n_probes = int(n_probes)
+        self.seed = int(seed)
+        self.block_size = block_size
+        #: Diagnostics of the last query.
+        self.fallback_rows = 0
+        self.mean_candidates = 0.0
+        #: Row ids that took the exact fallback on the last query.
+        self.last_fallback_row_ids: np.ndarray = np.empty(0, dtype=np.int64)
+
+    def cache_key(self) -> tuple[Hashable, ...]:
+        return (self.name, self.n_tables, self.hash_bits, self.n_probes, self.seed)
+
+    def _resolve_bits(self, n: int) -> int:
+        if self.hash_bits is not None:
+            return self.hash_bits
+        return max(2, min(16, int(np.ceil(np.log2(max(n, 16) / 8.0)))))
+
+    def query(self, features, k, *, include_self=False, metric="euclidean"):
+        features = _knn._validate(features, k, include_self)
+        n, d = features.shape
+        bits = self._resolve_bits(n)
+        probes = min(self.n_probes, bits)
+        rng = np.random.default_rng(self.seed)
+
+        candidates: list[list[np.ndarray]] = [[] for _ in range(n)]
+        weights = (np.int64(1) << np.arange(bits, dtype=np.int64))
+        for _ in range(self.n_tables):
+            projections = rng.normal(size=(d, bits)).astype(features.dtype, copy=False)
+            margins = features @ projections
+            codes = (margins > 0) @ weights
+            probe_codes = [codes]
+            if probes:
+                uncertain = np.argsort(np.abs(margins), axis=1, kind="stable")[:, :probes]
+                for j in range(probes):
+                    probe_codes.append(codes ^ weights[uncertain[:, j]])
+            bucket_order = np.argsort(codes, kind="stable")
+            sorted_codes = codes[bucket_order]
+            for probe in probe_codes:
+                left = np.searchsorted(sorted_codes, probe, side="left")
+                right = np.searchsorted(sorted_codes, probe, side="right")
+                for node in range(n):
+                    if right[node] > left[node]:
+                        candidates[node].append(bucket_order[left[node] : right[node]])
+
+        result = np.empty((n, k), dtype=np.int64)
+        fallback: list[int] = []
+        total_candidates = 0
+        for node in range(n):
+            pool = np.unique(np.concatenate(candidates[node])) if candidates[node] else (
+                np.empty(0, dtype=np.int64)
+            )
+            if not include_self:
+                pool = pool[pool != node]
+            total_candidates += int(pool.size)
+            if pool.size < k:
+                fallback.append(node)
+                continue
+            distances = _knn.distance_block(
+                features[node : node + 1], features[pool], metric=metric
+            )[0]
+            order = np.lexsort((pool, distances))
+            result[node] = pool[order[:k]]
+        rows = np.asarray(fallback, dtype=np.int64)
+        if rows.size:
+            exact, _ = _knn.knn_query_rows(
+                features, rows, k, include_self=include_self, metric=metric,
+                block_size=self.block_size,
+            )
+            result[rows] = exact
+        self.fallback_rows = len(fallback)
+        self.last_fallback_row_ids = rows
+        self.mean_candidates = total_candidates / max(n, 1)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # The measured-recall knob
+    # ------------------------------------------------------------------ #
+    def measured_recall(
+        self,
+        features,
+        k,
+        *,
+        include_self: bool = False,
+        metric: str = "euclidean",
+        reference: np.ndarray | None = None,
+    ) -> float:
+        """Fraction of true k-NN edges this backend retrieves on ``features``.
+
+        ``reference`` lets callers reuse an already-computed exact answer.
+        """
+        approx = self.query(features, k, include_self=include_self, metric=metric)
+        if reference is None:
+            reference = _knn.knn_indices(
+                features, k, include_self=include_self, metric=metric,
+                block_size=self.block_size,
+            )
+        hits = sum(
+            np.intersect1d(approx[row], reference[row]).size
+            for row in range(reference.shape[0])
+        )
+        return hits / float(reference.size) if reference.size else 1.0
+
+    def tune(
+        self,
+        features,
+        k,
+        *,
+        target_recall: float = 0.9,
+        max_tables: int = 64,
+        include_self: bool = False,
+        metric: str = "euclidean",
+        reference: np.ndarray | None = None,
+    ) -> float:
+        """Grow ``n_tables``/``n_probes`` until ``measured_recall`` meets the
+        target (or ``max_tables`` is hit); returns the final measured recall.
+        ``reference`` lets callers reuse an already-computed exact answer
+        instead of paying another O(n²) pass.
+        """
+        if not 0.0 < target_recall <= 1.0:
+            raise ConfigurationError(f"target_recall must be in (0, 1], got {target_recall}")
+        if reference is None:
+            reference = _knn.knn_indices(
+                features, k, include_self=include_self, metric=metric,
+                block_size=self.block_size,
+            )
+        recall = self.measured_recall(
+            features, k, include_self=include_self, metric=metric, reference=reference
+        )
+        while recall < target_recall and self.n_tables < max_tables:
+            self.n_tables = min(2 * self.n_tables, max_tables)
+            self.n_probes += 1
+            recall = self.measured_recall(
+                features, k, include_self=include_self, metric=metric, reference=reference
+            )
+        return recall
+
+    def __repr__(self) -> str:
+        return (
+            f"LSHBackend(n_tables={self.n_tables}, hash_bits={self.hash_bits}, "
+            f"n_probes={self.n_probes}, seed={self.seed})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: dict[str, Callable[..., NeighborBackend]] = {}
+
+
+def register_neighbor_backend(
+    name: str, factory: Callable[..., NeighborBackend], *, overwrite: bool = False
+) -> None:
+    """Register a backend factory under ``name``.
+
+    The factory must accept a ``block_size`` keyword (the refresh engine
+    forwards its chunk size when constructing named backends).
+    """
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"neighbor backend {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def available_neighbor_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def validate_neighbor_backend_spec(spec) -> None:
+    """Validate a backend spec without constructing it (config-time check).
+
+    Accepts exactly what :func:`resolve_backend` accepts — ``None``, a
+    :class:`NeighborBackend` instance, or a registered name (case-insensitive)
+    — and raises :class:`~repro.errors.ConfigurationError` otherwise.  Shared
+    by ``DHGCNConfig`` and ``TrainConfig`` so the two validations can never
+    drift apart.
+    """
+    if spec is None or isinstance(spec, NeighborBackend):
+        return
+    if isinstance(spec, str) and spec.lower() in _REGISTRY:
+        return
+    raise ConfigurationError(
+        f"neighbor_backend must be None, a NeighborBackend instance or one of "
+        f"{available_neighbor_backends()}, got {spec!r}"
+    )
+
+
+def resolve_backend(spec=None, *, block_size: int | None = None) -> NeighborBackend:
+    """Resolve ``spec`` into a :class:`NeighborBackend` instance.
+
+    ``None`` means the exact default; a string is looked up in the registry
+    (a *fresh* instance per call, so stateful backends are never accidentally
+    shared between models); an instance passes through unchanged (sharing is
+    then the caller's explicit choice).
+    """
+    if spec is None:
+        return ExactBackend(block_size=block_size)
+    if isinstance(spec, NeighborBackend):
+        return spec
+    if isinstance(spec, str):
+        key = spec.lower()
+        if key not in _REGISTRY:
+            raise ConfigurationError(
+                f"unknown neighbor backend {spec!r}; "
+                f"registered: {available_neighbor_backends()}"
+            )
+        return _REGISTRY[key](block_size=block_size)
+    raise ConfigurationError(
+        f"backend must be None, a registered name or a NeighborBackend, got {type(spec)!r}"
+    )
+
+
+register_neighbor_backend("exact", ExactBackend)
+register_neighbor_backend("incremental", IncrementalBackend)
+register_neighbor_backend("lsh", LSHBackend)

@@ -41,6 +41,7 @@ import scipy.sparse as sp
 from repro.errors import ConfigurationError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.laplacian import hypergraph_laplacian, hypergraph_propagation_operator
+from repro.hypergraph.neighbors import NeighborBackend, resolve_backend
 from repro.precision import resolve_dtype
 
 #: Default LRU capacity; sized for a full benchmark sweep (one static operator
@@ -97,17 +98,21 @@ class OperatorCache:
         *,
         self_loop_isolated: bool = True,
         dtype: np.dtype | str | None = None,
+        context: Hashable = None,
     ) -> sp.csr_matrix:
         """Cached ``Dv^-1/2 H W De^-1 Hᵀ Dv^-1/2`` (see :mod:`..laplacian`).
 
         The cache key includes the storage dtype (resolved from the precision
         policy when ``dtype`` is ``None``), so float64 and float32 requests
         for the same topology coexist without ever returning the wrong kind.
+        ``context`` is an extra hashable key component; the refresh engine
+        passes its neighbour-backend key there, so operators built from
+        topologies of different backends never shadow each other.
         """
         target = resolve_dtype(dtype)
         return self._get(
             hypergraph,
-            ("propagation", self_loop_isolated, target.name),
+            ("propagation", self_loop_isolated, target.name, context),
             lambda hg: hypergraph_propagation_operator(
                 hg, self_loop_isolated=self_loop_isolated, dtype=target
             ),
@@ -116,7 +121,13 @@ class OperatorCache:
     def laplacian(
         self, hypergraph: Hypergraph, *, dtype: np.dtype | str | None = None
     ) -> sp.csr_matrix:
-        """Cached normalised hypergraph Laplacian ``Δ = I - Θ``."""
+        """Cached normalised hypergraph Laplacian ``Δ = I - Θ``.
+
+        Laplacians are only requested for static (backend-independent)
+        topologies, so there is no ``context`` key here; a future dynamic
+        Laplacian path must go through a refresh-protocol method that folds
+        the backend key, like :meth:`TopologyRefreshEngine.refresh_operator`.
+        """
         target = resolve_dtype(dtype)
         return self._get(
             hypergraph,
@@ -166,7 +177,7 @@ class OperatorCache:
 
 
 class TopologyRefreshEngine:
-    """Bundles the operator cache with the chunked k-NN configuration.
+    """Bundles the operator cache with the neighbour-search configuration.
 
     One engine is shared process-wide by default (:func:`get_default_engine`)
     so repeated runs in a sweep — same dataset realisation, different model
@@ -184,6 +195,15 @@ class TopologyRefreshEngine:
         Query-block size of the chunked k-NN
         (:func:`repro.hypergraph.knn.knn_indices`); ``None`` keeps the
         library default.
+    backend:
+        Neighbour-search backend used for every k-NN the engine's owners run
+        (:mod:`repro.hypergraph.neighbors`): ``None`` = exact, or a
+        registered name / :class:`NeighborBackend` instance.  Named backends
+        are constructed fresh per engine with this ``block_size``, so
+        stateful backends are never shared between models by accident.  The
+        backend's ``cache_key()`` is folded into every operator-cache key the
+        engine issues, so operators derived from different backends stay
+        separate even for structurally identical topologies.
     """
 
     def __init__(
@@ -193,20 +213,31 @@ class TopologyRefreshEngine:
         max_entries: int = DEFAULT_CACHE_SIZE,
         enabled: bool = True,
         block_size: int | None = None,
+        backend: NeighborBackend | str | None = None,
     ) -> None:
         if block_size is not None and block_size < 1:
             raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
         self.cache = cache if cache is not None else OperatorCache(max_entries, enabled=enabled)
         self.block_size = block_size
+        self.backend = resolve_backend(backend, block_size=block_size)
 
     @classmethod
     def for_model(
-        cls, *, use_cache: bool = True, block_size: int | None = None
+        cls,
+        *,
+        use_cache: bool = True,
+        block_size: int | None = None,
+        backend: NeighborBackend | str | None = None,
     ) -> "TopologyRefreshEngine":
         """Engine for one model: shared process-wide cache, or a private
         always-rebuild one when ``use_cache`` is off."""
         cache = get_default_engine().cache if use_cache else OperatorCache(enabled=False)
-        return cls(cache=cache, block_size=block_size)
+        return cls(cache=cache, block_size=block_size, backend=backend)
+
+    def set_backend(self, backend: NeighborBackend | str | None) -> NeighborBackend:
+        """Swap the neighbour-search backend (e.g. from ``TrainConfig``)."""
+        self.backend = resolve_backend(backend, block_size=self.block_size)
+        return self.backend
 
     def propagation_operator(
         self,
@@ -215,6 +246,10 @@ class TopologyRefreshEngine:
         self_loop_isolated: bool = True,
         dtype: np.dtype | str | None = None,
     ) -> sp.csr_matrix:
+        """Cached operator for a *backend-independent* topology (static
+        hypergraphs, eval passes) — shared across engines regardless of their
+        neighbour backend, since the operator is a pure function of the
+        fingerprinted structure."""
         return self.cache.propagation_operator(
             hypergraph, self_loop_isolated=self_loop_isolated, dtype=dtype
         )
@@ -233,11 +268,20 @@ class TopologyRefreshEngine:
         entries are discarded only when the refresh actually changed the
         structure — a rebuild that reproduces the same fingerprint keeps (and
         hits) its entry.
+
+        Refreshed (dynamic) topologies are *backend-derived*, so the
+        backend's ``cache_key()`` is folded into the cache key here: two
+        backends that happen to reproduce the same structure keep separate
+        entries and their supersede protocols can never interfere.  Static
+        requests (:meth:`propagation_operator`) stay unkeyed and shared.
         """
         if previous is not None and previous.fingerprint() != hypergraph.fingerprint():
             self.discard(previous)
-        return self.propagation_operator(
-            hypergraph, self_loop_isolated=self_loop_isolated, dtype=dtype
+        return self.cache.propagation_operator(
+            hypergraph,
+            self_loop_isolated=self_loop_isolated,
+            dtype=dtype,
+            context=self.backend.cache_key(),
         )
 
     def laplacian(
@@ -255,7 +299,10 @@ class TopologyRefreshEngine:
         return self.cache.stats()
 
     def __repr__(self) -> str:
-        return f"TopologyRefreshEngine(block_size={self.block_size}, cache={self.cache!r})"
+        return (
+            f"TopologyRefreshEngine(block_size={self.block_size}, "
+            f"backend={self.backend!r}, cache={self.cache!r})"
+        )
 
 
 _DEFAULT_ENGINE: TopologyRefreshEngine | None = None

@@ -44,6 +44,11 @@ class DHGNN(BaseNodeClassifier):
     knn_block_size:
         Query-block size of the chunked k-NN (``None`` = library default);
         memory knob only, the neighbour sets are identical for every value.
+    neighbor_backend:
+        Neighbour-search backend used by the dynamic topology
+        (:mod:`repro.hypergraph.neighbors`): ``None`` = exact,
+        ``"incremental"`` re-queries only moved nodes between refreshes,
+        ``"lsh"`` is approximate hashing.
     use_operator_cache:
         Reuse propagation operators through the process-wide
         :class:`repro.hypergraph.TopologyRefreshEngine`; never changes model
@@ -64,6 +69,7 @@ class DHGNN(BaseNodeClassifier):
         refresh_period: int = 5,
         seed=None,
         knn_block_size: int | None = None,
+        neighbor_backend: str | None = None,
         use_operator_cache: bool = True,
     ) -> None:
         super().__init__()
@@ -85,7 +91,9 @@ class DHGNN(BaseNodeClassifier):
         self.n_clusters = int(n_clusters)
         self.refresh_period = int(refresh_period)
         self.refresh_engine = TopologyRefreshEngine.for_model(
-            use_cache=use_operator_cache, block_size=knn_block_size
+            use_cache=use_operator_cache,
+            block_size=knn_block_size,
+            backend=neighbor_backend,
         )
         self._construction_rng = as_rng(seed)
         self._static_hypergraph = None
@@ -112,7 +120,12 @@ class DHGNN(BaseNodeClassifier):
     def _build_operator(self, embedding: np.ndarray, position: int) -> sp.csr_matrix:
         k = min(self.k_neighbors, embedding.shape[0] - 1)
         clusters = min(self.n_clusters, embedding.shape[0])
-        local = knn_hyperedges(embedding, k, block_size=self.refresh_engine.block_size)
+        local = knn_hyperedges(
+            embedding,
+            k,
+            block_size=self.refresh_engine.block_size,
+            backend=self.refresh_engine.backend,
+        )
         global_ = kmeans_hyperedges(embedding, clusters, seed=self._construction_rng)
         parts = [local, global_]
         if self._static_hypergraph is not None:

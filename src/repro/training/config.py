@@ -6,6 +6,7 @@ from dataclasses import asdict, dataclass
 from typing import Any
 
 from repro.errors import ConfigurationError
+from repro.hypergraph.neighbors import NeighborBackend, validate_neighbor_backend_spec
 from repro.precision import SUPPORTED_PRECISIONS
 
 _OPTIMIZERS = ("adam", "adamw", "sgd")
@@ -39,6 +40,16 @@ class TrainConfig:
         ``"float64"`` (default, bit-exact reproduction) or ``"float32"``
         (fast path — parameters, activations, gradients, optimizer state and
         cached operators all stored at half the bandwidth).
+    neighbor_backend:
+        Neighbour-search backend for the model's dynamic topology
+        (:mod:`repro.hypergraph.neighbors`).  ``None`` (default) leaves the
+        model's own configuration untouched; a registered name (``"exact"``,
+        ``"incremental"``, ``"lsh"``) or a configured
+        :class:`~repro.hypergraph.neighbors.NeighborBackend` instance is
+        installed on the model's refresh engine when the :class:`Trainer` is
+        constructed — this reconfigures the *model*, and stays in effect for
+        later runs of the same model instance until changed again.  Models
+        without a refresh engine (MLP, GCN, …) ignore the setting.
     verbose:
         Log progress through the library logger.
     """
@@ -52,6 +63,7 @@ class TrainConfig:
     eval_every: int = 1
     restore_best: bool = True
     precision: str = "float64"
+    neighbor_backend: "str | NeighborBackend | None" = None
     verbose: bool = False
 
     def __post_init__(self) -> None:
@@ -73,6 +85,7 @@ class TrainConfig:
             raise ConfigurationError(
                 f"precision must be one of {SUPPORTED_PRECISIONS}, got {self.precision!r}"
             )
+        validate_neighbor_backend_spec(self.neighbor_backend)
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)

@@ -83,6 +83,13 @@ class Trainer:
         self.dataset = dataset
         self.config = config or TrainConfig()
         self.profile = bool(profile)
+        # Backend selection must land before setup() so the very first
+        # topology build already uses it; models without a refresh engine
+        # (MLP, GCN, ...) have no dynamic topology and ignore the setting.
+        if self.config.neighbor_backend is not None:
+            engine = getattr(self.model, "refresh_engine", None)
+            if engine is not None:
+                engine.set_backend(self.config.neighbor_backend)
         # The whole run — parameter casts, operator precomputation, the
         # feature tensor and later every epoch — executes under the
         # configured precision policy.
