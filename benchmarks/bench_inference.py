@@ -1,0 +1,258 @@
+"""Benchmark of the serving subsystem (``repro.serving``).
+
+Three measurements, each emitted as a table artefact:
+
+* **frozen vs. eval forward** — per-request full-batch forward latency of the
+  compiled :class:`FrozenModel` plan against the module's grad-enabled
+  evaluation forward (autograd graph recording on) and the trainer's no-grad
+  eval.  The gap is pure dispatch overhead — logits are bit-identical — so it
+  is widest in the small-graph / deep-narrow serving regime and shrinks as
+  BLAS dominates; the acceptance bar applies to the smallest configuration.
+* **warm vs. cold start** — first-prediction latency of a server process:
+  cold = rebuild the model from weights (topology construction, k-NN +
+  k-means + operators) vs. warm = load an operator-store bundle.  The warm
+  path must perform **zero** k-NN distance computations.
+* **online insert vs. full rebuild** — refreshing after inserting 4% new
+  nodes through the incremental backend's grow-and-repair vs. an exact
+  full-rebuild session; compared in wall-clock and in distance pairs
+  computed.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_inference.py``);
+``REPRO_BENCH_QUICK=1`` selects the CI smoke configuration.  Acceptance bars:
+
+* frozen forward >= 1.5x over grad-enabled eval at the smallest configuration;
+* warm start computes zero k-NN distance pairs;
+* online insertion computes fewer distance pairs than the exact rebuild.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import emit  # noqa: E402
+
+from repro import DHGNN, TrainConfig, Trainer, reset_default_engine  # noqa: E402
+from repro.autograd.tensor import Tensor, no_grad  # noqa: E402
+from repro.data.citation import make_citation_dataset  # noqa: E402
+from repro.hypergraph.knn import DISTANCE_COUNTERS  # noqa: E402
+from repro.hypergraph.neighbors import ExactBackend, IncrementalBackend  # noqa: E402
+from repro.serving import FrozenModel, InferenceSession  # noqa: E402
+from repro.training.results import ResultTable  # noqa: E402
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+#: Node counts of the forward-latency section (smallest first — the
+#: acceptance bar applies there, where dispatch overhead dominates).
+SIZES = [120, 240] if QUICK else [120, 240, 600, 1200]
+N_LAYERS = 3
+HIDDEN = 16
+EPOCHS = 4 if QUICK else 10
+REPS = 60 if QUICK else 200
+FROZEN_SPEEDUP_BAR = 1.5
+INSERT_FRACTION = 0.04
+
+
+def _dataset(n: int):
+    return make_citation_dataset(
+        "bench-serving",
+        n_nodes=n,
+        n_classes=4,
+        n_features=40,
+        intra_class_degree=3.0,
+        inter_class_degree=1.0,
+        active_words=6,
+        noise_words=2,
+        confusion=0.4,
+        train_per_class=8,
+        val_fraction=0.2,
+        seed=7,
+    )
+
+
+def _train_model(dataset, *, backend=None):
+    model = DHGNN(
+        dataset.n_features, dataset.n_classes, hidden_dim=HIDDEN, n_layers=N_LAYERS, seed=0
+    )
+    trainer = Trainer(
+        model, dataset, TrainConfig(epochs=EPOCHS, patience=None, neighbor_backend=backend)
+    )
+    trainer.train()
+    return model, trainer
+
+
+def _time(fn, reps=REPS) -> float:
+    fn()  # warm-up
+    start = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - start) / reps
+
+
+def bench_forward() -> tuple[ResultTable, float]:
+    table = ResultTable(
+        ["n nodes", "grad eval (ms)", "no-grad eval (ms)", "frozen (ms)",
+         "frozen vs grad", "bit-identical"],
+        title=f"Serving: frozen vs eval forward (DHGNN, {N_LAYERS} layers, h={HIDDEN})",
+    )
+    smallest_speedup = None
+    for n in SIZES:
+        reset_default_engine()
+        dataset = _dataset(n)
+        model, _ = _train_model(dataset)
+        frozen = FrozenModel.compile(model, dataset.features)
+        features = Tensor(dataset.features)
+        model.eval()
+
+        grad_s = _time(lambda: model(features))
+        with no_grad():
+            nograd_s = _time(lambda: model(features))
+        frozen_s = _time(lambda: frozen.forward())
+        identical = np.array_equal(frozen.logits(), model(features).data)
+        speedup = grad_s / frozen_s
+        if smallest_speedup is None:
+            smallest_speedup = speedup
+        table.add_row(
+            [n, round(grad_s * 1e3, 3), round(nograd_s * 1e3, 3),
+             round(frozen_s * 1e3, 3), f"{speedup:.2f}x", identical]
+        )
+        assert identical, f"frozen logits diverged at n={n}"
+    return table, smallest_speedup
+
+
+def bench_warm_start(tmp_dir: Path) -> tuple[ResultTable, int]:
+    table = ResultTable(
+        ["n nodes", "cold start (ms)", "warm start (ms)", "speedup",
+         "cold distance pairs", "warm distance pairs"],
+        title="Serving: cold (rebuild topology) vs warm (operator store) start",
+    )
+    warm_pairs_total = 0
+    for n in SIZES:
+        reset_default_engine()
+        dataset = _dataset(n)
+        model, trainer = _train_model(dataset, backend="incremental")
+        bundle = tmp_dir / f"bundle_{n}.npz"
+        trainer.export_frozen(str(bundle))
+        weights = model.state_dict()
+
+        def cold_start():
+            reset_default_engine()
+            fresh = DHGNN(
+                dataset.n_features, dataset.n_classes,
+                hidden_dim=HIDDEN, n_layers=N_LAYERS, seed=0,
+            )
+            fresh.setup(dataset)
+            fresh.load_state_dict(weights)
+            return FrozenModel.compile(fresh, dataset.features).predict_labels()
+
+        def warm_start():
+            reset_default_engine()
+            return InferenceSession(FrozenModel.load(bundle)).predict()
+
+        DISTANCE_COUNTERS.reset()
+        cold_s = _time(cold_start, reps=3)
+        cold_pairs = DISTANCE_COUNTERS.pairs // 4  # warm-up + 3 reps
+        DISTANCE_COUNTERS.reset()
+        warm_s = _time(warm_start, reps=3)
+        warm_pairs = DISTANCE_COUNTERS.pairs // 4
+        warm_pairs_total += warm_pairs
+        table.add_row(
+            [n, round(cold_s * 1e3, 2), round(warm_s * 1e3, 2),
+             f"{cold_s / warm_s:.1f}x", cold_pairs, warm_pairs]
+        )
+    return table, warm_pairs_total
+
+
+def bench_online_insert(tmp_dir: Path) -> tuple[ResultTable, bool]:
+    table = ResultTable(
+        ["n nodes", "inserted", "incremental (ms)", "full rebuild (ms)", "speedup",
+         "incremental pairs", "rebuild pairs", "backend full rebuilds"],
+        title=f"Serving: online insert ({INSERT_FRACTION:.0%} new nodes) vs full rebuild",
+    )
+    always_fewer_pairs = True
+    for n in SIZES:
+        reset_default_engine()
+        dataset = _dataset(n)
+        _, trainer = _train_model(dataset, backend="incremental")
+        bundle = tmp_dir / f"insert_bundle_{n}.npz"
+        trainer.export_frozen(str(bundle))
+        rng = np.random.default_rng(n)
+        count = max(1, int(round(INSERT_FRACTION * n)))
+        new_features = dataset.features[
+            rng.choice(n, count, replace=False)
+        ] + rng.normal(scale=0.05, size=(count, dataset.n_features))
+
+        # Incremental: a tolerance of ~10% of the deepest embedding scale
+        # absorbs the degree-renormalisation ripple insertion causes in
+        # deeper layers, keeping the refresh scoped (zero full rebuilds).
+        session = InferenceSession(
+            FrozenModel.load(bundle, backend=IncrementalBackend(tolerance=0.1)),
+            cluster_assignment="frozen",
+        )
+        session.predict()
+        DISTANCE_COUNTERS.reset()
+        start = time.perf_counter()
+        session.insert_nodes(new_features)
+        session.predict()
+        incremental_s = time.perf_counter() - start
+        incremental_pairs = DISTANCE_COUNTERS.pairs
+
+        rebuild = InferenceSession(
+            FrozenModel.load(bundle, backend=ExactBackend()), cluster_assignment="frozen"
+        )
+        rebuild.predict()
+        DISTANCE_COUNTERS.reset()
+        start = time.perf_counter()
+        rebuild.insert_nodes(new_features)
+        rebuild.predict()
+        rebuild_s = time.perf_counter() - start
+        rebuild_pairs = DISTANCE_COUNTERS.pairs
+
+        always_fewer_pairs = always_fewer_pairs and incremental_pairs < rebuild_pairs
+        table.add_row(
+            [n, count, round(incremental_s * 1e3, 2), round(rebuild_s * 1e3, 2),
+             f"{rebuild_s / incremental_s:.2f}x", incremental_pairs, rebuild_pairs,
+             session.stats()["backend"]["full_rebuilds"]]
+        )
+    return table, always_fewer_pairs
+
+
+def main() -> None:
+    import tempfile
+
+    mode = "quick" if QUICK else "full"
+    print(f"inference benchmark ({mode} mode)")
+
+    forward_table, smallest_speedup = bench_forward()
+    emit(forward_table, "bench_inference_forward", extra={"mode": mode})
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_dir = Path(tmp)
+        warm_table, warm_pairs = bench_warm_start(tmp_dir)
+        emit(warm_table, "bench_inference_warm_start", extra={"mode": mode})
+
+        insert_table, fewer_pairs = bench_online_insert(tmp_dir)
+        emit(insert_table, "bench_inference_online_insert", extra={"mode": mode})
+
+    assert smallest_speedup >= FROZEN_SPEEDUP_BAR, (
+        f"frozen forward only {smallest_speedup:.2f}x over grad-enabled eval at "
+        f"n={SIZES[0]} (bar: {FROZEN_SPEEDUP_BAR}x)"
+    )
+    assert warm_pairs == 0, (
+        f"warm operator-store start computed {warm_pairs} distance pairs (expected 0)"
+    )
+    assert fewer_pairs, "online insertion did not beat the full rebuild in distance pairs"
+    print(
+        f"OK: frozen {smallest_speedup:.2f}x at n={SIZES[0]} (bar {FROZEN_SPEEDUP_BAR}x), "
+        f"warm start 0 distance pairs, online insert < full-rebuild distance work"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,7 @@ from repro.hypergraph import (
     reset_default_engine,
 )
 from repro.models import DHGNN, GAT, GCN, HGNN, HGNNP, MLP, SGC, ChebNet, HyperGCN
+from repro.serving import FrozenModel, InferenceSession, OperatorStore
 from repro.precision import (
     SUPPORTED_PRECISIONS,
     get_precision,
@@ -90,6 +91,9 @@ __all__ = [
     "HGNNP",
     "HyperGCN",
     "DHGNN",
+    "FrozenModel",
+    "InferenceSession",
+    "OperatorStore",
     "Trainer",
     "TrainConfig",
     "TrainResult",

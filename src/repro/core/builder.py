@@ -94,14 +94,10 @@ class DynamicHypergraphBuilder:
         parts: list[Hypergraph] = []
         if self.use_knn:
             k = min(self.k_neighbors, max(n - 1, 1))
-            parts.append(
-                knn_hyperedges(
-                    embedding,
-                    k,
-                    block_size=self.engine.block_size,
-                    backend=self.engine.backend,
-                )
-            )
+            # Routing through the engine (rather than its backend directly)
+            # engages the content-keyed neighbour memo: layers or sweep runs
+            # querying an identical embedding share one distance pass.
+            parts.append(knn_hyperedges(embedding, k, engine=self.engine))
         if self.use_cluster:
             clusters = min(self.n_clusters, n)
             parts.append(kmeans_hyperedges(embedding, clusters, seed=self._rng))

@@ -212,3 +212,25 @@ class DHGCN(BaseNodeClassifier):
         model in this process.
         """
         return self.refresh_engine.stats()
+
+    def export_dynamic_state(self) -> dict:
+        """Snapshot of the resolved operators and topologies for serving.
+
+        The contract :meth:`repro.serving.FrozenModel.compile` consumes: the
+        static channel's operator and (re)weighted hypergraphs plus, per
+        block, the dynamic operator and the pooled hypergraph it was built
+        from.  Operators are shared (they are read-only constants), not
+        copied.
+        """
+        self.require_setup()
+        layer_hypergraphs = [
+            None if self.builder is None else self.builder._last_hypergraphs.get(position)
+            for position in range(self.config.n_layers)
+        ]
+        return {
+            "static_operator": self._static_operator,
+            "static_hypergraph": self._static_hypergraph,
+            "reweighted_static": self._reweighted_static,
+            "dynamic_operators": list(self._dynamic_operators),
+            "layer_hypergraphs": layer_hypergraphs,
+        }

@@ -28,6 +28,7 @@ from repro.hypergraph.expansion import clique_expansion, star_expansion
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.kmeans import KMeansResult, kmeans
 from repro.hypergraph.knn import (
+    DISTANCE_COUNTERS,
     knn_indices,
     knn_indices_bruteforce,
     knn_query_rows,
@@ -59,6 +60,7 @@ __all__ = [
     "TopologyRefreshEngine",
     "get_default_engine",
     "reset_default_engine",
+    "DISTANCE_COUNTERS",
     "knn_indices",
     "knn_indices_bruteforce",
     "knn_query_rows",

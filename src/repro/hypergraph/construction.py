@@ -26,6 +26,7 @@ def knn_hyperedges(
     metric: str = "euclidean",
     block_size: int | None = None,
     backend=None,
+    engine=None,
 ) -> Hypergraph:
     """One hyperedge per node: the node plus its ``k`` nearest neighbours.
 
@@ -35,21 +36,38 @@ def knn_hyperedges(
     and changes memory use only, never the neighbour sets.  ``backend``
     selects the neighbour-search backend (``None`` = the exact chunked
     kernel; see :mod:`repro.hypergraph.neighbors`) — approximate backends may
-    change the neighbour sets, exact ones never do.
+    change the neighbour sets, exact ones never do.  ``engine`` (a
+    :class:`repro.hypergraph.refresh.TopologyRefreshEngine`) routes the query
+    through the engine's backend *and* its content-keyed neighbour memo, so
+    identical embeddings share one distance pass; it supersedes ``backend`` /
+    ``block_size`` when given.
 
     float32 features are queried in float32 (the distance slabs stay float32
     — see :func:`repro.hypergraph.knn.distance_block`); everything else is
     cast to float64 as before.
     """
     features = as_feature_matrix(features)
-    neighbours = knn_indices(
-        features, k, include_self=False, metric=metric, block_size=block_size,
-        backend=backend,
-    )
+    if engine is not None:
+        neighbours = engine.query_neighbors(features, k, include_self=False, metric=metric)
+    else:
+        neighbours = knn_indices(
+            features, k, include_self=False, metric=metric, block_size=block_size,
+            backend=backend,
+        )
+    return hyperedges_from_neighbor_indices(neighbours)
+
+
+def hyperedges_from_neighbor_indices(neighbours: np.ndarray) -> Hypergraph:
+    """Hypergraph with one hyperedge per row: ``[node, *neighbours[node]]``.
+
+    The shared assembly step of :func:`knn_hyperedges` and the serving
+    layer's scoped topology refresh (which obtains the index rows from an
+    incremental backend instead of a fresh query).
+    """
     hyperedges = [
-        [node, *neighbours[node].tolist()] for node in range(features.shape[0])
+        [node, *neighbours[node].tolist()] for node in range(neighbours.shape[0])
     ]
-    return Hypergraph(features.shape[0], hyperedges)
+    return Hypergraph(neighbours.shape[0], hyperedges)
 
 
 def kmeans_hyperedges(

@@ -46,6 +46,37 @@ from repro.errors import ShapeError
 DEFAULT_BLOCK_SIZE = 512
 
 
+class DistanceCounters:
+    """Process-wide tally of distance-kernel work (:data:`DISTANCE_COUNTERS`).
+
+    ``blocks`` counts :func:`distance_block` invocations, ``pairs`` the total
+    number of pairwise distances computed.  The serving layer asserts a warm
+    operator-store start performs *zero* k-NN distance computations by
+    snapshotting these counters; they are diagnostics only and never change
+    behaviour.
+    """
+
+    __slots__ = ("blocks", "pairs")
+
+    def __init__(self) -> None:
+        self.blocks = 0
+        self.pairs = 0
+
+    def reset(self) -> None:
+        self.blocks = 0
+        self.pairs = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {"blocks": self.blocks, "pairs": self.pairs}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DistanceCounters(blocks={self.blocks}, pairs={self.pairs})"
+
+
+#: The single shared counter instance every :func:`distance_block` call ticks.
+DISTANCE_COUNTERS = DistanceCounters()
+
+
 def distance_block(queries: np.ndarray, points: np.ndarray, metric: str = "euclidean") -> np.ndarray:
     """Distance slab ``(len(queries), len(points))`` in the query dtype.
 
@@ -61,6 +92,8 @@ def distance_block(queries: np.ndarray, points: np.ndarray, metric: str = "eucli
     back to cdist and cast (documented exception — nothing in the library
     uses them on the hot path).
     """
+    DISTANCE_COUNTERS.blocks += 1
+    DISTANCE_COUNTERS.pairs += queries.shape[0] * points.shape[0]
     if queries.dtype == np.float32:
         if metric == "euclidean":
             center = points.mean(axis=0)

@@ -204,6 +204,7 @@ class IncrementalBackend(NeighborBackend):
         self.partial_refreshes = 0
         self.rows_requeried = 0
         self.rows_repaired_locally = 0
+        self.rows_inserted = 0
         #: LRU list of {"signature", "features", "indices", "distances"}.
         self._states: list[dict] = []
 
@@ -219,8 +220,57 @@ class IncrementalBackend(NeighborBackend):
             "partial_refreshes": self.partial_refreshes,
             "rows_requeried": self.rows_requeried,
             "rows_repaired_locally": self.rows_repaired_locally,
+            "rows_inserted": self.rows_inserted,
             "states": len(self._states),
         }
+
+    # ------------------------------------------------------------------ #
+    # Persistence (the serving operator store round-trips cached states)
+    # ------------------------------------------------------------------ #
+    def export_states(self) -> list[dict]:
+        """Snapshot of the cached states, least recently used first.
+
+        Each entry holds the plain signature tuple and copies of the three
+        arrays — everything a different process needs to resume incremental
+        queries without a cold full rebuild.
+        """
+        return [
+            {
+                "signature": state["signature"],
+                "features": state["features"].copy(),
+                "indices": state["indices"].copy(),
+                "distances": state["distances"].copy(),
+            }
+            for state in self._states
+        ]
+
+    def import_states(self, states: list[dict]) -> None:
+        """Restore states captured by :meth:`export_states` (replaces all)."""
+        restored = []
+        for state in states:
+            signature = tuple(state["signature"])
+            if len(signature) != 6:
+                raise ConfigurationError(
+                    f"backend state signature must have 6 fields, got {signature!r}"
+                )
+            n, d = int(signature[0]), int(signature[1])
+            k = int(signature[3])
+            features = np.asarray(state["features"])
+            indices = np.asarray(state["indices"], dtype=np.int64)
+            distances = np.asarray(state["distances"])
+            if features.shape != (n, d) or indices.shape != (n, k) or distances.shape != (n, k):
+                raise ConfigurationError(
+                    f"backend state arrays inconsistent with signature {signature!r}"
+                )
+            restored.append(
+                {
+                    "signature": (n, d, str(signature[2]), k, bool(signature[4]), str(signature[5])),
+                    "features": features.copy(),
+                    "indices": indices.copy(),
+                    "distances": distances.copy(),
+                }
+            )
+        self._states = restored[-self.max_states :]
 
     # ------------------------------------------------------------------ #
     def query(self, features, k, *, include_self=False, metric="euclidean"):
@@ -255,11 +305,136 @@ class IncrementalBackend(NeighborBackend):
         _, _, _, k, include_self, metric = match["signature"]
         return self._query(features, k, include_self, metric, forced_movers=moved_mask)
 
+    def has_matching_state(
+        self, features, k, *, include_self=False, metric="euclidean"
+    ) -> bool:
+        """Whether a cached state matches ``features`` with zero movers.
+
+        A cheap O(n·d) comparison (no distance work) — the serving session
+        uses it to tell a warm restored state from one that must be primed
+        with a fresh query.
+        """
+        probe = _knn.as_feature_matrix(features)
+        signature = (
+            probe.shape[0], probe.shape[1], probe.dtype.name,
+            int(k), bool(include_self), metric,
+        )
+        return any(
+            state["signature"] == signature
+            and not self._movers_against(probe, state).any()
+            for state in self._states
+        )
+
+    def insert(self, features) -> bool:
+        """Grow the best-matching cached state by the rows appended to ``features``.
+
+        ``features`` is the *full* ``(n_new, d)`` matrix whose trailing rows
+        are new nodes; the method locates the cached state this stream
+        continues (same ``d``/dtype, fewer rows, fewest movers over the
+        overlap) and extends it **exactly with respect to the state's stored
+        coordinates**: the new rows get a fresh exact row query (O(m·n), not
+        O(n²)), and existing rows whose k-th-distance radius a new node
+        reaches are exactly re-queried — everyone else keeps their list.  The
+        state is then a valid incremental baseline, so a follow-up
+        :meth:`query`/:meth:`update` (which handles any *moved* existing
+        rows) returns the same lists as a cold exact rebuild, under the same
+        float64 bit-identity / float32 tolerance contract as the rest of the
+        backend.
+
+        Returns ``True`` when a state was grown; ``False`` when no usable
+        state exists or the insertion exceeds ``churn_threshold`` (the next
+        query then simply performs one full rebuild).
+        """
+        features = _knn.as_feature_matrix(features)
+        n_new = features.shape[0]
+        shape_key = (features.shape[1], features.dtype.name)
+        # Best match: same d/dtype, strictly fewer rows, fewest movers over
+        # the overlapping prefix; most recently used wins ties.
+        state = None
+        best_count = None
+        for candidate in reversed(self._states):
+            c_n, c_d, c_dtype = candidate["signature"][:3]
+            if (c_d, c_dtype) != shape_key or c_n >= n_new:
+                continue
+            overlap = {"features": candidate["features"]}
+            count = int(self._movers_against(features[:c_n], overlap).sum())
+            if best_count is None or count < best_count:
+                state, best_count = candidate, count
+        if state is None:
+            return False
+        n_old = state["signature"][0]
+        m = n_new - n_old
+        if m > self.churn_threshold * n_new:
+            # Growing would touch most rows anyway; drop the state so the
+            # next query performs one clean full rebuild.
+            self._states = [s for s in self._states if s is not state]
+            return False
+        _, _, _, k, include_self, metric = state["signature"]
+        if k > (n_new if include_self else n_new - 1):  # pragma: no cover - defensive
+            return False
+
+        # The grown baseline: stored coordinates for old rows, current
+        # coordinates for the new ones.  Movers among old rows are *not*
+        # resolved here — that is query()/update()'s (proven) job.
+        baseline = np.vstack([state["features"], features[n_old:]])
+        new_ids = np.arange(n_old, n_new, dtype=np.int64)
+        new_indices, new_distances = _knn.knn_query_rows(
+            baseline, new_ids, k, include_self=include_self, metric=metric,
+            block_size=self.block_size,
+        )
+
+        # Entry test: old rows a new node lands at/inside the k-th radius of
+        # must be re-queried (the new node may enter their list).  Walked in
+        # block-size chunks to keep the O(n·block) memory bound.
+        kth = state["distances"][:, -1]
+        margin = self._invalidation_margin(baseline, kth)
+        block = int(self.block_size) if self.block_size else _knn.DEFAULT_BLOCK_SIZE
+        entry_min = np.full(n_old, np.inf, dtype=baseline.dtype)
+        for start in range(0, m, block):
+            stop = min(start + block, m)
+            slab = _knn.distance_block(
+                baseline[:n_old], baseline[n_old + start : n_old + stop], metric=metric
+            )
+            np.minimum(entry_min, slab.min(axis=1), out=entry_min)
+        rows = np.flatnonzero(entry_min <= kth + margin)
+
+        indices = np.vstack([state["indices"], new_indices])
+        distances = np.vstack([state["distances"], new_distances])
+        if rows.size:
+            re_indices, re_distances = _knn.knn_query_rows(
+                baseline, rows, k, include_self=include_self, metric=metric,
+                block_size=self.block_size,
+            )
+            indices[rows] = re_indices
+            distances[rows] = re_distances
+        state["signature"] = (n_new,) + state["signature"][1:]
+        state["features"] = baseline
+        state["indices"] = indices
+        state["distances"] = distances
+        self.rows_inserted += m
+        self.rows_requeried += int(rows.size) + m
+        return True
+
     def _movers_against(self, features: np.ndarray, state: dict) -> np.ndarray:
         if self.tolerance > 0.0:
             drift = np.sqrt(((features - state["features"]) ** 2).sum(axis=1))
             return drift > self.tolerance
         return (features != state["features"]).any(axis=1)
+
+    @staticmethod
+    def _invalidation_margin(features: np.ndarray, kth: np.ndarray) -> np.ndarray:
+        """Boundary margin for k-th-distance comparisons (see the class docs).
+
+        float64 kernel values are slab-shape independent, so a tiny relative
+        margin only absorbs ties; the float32 kernel mean-centres on its
+        operands, so comparisons carry a radius-scaled error bound.
+        """
+        if features.dtype == np.float32:
+            centered = features - features.mean(axis=0)
+            radius = float(np.sqrt((centered * centered).sum(axis=1).max()))
+            eps = np.finfo(np.float32).eps
+            return np.sqrt(eps) * (1.0 + radius) + 16 * eps * (1.0 + kth)
+        return 16 * np.finfo(features.dtype).eps * (1.0 + kth)
 
     def _query(self, features, k, include_self, metric, forced_movers):
         features = _knn._validate(features, k, include_self)
@@ -302,20 +477,10 @@ class IncrementalBackend(NeighborBackend):
         distances = state["distances"]
         kth = distances[:, -1]
         float32_kernel = features.dtype == np.float32
-        if float32_kernel:
-            # The float32 kernel mean-centres on its operands, so slabs taken
-            # against different point sets round differently — its values are
-            # only trustworthy up to the expansion's error, which scales with
-            # the data radius.  Use a radius-aware conservative margin (any
-            # mover that could *possibly* matter triggers a re-query).
-            centered = features - features.mean(axis=0)
-            radius = float(np.sqrt((centered * centered).sum(axis=1).max()))
-            eps = np.finfo(np.float32).eps
-            margin = np.sqrt(eps) * (1.0 + radius) + 16 * eps * (1.0 + kth)
-        else:
-            # cdist computes each pair independently of slab shape, so a tiny
-            # relative margin only has to absorb boundary ties.
-            margin = 16 * np.finfo(features.dtype).eps * (1.0 + kth)
+        # float32: the kernel's values are only trustworthy up to a
+        # radius-scaled error (any mover that could *possibly* matter triggers
+        # a re-query); float64: a tiny relative margin absorbs boundary ties.
+        margin = self._invalidation_margin(features, kth)
 
         # Which cached members are movers, and the mover column they map to.
         in_list = np.isin(indices, mover_ids)
@@ -433,8 +598,19 @@ class LSHBackend(NeighborBackend):
     margin).  The union of bucket members is re-ranked by exact distance with
     the kernel's ``(distance, index)`` tie-break, so whenever the candidate
     set covers the true neighbours the output row is identical to the exact
-    backend.  Rows whose candidate pool is smaller than ``k`` fall back to an
-    exact row query (counted in :attr:`fallback_rows`).
+    backend (float64; the float32 kernel's values depend on its operand
+    centring, so float32 rows agree only up to its documented error).  Rows
+    whose candidate pool is smaller than ``k`` fall back to an exact row
+    query (counted in :attr:`fallback_rows`).
+
+    Both phases are vectorised: collection keeps only each (table, probe)
+    pass's bucket order and per-node bucket ranges (no quadratic
+    co-membership pairs), and re-ranking walks query rows in
+    :attr:`RERANK_CHUNK`-sized chunks grouped by primary hash code — a
+    boolean membership matrix deduplicates the pools and one
+    :func:`~repro.hypergraph.knn.distance_block` slab against the pool union
+    serves the whole chunk (the float64 kernel computes each pair
+    independently of slab shape, so chunking never changes a value).
 
     Recall is *measured, not assumed*: :meth:`measured_recall` reports the
     fraction of true neighbours retrieved on given data, and :meth:`tune` is
@@ -482,6 +658,11 @@ class LSHBackend(NeighborBackend):
             return self.hash_bits
         return max(2, min(16, int(np.ceil(np.log2(max(n, 16) / 8.0)))))
 
+    #: Query rows re-ranked per distance slab.  Rows are grouped by their
+    #: first-table hash code first, so a chunk's candidate pools overlap
+    #: heavily and the shared slab stays near the sum of the pool sizes.
+    RERANK_CHUNK = 64
+
     def query(self, features, k, *, include_self=False, metric="euclidean"):
         features = _knn._validate(features, k, include_self)
         n, d = features.shape
@@ -489,12 +670,22 @@ class LSHBackend(NeighborBackend):
         probes = min(self.n_probes, bits)
         rng = np.random.default_rng(self.seed)
 
-        candidates: list[list[np.ndarray]] = [[] for _ in range(n)]
+        # ------------------------------------------------------------------
+        # Candidate collection, vectorised and *lazy*: each (table, probe)
+        # pass stores only its bucket order plus every node's bucket range
+        # inside it — three O(n) arrays — instead of materialising the
+        # quadratic bucket co-membership pairs.  The per-node candidate sets
+        # are expanded chunk-by-chunk in the re-rank below.
+        # ------------------------------------------------------------------
         weights = (np.int64(1) << np.arange(bits, dtype=np.int64))
+        probe_ranges: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        primary_codes: np.ndarray | None = None
         for _ in range(self.n_tables):
             projections = rng.normal(size=(d, bits)).astype(features.dtype, copy=False)
             margins = features @ projections
             codes = (margins > 0) @ weights
+            if primary_codes is None:
+                primary_codes = codes
             probe_codes = [codes]
             if probes:
                 uncertain = np.argsort(np.abs(margins), axis=1, kind="stable")[:, :probes]
@@ -504,38 +695,75 @@ class LSHBackend(NeighborBackend):
             sorted_codes = codes[bucket_order]
             for probe in probe_codes:
                 left = np.searchsorted(sorted_codes, probe, side="left")
-                right = np.searchsorted(sorted_codes, probe, side="right")
-                for node in range(n):
-                    if right[node] > left[node]:
-                        candidates[node].append(bucket_order[left[node] : right[node]])
+                length = np.searchsorted(sorted_codes, probe, side="right") - left
+                probe_ranges.append((bucket_order, left, length))
 
+        # ------------------------------------------------------------------
+        # Exact re-rank in chunks: query rows grouped by primary hash code
+        # (so their candidate pools overlap heavily) share one boolean
+        # membership matrix — which also deduplicates across tables/probes —
+        # and one ``distance_block`` slab against the union of their pools.
+        # The kernel computes each pair independently of slab shape
+        # (float64), so the selected rows match per-row exact re-ranking
+        # bit-for-bit.
+        # ------------------------------------------------------------------
         result = np.empty((n, k), dtype=np.int64)
-        fallback: list[int] = []
+        grouped = np.argsort(primary_codes, kind="stable")
+        fallback_chunks: list[np.ndarray] = []
         total_candidates = 0
-        for node in range(n):
-            pool = np.unique(np.concatenate(candidates[node])) if candidates[node] else (
-                np.empty(0, dtype=np.int64)
-            )
+        for start in range(0, n, self.RERANK_CHUNK):
+            chunk = grouped[start : start + self.RERANK_CHUNK]
+            local = np.arange(chunk.size)
+            seen = np.zeros((chunk.size, n), dtype=bool)
+            for bucket_order, left, length in probe_ranges:
+                lens = length[chunk]
+                total = int(lens.sum())
+                if total == 0:
+                    continue
+                starts = np.repeat(left[chunk], lens)
+                segment_starts = np.concatenate(([0], np.cumsum(lens)[:-1]))
+                offsets = np.arange(total, dtype=np.int64) - np.repeat(segment_starts, lens)
+                seen[np.repeat(local, lens), bucket_order[starts + offsets]] = True
             if not include_self:
-                pool = pool[pool != node]
-            total_candidates += int(pool.size)
-            if pool.size < k:
-                fallback.append(node)
-                continue
-            distances = _knn.distance_block(
-                features[node : node + 1], features[pool], metric=metric
-            )[0]
-            order = np.lexsort((pool, distances))
-            result[node] = pool[order[:k]]
-        rows = np.asarray(fallback, dtype=np.int64)
-        if rows.size:
+                seen[local, chunk] = False
+            chunk_counts = seen.sum(axis=1)
+            total_candidates += int(chunk_counts.sum())
+            short = chunk_counts < k
+            if short.any():
+                fallback_chunks.append(chunk[short])
+                if short.all():
+                    continue
+            pool = np.flatnonzero(seen.any(axis=0))
+            local_rows, pool_cols = np.nonzero(seen[:, pool])
+            slab = _knn.distance_block(features[chunk], features[pool], metric=metric)
+            width = int(chunk_counts.max())
+            padded_distance = np.full((chunk.size, width), np.inf, dtype=slab.dtype)
+            padded_candidate = np.full((chunk.size, width), n, dtype=np.int64)
+            chunk_starts = np.concatenate(([0], np.cumsum(chunk_counts)[:-1]))
+            local_cols = (
+                np.arange(local_rows.size, dtype=np.int64)
+                - chunk_starts[local_rows]
+            )
+            padded_distance[local_rows, local_cols] = slab[local_rows, pool_cols]
+            padded_candidate[local_rows, local_cols] = pool[pool_cols]
+            order = np.lexsort((padded_candidate, padded_distance), axis=-1)[:, :k]
+            selected = np.take_along_axis(padded_candidate, order, axis=1)
+            keep = ~short
+            result[chunk[keep]] = selected[keep]
+
+        fallback = (
+            np.sort(np.concatenate(fallback_chunks))
+            if fallback_chunks
+            else np.empty(0, dtype=np.int64)
+        )
+        if fallback.size:
             exact, _ = _knn.knn_query_rows(
-                features, rows, k, include_self=include_self, metric=metric,
+                features, fallback, k, include_self=include_self, metric=metric,
                 block_size=self.block_size,
             )
-            result[rows] = exact
-        self.fallback_rows = len(fallback)
-        self.last_fallback_row_ids = rows
+            result[fallback] = exact
+        self.fallback_rows = int(fallback.size)
+        self.last_fallback_row_ids = fallback
         self.mean_candidates = total_candidates / max(n, 1)
         return result
 

@@ -32,8 +32,9 @@ mutated by callers.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
-from typing import Hashable
+from typing import Hashable, Mapping
 
 import numpy as np
 import scipy.sparse as sp
@@ -48,32 +49,92 @@ from repro.precision import resolve_dtype
 #: per dataset realisation plus the live dynamic operators of a deep model).
 DEFAULT_CACHE_SIZE = 128
 
+#: Default capacity of the neighbour-list memo (entries are ``(n, k)`` int64
+#: arrays — small next to operators, but embeddings churn every refresh, so a
+#: short LRU is all that ever pays off).
+DEFAULT_NEIGHBOR_ENTRIES = 32
+
+
+def _operator_nbytes(operator: sp.csr_matrix) -> int:
+    """Resident bytes of a CSR operator (data + indices + indptr)."""
+    return int(operator.data.nbytes + operator.indices.nbytes + operator.indptr.nbytes)
+
+
+def _features_digest(features: np.ndarray) -> bytes:
+    """Stable content digest of an embedding matrix (C-contiguous bytes)."""
+    return hashlib.blake2b(
+        np.ascontiguousarray(features).tobytes(), digest_size=16
+    ).digest()
+
 
 class OperatorCache:
     """LRU cache of sparse operators keyed by hypergraph fingerprint.
+
+    Besides the operators the cache keeps a small *neighbour-list memo*:
+    ``(n, k)`` k-NN index arrays keyed by a content digest of the query
+    embedding (plus ``k``/``include_self``/``metric`` and the backend's
+    ``cache_key()``).  Layers, models or sweep runs that query the same
+    embedding with the same parameters share one distance pass — the second
+    query is a pure lookup with zero distance computations.
 
     Parameters
     ----------
     max_entries:
         LRU capacity; the least recently used operator is evicted beyond it.
+    max_bytes:
+        Optional byte budget over the resident CSR arrays.  A long-lived
+        server bounded only by entry *count* could still pin arbitrarily much
+        memory (operator size grows with the topology); with ``max_bytes``
+        set, least-recently-used operators are evicted until the budget holds
+        again (the most recent entry is always kept so a single oversized
+        operator still caches).  ``None`` (default) disables the byte bound.
     enabled:
         When ``False`` every request recomputes from scratch (used by the
         cache-equivalence regression tests and as the ablation switch).
     """
 
-    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE, *, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_CACHE_SIZE,
+        *,
+        max_bytes: int | None = None,
+        max_neighbor_entries: int = DEFAULT_NEIGHBOR_ENTRIES,
+        enabled: bool = True,
+    ) -> None:
         if max_entries < 1:
             raise ConfigurationError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ConfigurationError(f"max_bytes must be >= 1 or None, got {max_bytes}")
+        if max_neighbor_entries < 1:
+            raise ConfigurationError(
+                f"max_neighbor_entries must be >= 1, got {max_neighbor_entries}"
+            )
         self.max_entries = int(max_entries)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.max_neighbor_entries = int(max_neighbor_entries)
         self.enabled = bool(enabled)
         self._entries: OrderedDict[tuple, sp.csr_matrix] = OrderedDict()
+        self._bytes = 0
+        self._neighbor_entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.neighbor_hits = 0
+        self.neighbor_misses = 0
 
     # ------------------------------------------------------------------ #
     # Lookup
     # ------------------------------------------------------------------ #
+    def _evict_to_budget(self) -> None:
+        while len(self._entries) > self.max_entries or (
+            self.max_bytes is not None
+            and self._bytes > self.max_bytes
+            and len(self._entries) > 1
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= _operator_nbytes(evicted)
+            self.evictions += 1
+
     def _get(self, hypergraph: Hypergraph, kind: Hashable, build) -> sp.csr_matrix:
         if not self.enabled:
             self.misses += 1
@@ -87,10 +148,53 @@ class OperatorCache:
         self.misses += 1
         operator = build(hypergraph)
         self._entries[key] = operator
-        if len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        self._bytes += _operator_nbytes(operator)
+        self._evict_to_budget()
         return operator
+
+    def neighbor_indices(
+        self,
+        features: np.ndarray,
+        k: int,
+        *,
+        include_self: bool = False,
+        metric: str = "euclidean",
+        backend: NeighborBackend,
+    ) -> np.ndarray:
+        """Memoised ``backend.query`` keyed by embedding content.
+
+        Returns a read-only ``(n, k)`` index array shared between hits —
+        callers must copy before mutating.  A hit performs no distance
+        computations and does not touch the backend, which is safe precisely
+        because the key covers the full embedding bytes: identical content
+        means the backend would have found identical neighbours (and, for the
+        incremental backend, zero movers).
+        """
+        features = np.asarray(features)
+        if not self.enabled:
+            self.neighbor_misses += 1
+            return backend.query(features, k, include_self=include_self, metric=metric)
+        key = (
+            _features_digest(features),
+            features.shape,
+            features.dtype.name,
+            int(k),
+            bool(include_self),
+            metric,
+            backend.cache_key(),
+        )
+        cached = self._neighbor_entries.get(key)
+        if cached is not None:
+            self._neighbor_entries.move_to_end(key)
+            self.neighbor_hits += 1
+            return cached
+        self.neighbor_misses += 1
+        indices = backend.query(features, k, include_self=include_self, metric=metric)
+        indices.setflags(write=False)
+        self._neighbor_entries[key] = indices
+        while len(self._neighbor_entries) > self.max_neighbor_entries:
+            self._neighbor_entries.popitem(last=False)
+        return indices
 
     def propagation_operator(
         self,
@@ -148,12 +252,15 @@ class OperatorCache:
         fingerprint = hypergraph.fingerprint()
         stale = [key for key in self._entries if key[1] == fingerprint]
         for key in stale:
-            del self._entries[key]
+            self._bytes -= _operator_nbytes(self._entries.pop(key))
         return len(stale)
 
     def invalidate(self) -> None:
-        """Drop every cached operator (counters are preserved)."""
+        """Drop every cached operator and memoised neighbour list
+        (counters are preserved)."""
         self._entries.clear()
+        self._neighbor_entries.clear()
+        self._bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -166,8 +273,44 @@ class OperatorCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "entries": len(self._entries),
+            "bytes": self._bytes,
             "hit_rate": self.hits / total if total else 0.0,
+            "neighbor_hits": self.neighbor_hits,
+            "neighbor_misses": self.neighbor_misses,
+            "neighbor_entries": len(self._neighbor_entries),
         }
+
+    # ------------------------------------------------------------------ #
+    # Persistence hooks (see :class:`repro.serving.OperatorStore`)
+    # ------------------------------------------------------------------ #
+    def export_entries(self) -> dict[tuple, sp.csr_matrix]:
+        """Snapshot of the cached operators, most recently used last.
+
+        Keys are the internal ``(kind, fingerprint)`` tuples — plain nested
+        tuples of builtins, process-stable since the fingerprint hashes are
+        (see :meth:`Hypergraph.fingerprint`), which is what makes them
+        serialisable by the operator store.
+        """
+        return dict(self._entries)
+
+    def seed_entries(self, entries: Mapping[tuple, sp.csr_matrix]) -> int:
+        """Install externally persisted entries (oldest-first, LRU applies).
+
+        Entries are treated exactly like freshly built operators: they count
+        toward both budgets and may evict (or immediately be evicted by) the
+        LRU.  Returns the number of entries installed.
+        """
+        installed = 0
+        for key, operator in entries.items():
+            if not isinstance(key, tuple):
+                raise ConfigurationError(f"cache keys must be tuples, got {type(key)!r}")
+            if key in self._entries:
+                self._bytes -= _operator_nbytes(self._entries.pop(key))
+            self._entries[key] = operator
+            self._bytes += _operator_nbytes(operator)
+            installed += 1
+        self._evict_to_budget()
+        return installed
 
     def __repr__(self) -> str:
         return (
@@ -238,6 +381,26 @@ class TopologyRefreshEngine:
         """Swap the neighbour-search backend (e.g. from ``TrainConfig``)."""
         self.backend = resolve_backend(backend, block_size=self.block_size)
         return self.backend
+
+    def query_neighbors(
+        self,
+        features: np.ndarray,
+        k: int,
+        *,
+        include_self: bool = False,
+        metric: str = "euclidean",
+    ) -> np.ndarray:
+        """k-NN indices through the engine's backend, memoised by content.
+
+        The single neighbour-query path of the dynamic models: layers (or
+        whole sweep runs) whose embeddings coincide bit-for-bit share one
+        distance pass through the cache's neighbour memo — audited via the
+        ``neighbor_hits`` / ``neighbor_misses`` counters in :meth:`stats`.
+        The returned array is read-only and shared; copy before mutating.
+        """
+        return self.cache.neighbor_indices(
+            features, k, include_self=include_self, metric=metric, backend=self.backend
+        )
 
     def propagation_operator(
         self,

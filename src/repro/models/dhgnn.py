@@ -120,12 +120,10 @@ class DHGNN(BaseNodeClassifier):
     def _build_operator(self, embedding: np.ndarray, position: int) -> sp.csr_matrix:
         k = min(self.k_neighbors, embedding.shape[0] - 1)
         clusters = min(self.n_clusters, embedding.shape[0])
-        local = knn_hyperedges(
-            embedding,
-            k,
-            block_size=self.refresh_engine.block_size,
-            backend=self.refresh_engine.backend,
-        )
+        # The engine route memoises neighbour lists by embedding content, so
+        # layers sharing an embedding (and repeated builds across a sweep)
+        # reuse one distance pass.
+        local = knn_hyperedges(embedding, k, engine=self.refresh_engine)
         global_ = kmeans_hyperedges(embedding, clusters, seed=self._construction_rng)
         parts = [local, global_]
         if self._static_hypergraph is not None:
@@ -142,6 +140,19 @@ class DHGNN(BaseNodeClassifier):
     def topology_cache_stats(self) -> dict[str, int | float]:
         """Operator-cache statistics of the refresh engine (shared cache)."""
         return self.refresh_engine.stats()
+
+    def export_dynamic_state(self) -> dict:
+        """Snapshot of the per-layer operators and pooled topologies.
+
+        The contract :meth:`repro.serving.FrozenModel.compile` consumes;
+        operators are shared (read-only constants), not copied.
+        """
+        self.require_setup()
+        return {
+            "operators": list(self._operators),
+            "layer_hypergraphs": list(self._layer_hypergraphs),
+            "static_hypergraph": self._static_hypergraph,
+        }
 
     def forward(self, features: Tensor) -> Tensor:
         self.require_setup()

@@ -1,0 +1,44 @@
+"""repro.serving — frozen-model inference outside the training loop.
+
+The serving layer turns a trained model into a deployable artefact:
+
+* :class:`FrozenModel` — compiles a model into a no-grad, policy-dtype
+  forward plan reusing the already-resolved propagation operators; logits
+  are bit-identical to ``Trainer`` evaluation;
+* :class:`OperatorStore` — one-file persistence of operators, weights and
+  incremental neighbour state, so server restarts (and repeated sweeps)
+  skip cold topology rebuilds entirely;
+* :class:`InferenceSession` — micro-batched queries plus online node
+  insertion / feature updates through scoped incremental topology repairs.
+
+Quickstart (see ``examples/serving_quickstart.py``)::
+
+    trainer = Trainer(model, dataset, config)
+    trainer.train()
+    frozen = trainer.export_frozen("model_bundle.npz")
+
+    # ... later, in a serving process:
+    session = InferenceSession(FrozenModel.load("model_bundle.npz"))
+    labels = session.predict([0, 5, 42])
+    session.insert_nodes(new_node_features)
+"""
+
+from repro.serving.frozen import (
+    FrozenModel,
+    TopologySlot,
+    backend_from_cache_key,
+    prime_backend,
+)
+from repro.serving.session import InferenceSession
+from repro.serving.store import OperatorStore, pack_hypergraph, unpack_hypergraph
+
+__all__ = [
+    "FrozenModel",
+    "InferenceSession",
+    "OperatorStore",
+    "TopologySlot",
+    "backend_from_cache_key",
+    "pack_hypergraph",
+    "prime_backend",
+    "unpack_hypergraph",
+]

@@ -1,0 +1,405 @@
+"""Online inference sessions over a frozen model.
+
+:class:`InferenceSession` answers prediction requests from a
+:class:`~repro.serving.FrozenModel` and keeps serving while the node set
+evolves:
+
+* **query requests** — logits / labels / embeddings for single nodes or node
+  subsets.  The session runs at most one full-batch forward per topology
+  generation and slices every request out of the cached result, so
+  micro-batched requests share one forward pass;
+* **feature updates** — moved nodes flow into
+  :meth:`IncrementalBackend.update` as an explicit mover mask, so the next
+  refresh re-queries only what the movement can have invalidated;
+* **node insertion** — new nodes flow through
+  :meth:`IncrementalBackend.insert` (an O(m·n) grow-and-repair, not an O(n²)
+  rebuild), join their nearest cluster hyperedge by centroid, and the static
+  hypergraph is padded — a *scoped* topology refresh.
+
+The refresh pipeline is cascading: layer ``p``'s topology is rebuilt from the
+embedding the current pass produces at depth ``p`` (training instead reuses
+the previous epoch's embeddings).  With the incremental backend at
+``tolerance=0`` (float64) the refreshed neighbour lists are bit-identical to
+an exact full rebuild of the same pipeline; a positive ``tolerance`` /
+``churn_threshold`` bounds the staleness the session will serve, exactly as
+during training.  Cluster memberships are frozen at export (new nodes join by
+centroid; members are not re-assigned) — the documented serving staleness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hypergraph.construction import hyperedges_from_neighbor_indices, union_hypergraphs
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.laplacian import compactness_hyperedge_weights
+from repro.hypergraph.neighbors import IncrementalBackend
+from repro.hypergraph.refresh import TopologyRefreshEngine
+from repro.serving.frozen import FrozenModel, TopologySlot, _DHGCNPlan, _ModulePlan
+
+_OUTPUTS = ("labels", "logits", "embeddings")
+
+
+class InferenceSession:
+    """Serves predictions from a frozen model with online node churn.
+
+    Parameters
+    ----------
+    frozen:
+        The compiled model (from :meth:`FrozenModel.compile` or
+        :meth:`FrozenModel.load`).  The session clones every piece of state
+        it mutates — the feature matrix, the plan's operator/topology slots
+        and (for the incremental backend) the neighbour state — so the
+        frozen model is never touched and several sessions can serve from
+        one ``FrozenModel`` independently.
+    cluster_assignment:
+        What inserted nodes do about the k-means cluster hyperedges:
+        ``"nearest"`` (default) joins the hyperedge with the nearest centroid
+        in the current embedding — richer global topology, but growing a
+        hyperedge changes its degree normalisation and therefore every
+        member's next-layer embedding, so large clusters can push deeper
+        layers past the backend's churn threshold; ``"frozen"`` leaves the
+        cluster hyperedges untouched (new nodes connect through their k-NN
+        hyperedges only), which keeps the refresh cascade proportional to
+        the insertion size.  Both policies are deterministic and
+        backend-independent, so an incremental and an exact session agree
+        under either.
+    """
+
+    CLUSTER_POLICIES = ("nearest", "frozen")
+
+    def __init__(self, frozen: FrozenModel, *, cluster_assignment: str = "nearest") -> None:
+        if cluster_assignment not in self.CLUSTER_POLICIES:
+            raise ConfigurationError(
+                f"cluster_assignment must be one of {self.CLUSTER_POLICIES}, "
+                f"got {cluster_assignment!r}"
+            )
+        self.cluster_assignment = cluster_assignment
+        self.frozen = frozen
+        self.plan = frozen.plan.clone()
+        backend = frozen.engine.backend
+        if isinstance(backend, IncrementalBackend):
+            # Private copy: this session's insertions/updates must not grow
+            # the frozen model's (or a sibling session's) neighbour state.
+            clone = IncrementalBackend(
+                tolerance=backend.tolerance,
+                churn_threshold=backend.churn_threshold,
+                block_size=backend.block_size,
+                max_states=backend.max_states,
+            )
+            clone.import_states(backend.export_states())
+            backend = clone
+            self.engine = TopologyRefreshEngine(
+                cache=frozen.engine.cache,
+                block_size=frozen.engine.block_size,
+                backend=backend,
+            )
+        else:
+            self.engine = frozen.engine
+        self.backend = backend
+        self._features = frozen.features.copy()
+        self._moved = np.zeros(self._features.shape[0], dtype=bool)
+        self._inserted = 0
+        self._stale_topology = False
+        self._stale_outputs = True
+        self._layer_inputs: list[np.ndarray] | None = None
+        self._logits: np.ndarray | None = None
+        self._slots = {slot.position: slot for slot in self.plan.slots}
+        self.forwards = 0
+        self.refreshes = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        return int(self._features.shape[0])
+
+    @property
+    def features(self) -> np.ndarray:
+        """Read-only view of the current serving feature matrix."""
+        view = self._features.view()
+        view.setflags(write=False)
+        return view
+
+    def stats(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "n_nodes": self.n_nodes,
+            "forwards": self.forwards,
+            "refreshes": self.refreshes,
+            "engine": self.engine.stats(),
+        }
+        stats_hook = getattr(self.backend, "stats", None)
+        if callable(stats_hook):
+            payload["backend"] = stats_hook()
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def predict(
+        self, nodes: int | Sequence[int] | None = None, *, output: str = "labels"
+    ) -> np.ndarray:
+        """Predictions for ``nodes`` (``None`` = every node).
+
+        ``output`` selects ``"labels"`` (argmax class ids), ``"logits"`` or
+        ``"embeddings"`` (the final layer's input representation).  Requests
+        between mutations share one cached full-batch forward.
+        """
+        if output not in _OUTPUTS:
+            raise ConfigurationError(f"output must be one of {_OUTPUTS}, got {output!r}")
+        self._ensure_fresh()
+        if output == "embeddings":
+            if isinstance(self.plan, _ModulePlan):
+                raise ConfigurationError(
+                    "embeddings need a compiled DHGNN/DHGCN plan"
+                )
+            full = self._layer_inputs[-1]
+        elif output == "logits":
+            full = self._logits
+        else:
+            full = np.argmax(self._logits, axis=1)
+        if nodes is None:
+            return full.copy()
+        index = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        if index.size and (index.min() < 0 or index.max() >= self.n_nodes):
+            raise ConfigurationError(
+                f"node ids must be in [0, {self.n_nodes}), got {nodes!r}"
+            )
+        result = full[index]
+        return result[0] if np.isscalar(nodes) or np.ndim(nodes) == 0 else result
+
+    def predict_batch(
+        self, requests: Iterable[Mapping[str, Any] | Sequence[int] | None]
+    ) -> list[np.ndarray]:
+        """Micro-batched requests: one forward pass serves every entry.
+
+        Each request is either a node subset (sequence / ``None`` for all) or
+        a mapping ``{"nodes": ..., "output": ...}``.
+        """
+        results = []
+        for request in requests:
+            if isinstance(request, Mapping):
+                results.append(
+                    self.predict(request.get("nodes"), output=request.get("output", "labels"))
+                )
+            else:
+                results.append(self.predict(request))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Online mutation
+    # ------------------------------------------------------------------ #
+    def update_features(self, node_ids: Sequence[int], values: np.ndarray) -> None:
+        """Overwrite the features of existing nodes (marks them as movers)."""
+        index = np.atleast_1d(np.asarray(node_ids, dtype=np.int64))
+        values = np.atleast_2d(np.asarray(values)).astype(self.frozen.dtype, copy=False)
+        if index.size and (index.min() < 0 or index.max() >= self.n_nodes):
+            raise ConfigurationError(f"node ids must be in [0, {self.n_nodes})")
+        if values.shape != (index.size, self._features.shape[1]):
+            raise ConfigurationError(
+                f"values must have shape {(index.size, self._features.shape[1])}, "
+                f"got {values.shape}"
+            )
+        self._features[index] = values
+        self._moved[index] = True
+        self._mark_stale()
+
+    def insert_nodes(self, new_features: np.ndarray) -> np.ndarray:
+        """Append new nodes; returns their ids.
+
+        The nodes become visible to :meth:`predict` after the next (lazy)
+        scoped refresh: their k-NN hyperedges come from
+        :meth:`IncrementalBackend.insert`, they join the nearest cluster
+        hyperedge by centroid, and the static hypergraph is padded (new nodes
+        are isolated there, receiving operator self-loops).
+        """
+        if isinstance(self.plan, _ModulePlan):
+            raise ConfigurationError(
+                "online insertion needs a compiled DHGNN/DHGCN plan"
+            )
+        new_features = np.atleast_2d(np.asarray(new_features)).astype(
+            self.frozen.dtype, copy=False
+        )
+        if new_features.shape[1] != self._features.shape[1]:
+            raise ConfigurationError(
+                f"new features must have {self._features.shape[1]} columns, "
+                f"got {new_features.shape[1]}"
+            )
+        first = self.n_nodes
+        self._features = np.vstack([self._features, new_features])
+        self._moved = np.concatenate(
+            [self._moved, np.zeros(new_features.shape[0], dtype=bool)]
+        )
+        self._inserted += new_features.shape[0]
+        self._mark_stale()
+        return np.arange(first, self.n_nodes, dtype=np.int64)
+
+    def prime(self) -> int:
+        """Synchronise incremental neighbour state with the serving embeddings.
+
+        Runs one forward and queries each dynamic slot's embedding once
+        (unless a bit-matching state already exists), so that subsequent
+        insertions and updates repair instead of rebuilding.  Called by the
+        export hook before saving a bundle — a *loaded* bundle is then
+        already primed and this is a no-op.  Returns the number of slots that
+        needed a priming query.
+        """
+        if not isinstance(self.backend, IncrementalBackend) or not self._slots:
+            return 0
+        self._ensure_fresh()
+        primed = 0
+        for position, slot in self._slots.items():
+            if not slot.use_knn:
+                continue
+            embedding = self._layer_inputs[position]
+            k = min(slot.k_neighbors, max(embedding.shape[0] - 1, 1))
+            if not self.backend.has_matching_state(embedding, k):
+                self.backend.query(embedding, k)
+                primed += 1
+        return primed
+
+    # ------------------------------------------------------------------ #
+    # Refresh pipeline
+    # ------------------------------------------------------------------ #
+    def _mark_stale(self) -> None:
+        self._stale_outputs = True
+        if not isinstance(self.plan, _ModulePlan):
+            self._stale_topology = True
+
+    def _ensure_fresh(self) -> None:
+        if self._stale_topology:
+            self._refresh()
+        elif self._stale_outputs:
+            self._layer_inputs, self._logits = self.plan.run(self._features)
+            self.forwards += 1
+            self._stale_outputs = False
+
+    def _refresh(self) -> None:
+        """Scoped topology refresh + forward, cascading through the layers."""
+        plan = self.plan
+        n = self.n_nodes
+        if isinstance(plan, _DHGCNPlan):
+            self._refresh_dhgcn_static(n)
+        hidden = self._features
+        layer_inputs: list[np.ndarray] = []
+        for position in range(plan.n_layers):
+            layer_inputs.append(hidden)
+            slot = self._slots.get(position)
+            if slot is not None:
+                self._refresh_slot(slot, hidden)
+            hidden = plan.apply_layer(position, hidden)
+        self._layer_inputs = layer_inputs
+        self._logits = hidden
+        self._moved[:] = False
+        self._inserted = 0
+        self._stale_topology = False
+        self._stale_outputs = False
+        self.refreshes += 1
+        self.forwards += 1
+
+    def _neighbor_rows(self, slot: TopologySlot, embedding: np.ndarray, k: int) -> np.ndarray:
+        if isinstance(self.backend, IncrementalBackend):
+            if self._inserted:
+                # Grow the matching cached state by the appended rows —
+                # O(m·n) exact repair instead of a full rebuild (falls back
+                # automatically past the backend's churn threshold).
+                self.backend.insert(embedding)
+            if slot.position == 0 and self._moved.any():
+                try:
+                    return self.backend.update(self._moved, embedding)
+                except ConfigurationError:
+                    # No prior state of this shape — cold start, query below.
+                    pass
+            return self.backend.query(embedding, k)
+        return self.backend.query(embedding, k)
+
+    def _refresh_slot(self, slot: TopologySlot, embedding: np.ndarray) -> None:
+        n = embedding.shape[0]
+        parts: list[Hypergraph] = []
+        if slot.use_knn:
+            k = min(slot.k_neighbors, max(n - 1, 1))
+            parts.append(
+                hyperedges_from_neighbor_indices(self._neighbor_rows(slot, embedding, k))
+            )
+        if slot.cluster_members:
+            if self._inserted and self.cluster_assignment == "nearest":
+                self._assign_new_to_clusters(slot, embedding)
+            parts.append(
+                Hypergraph(n, [members.tolist() for members in slot.cluster_members])
+            )
+        if slot.static_part is not None:
+            if slot.static_part.n_nodes != n:
+                slot.static_part = Hypergraph(
+                    n, slot.static_part.hyperedges, slot.static_part.weights
+                )
+            parts.append(slot.static_part)
+        pooled = union_hypergraphs(*parts)
+        if slot.weighted and pooled.n_hyperedges > 0:
+            weights = compactness_hyperedge_weights(
+                pooled, embedding, temperature=slot.temperature
+            )
+            pooled = pooled.with_weights(weights)
+        operator = self.engine.refresh_operator(
+            slot.hypergraph, pooled, dtype=self.frozen.dtype
+        )
+        slot.hypergraph = pooled
+        self.plan.set_operator(slot.position, operator)
+
+    def _assign_new_to_clusters(self, slot: TopologySlot, embedding: np.ndarray) -> None:
+        """New nodes join the cluster hyperedge with the nearest centroid.
+
+        Centroids are recomputed in the *current* embedding; existing members
+        are never re-assigned (bounded staleness — a full k-means re-run is a
+        training-side rebuild, not a serving refresh).  Deterministic and
+        backend-independent, so incremental and exact sessions agree.
+        """
+        n = embedding.shape[0]
+        new_ids = np.arange(n - self._inserted, n, dtype=np.int64)
+        centroids = np.stack(
+            [embedding[members].mean(axis=0) for members in slot.cluster_members]
+        )
+        deltas = embedding[new_ids][:, None, :] - centroids[None, :, :]
+        nearest = np.argmin(np.einsum("ijk,ijk->ij", deltas, deltas), axis=1)
+        for node, cluster in zip(new_ids, nearest):
+            slot.cluster_members[cluster] = np.append(slot.cluster_members[cluster], node)
+
+    def _refresh_dhgcn_static(self, n: int) -> None:
+        """Pad (and, when enabled, compactness-reweight) the static channel."""
+        plan = self.plan
+        if plan.static_hypergraph is None:
+            return
+        if plan.static_hypergraph.n_nodes != n:
+            plan.static_hypergraph = Hypergraph(
+                n, plan.static_hypergraph.hyperedges, plan.static_hypergraph.weights
+            )
+        if not plan.use_edge_weighting or plan.static_hypergraph.n_hyperedges == 0:
+            if plan.static_operator is not None and plan.static_operator.shape[0] != n:
+                plan.static_operator = self.engine.propagation_operator(
+                    plan.static_hypergraph, dtype=self.frozen.dtype
+                )
+            return
+        # The reweighting reference is always recomputed with a baseline
+        # forward over the pre-insertion rows (current features, current
+        # operators) — the serving analogue of training's "deepest embedding
+        # of the previous pass", and deliberately independent of whether a
+        # cached forward happens to exist, so identical mutation sequences
+        # give identical logits regardless of interleaved predict() calls.
+        baseline_inputs, _ = plan.run(self._features[: n - self._inserted])
+        reference = baseline_inputs[-1]
+        if reference.shape[0] != n:
+            # New nodes belong to no static hyperedge; their (padding) rows
+            # never enter a compactness spread.
+            padding = np.zeros((n - reference.shape[0], reference.shape[1]), reference.dtype)
+            reference = np.vstack([reference, padding])
+        weights = compactness_hyperedge_weights(
+            plan.static_hypergraph, reference, temperature=plan.weight_temperature
+        )
+        reweighted = plan.static_hypergraph.with_weights(weights)
+        plan.static_operator = self.engine.refresh_operator(
+            plan.reweighted_static, reweighted, dtype=self.frozen.dtype
+        )
+        plan.reweighted_static = reweighted

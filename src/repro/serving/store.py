@@ -1,0 +1,273 @@
+"""The persistent operator store.
+
+:class:`OperatorStore` is a single-file (``.npz``) container for everything a
+serving process needs to start *warm*:
+
+* **keyed sparse operators** — entries of a
+  :class:`repro.hypergraph.refresh.OperatorCache` (or any other
+  tuple-of-builtins-keyed CSR matrices, e.g. a frozen model's resolved
+  per-layer operators).  Keys round-trip through ``repr`` /
+  ``ast.literal_eval`` and stay valid across processes because
+  :meth:`Hypergraph.fingerprint` uses process-stable hashes;
+* **named array groups** — dense state (model weights, feature matrices,
+  serialised hypergraphs, incremental-backend states);
+* **JSON metadata** — plan configuration, precision, provenance.
+
+Two workflows build on it:
+
+* repeated sweeps: ``OperatorStore.from_cache(engine.cache).save(path)`` at
+  the end of a run, ``store.install_into(engine.cache)`` at the start of the
+  next process — structurally identical topologies then hit instead of
+  rebuilding their sparse pipelines;
+* serving: :meth:`repro.serving.FrozenModel.save` /
+  :meth:`~repro.serving.FrozenModel.load` bundle the compiled plan through a
+  store, so a server restart performs **zero** k-NN distance computations
+  before its first prediction (asserted via
+  :data:`repro.hypergraph.knn.DISTANCE_COUNTERS`).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ConfigurationError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.neighbors import IncrementalBackend, NeighborBackend
+from repro.hypergraph.refresh import OperatorCache
+from repro.utils.io import pack_csr, unpack_csr
+
+#: Format tag written into every archive (bump on incompatible layout change).
+STORE_FORMAT = "repro-operator-store/v1"
+
+
+def pack_hypergraph(hypergraph: Hypergraph, prefix: str = "") -> dict[str, np.ndarray]:
+    """Flatten a hypergraph into named arrays (inverse of :func:`unpack_hypergraph`)."""
+    sizes = hypergraph.hyperedge_sizes()
+    members = np.array(
+        [node for edge in hypergraph.hyperedges for node in edge], dtype=np.int64
+    )
+    return {
+        f"{prefix}n_nodes": np.asarray(hypergraph.n_nodes, dtype=np.int64),
+        f"{prefix}sizes": sizes,
+        f"{prefix}members": members,
+        f"{prefix}weights": np.asarray(hypergraph.weights, dtype=np.float64),
+    }
+
+
+def unpack_hypergraph(arrays: Mapping[str, np.ndarray], prefix: str = "") -> Hypergraph:
+    """Rebuild a hypergraph from arrays written by :func:`pack_hypergraph`."""
+    sizes = np.asarray(arrays[f"{prefix}sizes"], dtype=np.int64)
+    members = np.asarray(arrays[f"{prefix}members"], dtype=np.int64)
+    bounds = np.concatenate(([0], np.cumsum(sizes)))
+    hyperedges = [members[bounds[i] : bounds[i + 1]].tolist() for i in range(sizes.size)]
+    weights = np.asarray(arrays[f"{prefix}weights"], dtype=np.float64)
+    return Hypergraph(
+        int(arrays[f"{prefix}n_nodes"]), hyperedges, weights if weights.size else None
+    )
+
+
+def _validate_key_literal(key: tuple) -> str:
+    """``repr`` of a key after checking it survives ``ast.literal_eval``."""
+    text = repr(key)
+    try:
+        parsed = ast.literal_eval(text)
+    except (ValueError, SyntaxError) as error:  # pragma: no cover - defensive
+        raise ConfigurationError(f"operator key {key!r} is not serialisable") from error
+    if parsed != key:
+        raise ConfigurationError(f"operator key {key!r} does not round-trip through repr")
+    return text
+
+
+class OperatorStore:
+    """In-memory collection of keyed operators, array groups and metadata.
+
+    The store itself is format-agnostic state plus :meth:`save` /
+    :meth:`load`; the cache and backend bridges are thin adapters so the
+    persistence layer stays independent of what is being persisted.
+    """
+
+    def __init__(self) -> None:
+        self._operators: dict[tuple, sp.csr_matrix] = {}
+        self._groups: dict[str, dict[str, np.ndarray]] = {}
+        self.meta: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # Keyed operators
+    # ------------------------------------------------------------------ #
+    def put_operator(self, key: tuple, matrix: sp.spmatrix) -> None:
+        if not isinstance(key, tuple):
+            raise ConfigurationError(f"operator keys must be tuples, got {type(key)!r}")
+        _validate_key_literal(key)
+        self._operators[key] = matrix.tocsr()
+
+    def get_operator(self, key: tuple) -> sp.csr_matrix:
+        if key not in self._operators:
+            raise KeyError(f"operator store has no entry for key {key!r}")
+        return self._operators[key]
+
+    def has_operator(self, key: tuple) -> bool:
+        return key in self._operators
+
+    def operator_keys(self) -> list[tuple]:
+        return list(self._operators)
+
+    # ------------------------------------------------------------------ #
+    # Array groups
+    # ------------------------------------------------------------------ #
+    def put_group(self, name: str, arrays: Mapping[str, np.ndarray]) -> None:
+        if ":" in name:
+            raise ConfigurationError(f"group names must not contain ':', got {name!r}")
+        self._groups[name] = {key: np.asarray(value) for key, value in arrays.items()}
+
+    def get_group(self, name: str) -> dict[str, np.ndarray]:
+        if name not in self._groups:
+            raise KeyError(f"operator store has no group {name!r}")
+        return dict(self._groups[name])
+
+    def has_group(self, name: str) -> bool:
+        return name in self._groups
+
+    def group_names(self) -> list[str]:
+        return list(self._groups)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        """Write the store as one compressed ``.npz`` archive."""
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(path.suffix + ".npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays: dict[str, np.ndarray] = {}
+        operator_keys: list[str] = []
+        for index, (key, matrix) in enumerate(self._operators.items()):
+            operator_keys.append(_validate_key_literal(key))
+            arrays.update(pack_csr(matrix, prefix=f"op{index}:"))
+        for name, group in self._groups.items():
+            for array_name, value in group.items():
+                arrays[f"g:{name}:{array_name}"] = value
+        manifest = {
+            "format": STORE_FORMAT,
+            "operator_keys": operator_keys,
+            "groups": sorted(self._groups),
+            "meta": self.meta,
+        }
+        arrays["__manifest__"] = np.asarray(json.dumps(manifest))
+        np.savez_compressed(path, **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "OperatorStore":
+        """Read an archive written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists() and path.suffix != ".npz":
+            path = path.with_suffix(path.suffix + ".npz")
+        store = cls()
+        with np.load(path, allow_pickle=False) as archive:
+            if "__manifest__" not in archive.files:
+                raise ConfigurationError(f"{path} is not an operator-store archive")
+            manifest = json.loads(str(archive["__manifest__"]))
+            if manifest.get("format") != STORE_FORMAT:
+                raise ConfigurationError(
+                    f"unsupported operator-store format {manifest.get('format')!r}"
+                )
+            store.meta = manifest.get("meta", {})
+            for index, key_text in enumerate(manifest["operator_keys"]):
+                key = ast.literal_eval(key_text)
+                store._operators[key] = unpack_csr(archive, prefix=f"op{index}:")
+            for name in manifest["groups"]:
+                prefix = f"g:{name}:"
+                store._groups[name] = {
+                    file[len(prefix):]: archive[file]
+                    for file in archive.files
+                    if file.startswith(prefix)
+                }
+        return store
+
+    # ------------------------------------------------------------------ #
+    # Operator-cache bridge
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_cache(cls, cache: OperatorCache) -> "OperatorStore":
+        """Snapshot every entry of an :class:`OperatorCache`."""
+        store = cls()
+        for key, operator in cache.export_entries().items():
+            store.put_operator(key, operator)
+        store.meta["source"] = "operator-cache"
+        return store
+
+    def install_into(self, cache: OperatorCache) -> int:
+        """Seed an :class:`OperatorCache` with every stored operator.
+
+        Returns the number of entries installed; the cache's LRU / byte
+        budgets apply as if the operators had just been built.
+        """
+        return cache.seed_entries(self._operators)
+
+    # ------------------------------------------------------------------ #
+    # Neighbour-backend bridge
+    # ------------------------------------------------------------------ #
+    def capture_backend(self, backend: NeighborBackend) -> None:
+        """Record a backend's identity and (if incremental) cached states."""
+        description: dict[str, Any] = {"cache_key": list(backend.cache_key())}
+        if isinstance(backend, IncrementalBackend):
+            signatures = []
+            for index, state in enumerate(backend.export_states()):
+                group = f"backend_state{index}"
+                self.put_group(
+                    group,
+                    {
+                        "features": state["features"],
+                        "indices": state["indices"],
+                        "distances": state["distances"],
+                    },
+                )
+                signatures.append(list(state["signature"]))
+            description["state_signatures"] = signatures
+        self.meta["backend"] = description
+
+    def restore_backend(self, backend: NeighborBackend) -> int:
+        """Restore states captured by :meth:`capture_backend`.
+
+        The receiving backend must be of the same *kind* (``cache_key()``
+        name) as the captured one; its tolerance / churn configuration may
+        differ — the cached states are exact snapshots, valid under any
+        staleness policy.  Returns the number of states restored (0 for
+        stateless backends).
+        """
+        description = self.meta.get("backend")
+        if description is None:
+            raise ConfigurationError("this store holds no captured backend")
+        if backend.cache_key()[0] != description["cache_key"][0]:
+            raise ConfigurationError(
+                f"backend mismatch: store captured {description['cache_key'][0]!r}, "
+                f"got {backend.cache_key()[0]!r}"
+            )
+        if not isinstance(backend, IncrementalBackend):
+            return 0
+        states = []
+        for index, signature in enumerate(description.get("state_signatures", [])):
+            group = self.get_group(f"backend_state{index}")
+            states.append(
+                {
+                    "signature": tuple(signature),
+                    "features": group["features"],
+                    "indices": group["indices"],
+                    "distances": group["distances"],
+                }
+            )
+        backend.import_states(states)
+        return len(states)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OperatorStore(operators={len(self._operators)}, "
+            f"groups={len(self._groups)})"
+        )

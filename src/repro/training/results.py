@@ -70,6 +70,23 @@ class ResultTable:
         """JSON-serialisable representation."""
         return {"title": self.title, "columns": self.columns, "rows": self.rows}
 
+    def save(self, path: str) -> str:
+        """Persist the table as JSON (see :meth:`load`)."""
+        from repro.utils.io import save_json
+
+        return str(save_json(path, self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str) -> "ResultTable":
+        """Rebuild a table saved with :meth:`save`."""
+        from repro.utils.io import load_json
+
+        payload = load_json(path)
+        table = cls(payload["columns"], title=payload.get("title"))
+        for row in payload.get("rows", []):
+            table.add_row(row)
+        return table
+
     def __str__(self) -> str:
         return self.to_markdown()
 

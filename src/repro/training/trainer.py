@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any
@@ -51,6 +52,49 @@ class TrainResult:
             "mean_epoch_time": self.mean_epoch_time,
             "n_parameters": float(self.n_parameters),
         }
+
+    def save(self, path: str) -> "str":
+        """Persist summary + history (+ JSON-serialisable extras) as JSON.
+
+        The export-side companion of :meth:`Trainer.export_frozen`: a served
+        bundle can ship next to the training record it came from.  Extras
+        that do not serialise (profiler objects etc.) are dropped.
+        """
+        from repro.utils.io import save_json
+
+        extras = {}
+        for key, value in self.extras.items():
+            try:
+                json.dumps(value, default=float)
+            except (TypeError, ValueError):
+                continue
+            extras[key] = value
+        payload = {
+            "summary": self.summary(),
+            "history": self.history,
+            "extras": extras,
+        }
+        return str(save_json(path, payload))
+
+    @classmethod
+    def load(cls, path: str) -> "TrainResult":
+        """Rebuild a result from :meth:`save` output."""
+        from repro.utils.io import load_json
+
+        payload = load_json(path)
+        summary = payload["summary"]
+        return cls(
+            test_accuracy=summary["test_accuracy"],
+            test_macro_f1=summary["test_macro_f1"],
+            best_val_accuracy=summary["best_val_accuracy"],
+            best_epoch=int(summary["best_epoch"]),
+            epochs_run=int(summary["epochs_run"]),
+            train_time=summary["train_time"],
+            mean_epoch_time=summary["mean_epoch_time"],
+            n_parameters=int(summary["n_parameters"]),
+            history=payload.get("history", {}),
+            extras=payload.get("extras", {}),
+        )
 
 
 class Trainer:
@@ -243,3 +287,29 @@ class Trainer:
                 predictions[split.test], self._labels[split.test], self.dataset.n_classes
             ),
         }
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def export_frozen(self, path: str | None = None):
+        """Compile the (trained) model for serving; optionally save a bundle.
+
+        Returns a :class:`repro.serving.FrozenModel` whose logits are
+        bit-identical to this trainer's evaluation forward.  With ``path``
+        given, the incremental neighbour state is first primed against the
+        evaluation embeddings and the whole plan — weights, resolved
+        operators, topology slots, backend state — is written as one ``.npz``
+        bundle, so a serving process starts warm (zero k-NN distance
+        computations before its first prediction) and keeps inserting nodes
+        incrementally.  See :mod:`repro.serving`.
+        """
+        from repro.serving import FrozenModel
+
+        with precision(self.config.precision):
+            frozen = FrozenModel.compile(
+                self.model, self.dataset.features, precision=self.config.precision
+            )
+            if path is not None:
+                frozen.prime()
+                frozen.save(path)
+        return frozen

@@ -420,6 +420,113 @@ class TestIncrementalEquivalence:
 
 
 # --------------------------------------------------------------------------- #
+# Incremental backend: online insertion (grow-and-repair) and persistence
+# --------------------------------------------------------------------------- #
+class TestIncrementalInsert:
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(6, 40),
+        d=st.integers(1, 5),
+        k=st.integers(1, 4),
+        inserts=st.lists(st.integers(1, 4), min_size=1, max_size=3),
+        tie_heavy=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_insert_then_query_bit_identical_to_exact(
+        self, seed, n, d, k, inserts, tie_heavy
+    ):
+        rng = np.random.default_rng(seed)
+        total = n + sum(inserts)
+        if tie_heavy:
+            features = rng.integers(0, 3, size=(total, d)).astype(np.float64)
+        else:
+            features = rng.normal(size=(total, d))
+        if k >= n:
+            k = n - 1
+        backend = IncrementalBackend(block_size=5)
+        backend.query(features[:n], k)
+        count = n
+        for grow in inserts:
+            previous = count
+            count += grow
+            grown = backend.insert(features[:count])
+            # Past the churn threshold the backend legitimately declines and
+            # lets the next query rebuild; below it the grow must succeed.
+            if grow <= backend.churn_threshold * count:
+                assert grown is True, f"insert of {grow} rows onto {previous} declined"
+            result = backend.query(features[:count], k)
+            assert np.array_equal(result, knn_indices_bruteforce(features[:count], k))
+
+    def test_insert_with_simultaneous_drift(self):
+        rng = np.random.default_rng(11)
+        features = _clustered_features(11, n=120)
+        backend = IncrementalBackend()
+        backend.query(features[:110], 6)
+        drifted = features.copy()
+        moved = rng.choice(110, 8, replace=False)
+        drifted[moved] += rng.normal(scale=0.02, size=(8, features.shape[1]))
+        assert backend.insert(drifted) is True
+        result = backend.query(drifted, 6)
+        assert np.array_equal(result, knn_indices_bruteforce(drifted, 6))
+
+    def test_insert_without_state_returns_false(self):
+        backend = IncrementalBackend()
+        assert backend.insert(np.zeros((10, 3))) is False
+
+    def test_insert_past_churn_threshold_drops_state(self):
+        features = _clustered_features(12, n=100)
+        backend = IncrementalBackend(churn_threshold=0.1)
+        backend.query(features[:50], 4)
+        # 50 new rows over 100 total is way past 10% churn.
+        assert backend.insert(features) is False
+        backend.query(features, 4)
+        assert backend.full_rebuilds == 2  # initial + the post-drop rebuild
+
+    def test_insert_counts_rows(self):
+        features = _clustered_features(13, n=64)
+        backend = IncrementalBackend()
+        backend.query(features[:60], 4)
+        backend.insert(features)
+        assert backend.rows_inserted == 4
+        assert backend.stats()["rows_inserted"] == 4
+
+    def test_state_export_import_round_trip(self):
+        features = _clustered_features(14, n=80)
+        backend = IncrementalBackend()
+        reference = backend.query(features, 5)
+        states = backend.export_states()
+
+        restored = IncrementalBackend()
+        restored.import_states(states)
+        assert restored.has_matching_state(features, 5)
+        result = restored.query(features, 5)
+        assert np.array_equal(result, reference)
+        assert restored.full_rebuilds == 0  # served from the imported state
+
+    def test_import_rejects_inconsistent_state(self):
+        backend = IncrementalBackend()
+        with pytest.raises(ConfigurationError):
+            backend.import_states(
+                [{"signature": (4, 2, "float64", 1, False, "euclidean"),
+                  "features": np.zeros((3, 2)), "indices": np.zeros((4, 1), dtype=np.int64),
+                  "distances": np.zeros((4, 1))}]
+            )
+        with pytest.raises(ConfigurationError):
+            backend.import_states([{"signature": (1, 2, 3), "features": np.zeros((1, 2)),
+                                    "indices": np.zeros((1, 1), dtype=np.int64),
+                                    "distances": np.zeros((1, 1))}])
+
+    def test_has_matching_state(self):
+        features = _clustered_features(15, n=40)
+        backend = IncrementalBackend()
+        assert not backend.has_matching_state(features, 4)
+        backend.query(features, 4)
+        assert backend.has_matching_state(features, 4)
+        assert not backend.has_matching_state(features, 3)
+        assert not backend.has_matching_state(features + 1.0, 4)
+
+
+# --------------------------------------------------------------------------- #
 # LSH backend: recall floor, determinism, the recall knob
 # --------------------------------------------------------------------------- #
 class TestLSHBackend:

@@ -1,0 +1,541 @@
+"""Tests of the serving subsystem: frozen models, operator store, sessions.
+
+The load-bearing guarantees pinned here:
+
+* ``FrozenModel`` logits are **bit-identical** to ``Trainer`` evaluation for
+  DHGNN and DHGCN under every neighbour backend and both precision policies;
+* a ``save -> OperatorStore.load -> FrozenModel`` round-trip reproduces the
+  in-process predictions bit-for-bit, and a warm start performs **zero**
+  k-NN distance computations before its first prediction;
+* online insertion of a few percent new nodes goes through the incremental
+  backend's scoped grow-and-repair (no construction rebuild) and matches an
+  exact-rebuild reference session bit-for-bit at ``tolerance=0``;
+* the operator cache's byte budget, its content-keyed neighbour memo, and
+  the cross-process stability of hypergraph fingerprints.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import (
+    DHGCN,
+    DHGCNConfig,
+    DHGNN,
+    HGNN,
+    FrozenModel,
+    InferenceSession,
+    OperatorStore,
+    TrainConfig,
+    Trainer,
+    reset_default_engine,
+)
+from repro.autograd.tensor import Tensor, no_grad
+from repro.errors import ConfigurationError
+from repro.hypergraph import Hypergraph, OperatorCache, TopologyRefreshEngine
+from repro.hypergraph.knn import DISTANCE_COUNTERS
+from repro.hypergraph.neighbors import ExactBackend, IncrementalBackend
+from repro.precision import precision
+
+BACKENDS = [None, "incremental", "lsh"]
+PRECISIONS = ["float64", "float32"]
+
+
+def _train(model, dataset, *, epochs=6, precision_name="float64", backend=None):
+    trainer = Trainer(
+        model,
+        dataset,
+        TrainConfig(
+            epochs=epochs, patience=None, precision=precision_name, neighbor_backend=backend
+        ),
+    )
+    trainer.train()
+    return trainer
+
+
+def _eval_logits(model, dataset, precision_name):
+    model.eval()
+    with precision(precision_name), no_grad():
+        return model(Tensor(dataset.features)).data
+
+
+# --------------------------------------------------------------------------- #
+# FrozenModel: bit-identity with trainer evaluation
+# --------------------------------------------------------------------------- #
+class TestFrozenBitIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("precision_name", PRECISIONS)
+    def test_dhgnn_golden(self, tiny_citation_dataset, backend, precision_name):
+        reset_default_engine()
+        dataset = tiny_citation_dataset
+        model = DHGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        _train(model, dataset, precision_name=precision_name, backend=backend)
+        reference = _eval_logits(model, dataset, precision_name)
+        frozen = FrozenModel.compile(model, dataset.features)
+        assert frozen.precision_name == precision_name
+        logits = frozen.logits()
+        assert logits.dtype == np.dtype(precision_name)
+        assert np.array_equal(logits, reference)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_dhgcn(self, tiny_citation_dataset, backend):
+        reset_default_engine()
+        dataset = tiny_citation_dataset
+        model = DHGCN(dataset.n_features, dataset.n_classes, DHGCNConfig(hidden_dim=8), seed=0)
+        _train(model, dataset, backend=backend)
+        reference = _eval_logits(model, dataset, "float64")
+        frozen = FrozenModel.compile(model, dataset.features)
+        assert np.array_equal(frozen.logits(), reference)
+
+    @pytest.mark.parametrize("fusion", ["gate", "sum", "static_only", "dynamic_only"])
+    def test_dhgcn_fusion_modes(self, tiny_citation_dataset, fusion):
+        reset_default_engine()
+        dataset = tiny_citation_dataset
+        config = (
+            DHGCNConfig(hidden_dim=8, fusion=fusion)
+            if fusion in ("gate", "sum")
+            else DHGCNConfig(hidden_dim=8).ablate(
+                "dynamic" if fusion == "static_only" else "static"
+            )
+        )
+        model = DHGCN(dataset.n_features, dataset.n_classes, config, seed=0)
+        _train(model, dataset)
+        reference = _eval_logits(model, dataset, "float64")
+        frozen = FrozenModel.compile(model, dataset.features)
+        assert np.array_equal(frozen.logits(), reference)
+
+    def test_generic_module_plan(self, tiny_coauthorship_dataset):
+        reset_default_engine()
+        dataset = tiny_coauthorship_dataset
+        model = HGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        _train(model, dataset)
+        reference = _eval_logits(model, dataset, "float64")
+        frozen = FrozenModel.compile(model, dataset.features)
+        assert np.array_equal(frozen.logits(), reference)
+        with pytest.raises(ConfigurationError):
+            frozen.embeddings()
+
+    def test_labels_match_trainer_predict(self, tiny_citation_dataset):
+        reset_default_engine()
+        dataset = tiny_citation_dataset
+        model = DHGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        trainer = _train(model, dataset)
+        frozen = FrozenModel.compile(model, dataset.features)
+        assert np.array_equal(frozen.predict_labels(), trainer.predict())
+
+    def test_compile_straight_after_setup(self, tiny_citation_dataset):
+        # A model that never ran a forward materialises its operators on
+        # compile instead of failing.
+        reset_default_engine()
+        dataset = tiny_citation_dataset
+        model = DHGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        model.setup(dataset)
+        frozen = FrozenModel.compile(model, dataset.features)
+        assert frozen.logits().shape == (dataset.n_nodes, dataset.n_classes)
+
+
+# --------------------------------------------------------------------------- #
+# Bundle round-trips (satellite: save -> load -> bit-identical predictions)
+# --------------------------------------------------------------------------- #
+class TestBundleRoundTrip:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("precision_name", PRECISIONS)
+    def test_dhgnn_round_trip(self, tiny_citation_dataset, tmp_path, backend, precision_name):
+        reset_default_engine()
+        dataset = tiny_citation_dataset
+        model = DHGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        trainer = _train(model, dataset, precision_name=precision_name, backend=backend)
+        frozen = trainer.export_frozen(str(tmp_path / "bundle"))
+        reference = frozen.logits()
+        reset_default_engine()
+        loaded = FrozenModel.load(tmp_path / "bundle.npz")
+        assert loaded.precision_name == precision_name
+        assert np.array_equal(loaded.logits(), reference)
+        assert np.array_equal(loaded.features, frozen.features)
+
+    def test_dhgcn_round_trip(self, tiny_citation_dataset, tmp_path):
+        reset_default_engine()
+        dataset = tiny_citation_dataset
+        model = DHGCN(dataset.n_features, dataset.n_classes, DHGCNConfig(hidden_dim=8), seed=0)
+        trainer = _train(model, dataset, backend="incremental")
+        frozen = trainer.export_frozen(str(tmp_path / "bundle"))
+        reference = frozen.logits()
+        reset_default_engine()
+        loaded = FrozenModel.load(tmp_path / "bundle.npz")
+        assert np.array_equal(loaded.logits(), reference)
+
+    def test_warm_start_zero_distance_computations(self, tiny_citation_dataset, tmp_path):
+        reset_default_engine()
+        dataset = tiny_citation_dataset
+        model = DHGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        trainer = _train(model, dataset, backend="incremental")
+        trainer.export_frozen(str(tmp_path / "bundle"))
+        reset_default_engine()
+        loaded = FrozenModel.load(tmp_path / "bundle.npz")
+        session = InferenceSession(loaded)
+        DISTANCE_COUNTERS.reset()
+        labels = session.predict()
+        logits = session.predict(output="logits")
+        embeddings = session.predict([0, 3, 5], output="embeddings")
+        assert DISTANCE_COUNTERS.pairs == 0 and DISTANCE_COUNTERS.blocks == 0
+        assert labels.shape == (dataset.n_nodes,)
+        assert logits.shape == (dataset.n_nodes, dataset.n_classes)
+        assert embeddings.shape[0] == 3
+
+    def test_generic_plan_not_bundleable(self, tiny_coauthorship_dataset, tmp_path):
+        reset_default_engine()
+        dataset = tiny_coauthorship_dataset
+        model = HGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        _train(model, dataset)
+        frozen = FrozenModel.compile(model, dataset.features)
+        with pytest.raises(ConfigurationError):
+            frozen.save(tmp_path / "nope")
+
+
+# --------------------------------------------------------------------------- #
+# Online insertion and feature updates
+# --------------------------------------------------------------------------- #
+class TestOnlineChurn:
+    def _bundle(self, dataset, tmp_path, model_kind="dhgnn"):
+        reset_default_engine()
+        if model_kind == "dhgnn":
+            model = DHGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        else:
+            model = DHGCN(
+                dataset.n_features, dataset.n_classes, DHGCNConfig(hidden_dim=8), seed=0
+            )
+        trainer = _train(model, dataset, backend="incremental")
+        trainer.export_frozen(str(tmp_path / "bundle"))
+        return tmp_path / "bundle.npz"
+
+    def _new_nodes(self, dataset, count, seed=5):
+        rng = np.random.default_rng(seed)
+        base = dataset.features[rng.choice(dataset.n_nodes, count, replace=False)]
+        return base + rng.normal(scale=0.05, size=base.shape)
+
+    @pytest.mark.parametrize("model_kind", ["dhgnn", "dhgcn"])
+    @pytest.mark.parametrize("policy", ["nearest", "frozen"])
+    def test_insertion_matches_exact_rebuild(
+        self, tiny_citation_dataset, tmp_path, model_kind, policy
+    ):
+        dataset = tiny_citation_dataset
+        bundle = self._bundle(dataset, tmp_path, model_kind)
+        new_features = self._new_nodes(dataset, 5)  # <= 5% of 120 nodes
+
+        incremental = InferenceSession(
+            FrozenModel.load(bundle), cluster_assignment=policy
+        )
+        exact = InferenceSession(
+            FrozenModel.load(bundle, backend=ExactBackend()), cluster_assignment=policy
+        )
+        ids = incremental.insert_nodes(new_features)
+        assert np.array_equal(ids, np.arange(dataset.n_nodes, dataset.n_nodes + 5))
+        exact.insert_nodes(new_features)
+        # tolerance=0, float64: the scoped repair is bit-identical to the
+        # exact full rebuild of the same refresh pipeline.
+        assert np.array_equal(
+            incremental.predict(output="logits"), exact.predict(output="logits")
+        )
+        assert incremental.n_nodes == dataset.n_nodes + 5
+
+    def test_insertion_avoids_full_rebuild_and_saves_distance_work(
+        self, tiny_citation_dataset, tmp_path
+    ):
+        dataset = tiny_citation_dataset
+        bundle = self._bundle(dataset, tmp_path)
+        new_features = self._new_nodes(dataset, 5)
+
+        # A small positive tolerance absorbs the degree-renormalisation
+        # ripple insertion causes in deeper-layer embeddings: the refresh
+        # stays scoped (zero backend full rebuilds) at bounded staleness.
+        session = InferenceSession(
+            FrozenModel.load(bundle, backend=IncrementalBackend(tolerance=0.05)),
+            cluster_assignment="frozen",
+        )
+        DISTANCE_COUNTERS.reset()
+        session.insert_nodes(new_features)
+        session.predict()
+        incremental_pairs = DISTANCE_COUNTERS.pairs
+        stats = session.stats()["backend"]
+        assert stats["full_rebuilds"] == 0
+        assert stats["rows_inserted"] == 10  # 5 nodes x 2 layer streams
+
+        exact = InferenceSession(
+            FrozenModel.load(bundle, backend=ExactBackend()), cluster_assignment="frozen"
+        )
+        DISTANCE_COUNTERS.reset()
+        exact.insert_nodes(new_features)
+        exact.predict()
+        assert incremental_pairs < DISTANCE_COUNTERS.pairs
+        # Bounded staleness: the tolerant session still predicts close to the
+        # exact rebuild.
+        assert np.allclose(
+            session.predict(output="logits"), exact.predict(output="logits"), atol=0.05
+        )
+
+    def test_feature_updates_flow_through_update(self, tiny_citation_dataset, tmp_path):
+        dataset = tiny_citation_dataset
+        bundle = self._bundle(dataset, tmp_path)
+        moved = np.array([3, 17, 40])
+        values = dataset.features[moved] + 0.25
+
+        session = InferenceSession(FrozenModel.load(bundle))
+        before = session.predict(output="logits")
+        session.update_features(moved, values)
+        after = session.predict(output="logits")
+        assert not np.array_equal(before, after)
+        assert np.allclose(session.features[moved], values)
+
+        exact = InferenceSession(FrozenModel.load(bundle, backend=ExactBackend()))
+        exact.update_features(moved, values)
+        assert np.array_equal(after, exact.predict(output="logits"))
+
+    def test_micro_batched_requests_share_one_forward(
+        self, tiny_citation_dataset, tmp_path
+    ):
+        dataset = tiny_citation_dataset
+        session = InferenceSession(FrozenModel.load(self._bundle(dataset, tmp_path)))
+        results = session.predict_batch(
+            [
+                {"nodes": [0, 1, 2], "output": "labels"},
+                {"nodes": [5], "output": "logits"},
+                None,
+                [7, 9],
+            ]
+        )
+        assert session.forwards == 1
+        assert len(results) == 4
+        assert results[0].shape == (3,)
+        full_labels = session.predict()
+        assert np.array_equal(results[2], full_labels)
+        assert session.forwards == 1  # still served from the cached forward
+
+    def test_sibling_sessions_are_isolated(self, tiny_citation_dataset, tmp_path):
+        # Sessions clone the plan + neighbour state: one session's insertions
+        # must not corrupt the frozen model or a sibling session.
+        dataset = tiny_citation_dataset
+        frozen = FrozenModel.load(self._bundle(dataset, tmp_path))
+        first = InferenceSession(frozen)
+        second = InferenceSession(frozen)
+        baseline = second.predict(output="logits")
+        first.insert_nodes(self._new_nodes(dataset, 4))
+        first.predict()
+        assert np.array_equal(second.predict(output="logits"), baseline)
+        assert frozen.forward().shape == (dataset.n_nodes, dataset.n_classes)
+        assert frozen.features.shape[0] == dataset.n_nodes
+        # The frozen backend's state was not grown by the session's insert.
+        assert frozen.engine.backend.rows_inserted == 0
+
+    def test_dhgcn_static_reweight_is_call_order_independent(
+        self, tiny_citation_dataset, tmp_path
+    ):
+        dataset = tiny_citation_dataset
+        bundle = self._bundle(dataset, tmp_path, "dhgcn")
+        moved = np.array([2, 9])
+        values = dataset.features[moved] + 0.2
+
+        eager = InferenceSession(FrozenModel.load(bundle))
+        eager.predict()  # cached forward exists before the mutation
+        eager.update_features(moved, values)
+
+        lazy = InferenceSession(FrozenModel.load(bundle))
+        lazy.update_features(moved, values)  # mutation before any forward
+
+        assert np.array_equal(
+            eager.predict(output="logits"), lazy.predict(output="logits")
+        )
+
+    def test_validation_errors(self, tiny_citation_dataset, tmp_path):
+        dataset = tiny_citation_dataset
+        session = InferenceSession(FrozenModel.load(self._bundle(dataset, tmp_path)))
+        with pytest.raises(ConfigurationError):
+            session.predict(output="probabilities")
+        with pytest.raises(ConfigurationError):
+            session.predict([dataset.n_nodes + 3])
+        with pytest.raises(ConfigurationError):
+            session.update_features([0], np.zeros((1, 3)))
+        with pytest.raises(ConfigurationError):
+            session.insert_nodes(np.zeros((1, 3)))
+        with pytest.raises(ConfigurationError):
+            InferenceSession(session.frozen, cluster_assignment="merge")
+
+
+# --------------------------------------------------------------------------- #
+# OperatorStore and the operator cache bridges
+# --------------------------------------------------------------------------- #
+class TestOperatorStore:
+    def test_cache_snapshot_round_trip(self, tmp_path):
+        hypergraph = Hypergraph(6, [[0, 1, 2], [2, 3], [3, 4, 5]], [1.0, 2.0, 0.5])
+        cache = OperatorCache()
+        operator = cache.propagation_operator(hypergraph)
+        laplacian = cache.laplacian(hypergraph)
+        path = OperatorStore.from_cache(cache).save(tmp_path / "ops")
+
+        restored_cache = OperatorCache()
+        installed = OperatorStore.load(path).install_into(restored_cache)
+        assert installed == 2
+        before_misses = restored_cache.misses
+        hit_operator = restored_cache.propagation_operator(hypergraph)
+        hit_laplacian = restored_cache.laplacian(hypergraph)
+        assert restored_cache.misses == before_misses  # both were hits
+        assert np.array_equal(hit_operator.toarray(), operator.toarray())
+        assert np.array_equal(hit_laplacian.toarray(), laplacian.toarray())
+
+    def test_fingerprints_stable_across_processes(self):
+        # The persistence story relies on fingerprints (cache keys) being
+        # identical in a different interpreter with a different hash seed.
+        code = (
+            "from repro.hypergraph import Hypergraph;"
+            "print(repr(Hypergraph(5, [[0, 1], [1, 2, 3], [4, 0]], [1.0, 0.5, 2.0])"
+            ".fingerprint()))"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="12345", PYTHONPATH="src")
+        output = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        ).stdout.strip()
+        local = Hypergraph(5, [[0, 1], [1, 2, 3], [4, 0]], [1.0, 0.5, 2.0]).fingerprint()
+        assert output == repr(local)
+
+    def test_group_and_meta_round_trip(self, tmp_path):
+        store = OperatorStore()
+        store.put_group("weights", {"layer0.weight": np.arange(6.0).reshape(2, 3)})
+        store.meta = {"note": "hello", "nested": {"k": [1, 2]}}
+        path = store.save(tmp_path / "store")
+        loaded = OperatorStore.load(path)
+        assert loaded.meta == store.meta
+        assert np.array_equal(
+            loaded.get_group("weights")["layer0.weight"], np.arange(6.0).reshape(2, 3)
+        )
+        assert not loaded.has_group("missing")
+        with pytest.raises(KeyError):
+            loaded.get_group("missing")
+
+    def test_backend_capture_requires_same_kind(self, tmp_path):
+        backend = IncrementalBackend()
+        backend.query(np.random.default_rng(0).normal(size=(20, 4)), 3)
+        store = OperatorStore()
+        store.capture_backend(backend)
+        path = store.save(tmp_path / "b")
+        loaded = OperatorStore.load(path)
+        # Same kind, different tolerance: states restore fine.
+        tolerant = IncrementalBackend(tolerance=0.5)
+        assert loaded.restore_backend(tolerant) == 1
+        with pytest.raises(ConfigurationError):
+            loaded.restore_backend(ExactBackend())
+
+
+# --------------------------------------------------------------------------- #
+# OperatorCache: byte budget + neighbour memo (satellites)
+# --------------------------------------------------------------------------- #
+class TestCacheBudgetsAndMemo:
+    def test_byte_budget_evicts_lru(self):
+        cache = OperatorCache(max_entries=64, max_bytes=1)
+        graphs = [Hypergraph(8, [[i, (i + 1) % 8, (i + 2) % 8]]) for i in range(4)]
+        for graph in graphs:
+            cache.propagation_operator(graph)
+        stats = cache.stats()
+        # A 1-byte budget keeps only the most recent entry alive.
+        assert stats["entries"] == 1
+        assert stats["evictions"] == 3
+        assert stats["bytes"] > 0
+        # The surviving entry is the most recently inserted one.
+        assert cache.propagation_operator(graphs[-1]) is not None
+        assert cache.stats()["hits"] == 1
+
+    def test_byte_budget_validation(self):
+        with pytest.raises(ConfigurationError):
+            OperatorCache(max_bytes=0)
+        with pytest.raises(ConfigurationError):
+            OperatorCache(max_neighbor_entries=0)
+
+    def test_neighbor_memo_shares_distance_pass(self):
+        engine = TopologyRefreshEngine(cache=OperatorCache())
+        rng = np.random.default_rng(3)
+        features = rng.normal(size=(60, 7))
+        first = engine.query_neighbors(features, 5)
+        DISTANCE_COUNTERS.reset()
+        second = engine.query_neighbors(features.copy(), 5)
+        assert DISTANCE_COUNTERS.pairs == 0  # pure memo hit
+        assert np.array_equal(first, second)
+        stats = engine.stats()
+        assert stats["neighbor_hits"] == 1 and stats["neighbor_misses"] == 1
+        # Different k or content: miss.
+        engine.query_neighbors(features, 4)
+        engine.query_neighbors(features + 1.0, 5)
+        assert engine.stats()["neighbor_misses"] == 3
+
+    def test_sweep_reuses_neighbor_lists_across_models(self, tiny_object_dataset):
+        # Two differently-seeded DHGNN runs build their first-layer topology
+        # from the same raw features: the second run's first k-NN pass must be
+        # a memo hit (asserted through the shared engine's counters).
+        reset_default_engine()
+        dataset = tiny_object_dataset
+        for seed in (0, 1):
+            model = DHGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=seed)
+            _train(model, dataset, epochs=2)
+        from repro.hypergraph import get_default_engine
+
+        stats = get_default_engine().stats()
+        assert stats["neighbor_hits"] >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Trainer / TrainResult export hooks
+# --------------------------------------------------------------------------- #
+class TestExportHooks:
+    def test_train_result_round_trip(self, tiny_citation_dataset, tmp_path):
+        reset_default_engine()
+        dataset = tiny_citation_dataset
+        model = DHGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        trainer = Trainer(model, dataset, TrainConfig(epochs=3, patience=None))
+        result = trainer.train()
+        path = result.save(str(tmp_path / "result.json"))
+        loaded = type(result).load(path)
+        assert loaded.summary() == result.summary()
+        assert loaded.history["train_loss"] == result.history["train_loss"]
+
+    def test_export_frozen_without_path(self, tiny_citation_dataset):
+        reset_default_engine()
+        dataset = tiny_citation_dataset
+        model = DHGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        trainer = Trainer(model, dataset, TrainConfig(epochs=3, patience=None))
+        trainer.train()
+        frozen = trainer.export_frozen()
+        assert np.array_equal(frozen.predict_labels(), trainer.predict())
+
+    def test_result_table_round_trip(self, tmp_path):
+        from repro.training import ResultTable
+
+        table = ResultTable(["method", "accuracy"], title="t")
+        table.add_row(["a", 0.5])
+        loaded = ResultTable.load(table.save(str(tmp_path / "table.json")))
+        assert loaded.columns == table.columns and loaded.rows == table.rows
+
+
+# --------------------------------------------------------------------------- #
+# CLI surface
+# --------------------------------------------------------------------------- #
+class TestServingCLI:
+    def test_export_then_predict(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bundle = tmp_path / "bundle.npz"
+        code = main(
+            [
+                "export", "--dataset", "cora-cocitation", "--model", "dhgnn",
+                "--epochs", "3", "--nodes", "150", "--hidden-dim", "8",
+                "--out", str(bundle), "--result", str(tmp_path / "result.json"),
+            ]
+        )
+        assert code == 0 and bundle.exists()
+        capsys.readouterr()
+        assert main(["predict", "--bundle", str(bundle), "--nodes", "0", "7"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2 and lines[0].startswith("0\t")
+        assert main(["predict", "--bundle", str(bundle), "--output", "logits"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 150
