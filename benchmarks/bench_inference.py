@@ -16,13 +16,21 @@ Three measurements, each emitted as a table artefact:
   nodes through the incremental backend's grow-and-repair vs. an exact
   full-rebuild session; compared in wall-clock and in distance pairs
   computed.
+* **online delete + compact vs. full rebuild** — tombstoning 4% of the nodes
+  through the incremental backend's shrink-and-repair vs. an exact
+  full-rebuild session, again in wall-clock and distance pairs; plus the
+  memory side of compaction: ``compact()`` must shrink both the dense
+  feature matrix and the session's cached operator bytes
+  (``OperatorCache.stats()["bytes"]``).
 
 Run standalone (``PYTHONPATH=src python benchmarks/bench_inference.py``);
 ``REPRO_BENCH_QUICK=1`` selects the CI smoke configuration.  Acceptance bars:
 
 * frozen forward >= 1.5x over grad-enabled eval at the smallest configuration;
 * warm start computes zero k-NN distance pairs;
-* online insertion computes fewer distance pairs than the exact rebuild.
+* online insertion computes fewer distance pairs than the exact rebuild;
+* online deletion computes fewer distance pairs than the exact rebuild, and
+  ``compact()`` strictly decreases feature and operator bytes.
 """
 
 from __future__ import annotations
@@ -57,6 +65,7 @@ EPOCHS = 4 if QUICK else 10
 REPS = 60 if QUICK else 200
 FROZEN_SPEEDUP_BAR = 1.5
 INSERT_FRACTION = 0.04
+DELETE_FRACTION = 0.04
 
 
 def _dataset(n: int):
@@ -223,6 +232,72 @@ def bench_online_insert(tmp_dir: Path) -> tuple[ResultTable, bool]:
     return table, always_fewer_pairs
 
 
+def bench_online_delete(tmp_dir: Path) -> tuple[ResultTable, bool, bool]:
+    table = ResultTable(
+        ["n nodes", "deleted", "incremental (ms)", "full rebuild (ms)", "speedup",
+         "incremental pairs", "rebuild pairs", "op KiB before/after compact",
+         "feature KiB before/after"],
+        title=f"Serving: online delete ({DELETE_FRACTION:.0%} of nodes) + compact "
+              f"vs full rebuild",
+    )
+    always_fewer_pairs = True
+    always_frees_bytes = True
+    for n in SIZES:
+        reset_default_engine()
+        dataset = _dataset(n)
+        _, trainer = _train_model(dataset, backend="incremental")
+        bundle = tmp_dir / f"delete_bundle_{n}.npz"
+        trainer.export_frozen(str(bundle))
+        rng = np.random.default_rng(n + 1)
+        count = max(1, int(round(DELETE_FRACTION * n)))
+        doomed = np.sort(rng.choice(n, count, replace=False))
+
+        # Incremental: the same ~10%-scale tolerance as the insert section
+        # absorbs the degree-renormalisation ripple deletion causes in
+        # deeper-layer embeddings, keeping the refresh scoped.
+        session = InferenceSession(
+            FrozenModel.load(bundle, backend=IncrementalBackend(tolerance=0.1)),
+            cluster_assignment="frozen",
+        )
+        session.predict()
+        DISTANCE_COUNTERS.reset()
+        start = time.perf_counter()
+        session.delete_nodes(doomed)
+        session.predict()
+        incremental_s = time.perf_counter() - start
+        incremental_pairs = DISTANCE_COUNTERS.pairs
+
+        feature_bytes_before = session.features.nbytes
+        op_bytes_before = session.stats()["engine"]["bytes"]
+        session.compact()
+        feature_bytes_after = session.features.nbytes
+        op_bytes_after = session.stats()["engine"]["bytes"]
+        always_frees_bytes = always_frees_bytes and (
+            feature_bytes_after < feature_bytes_before
+            and op_bytes_after < op_bytes_before
+        )
+
+        rebuild = InferenceSession(
+            FrozenModel.load(bundle, backend=ExactBackend()), cluster_assignment="frozen"
+        )
+        rebuild.predict()
+        DISTANCE_COUNTERS.reset()
+        start = time.perf_counter()
+        rebuild.delete_nodes(doomed)
+        rebuild.predict()
+        rebuild_s = time.perf_counter() - start
+        rebuild_pairs = DISTANCE_COUNTERS.pairs
+
+        always_fewer_pairs = always_fewer_pairs and incremental_pairs < rebuild_pairs
+        table.add_row(
+            [n, count, round(incremental_s * 1e3, 2), round(rebuild_s * 1e3, 2),
+             f"{rebuild_s / incremental_s:.2f}x", incremental_pairs, rebuild_pairs,
+             f"{op_bytes_before / 1024:.0f}/{op_bytes_after / 1024:.0f}",
+             f"{feature_bytes_before / 1024:.0f}/{feature_bytes_after / 1024:.0f}"]
+        )
+    return table, always_fewer_pairs, always_frees_bytes
+
+
 def main() -> None:
     import tempfile
 
@@ -240,6 +315,9 @@ def main() -> None:
         insert_table, fewer_pairs = bench_online_insert(tmp_dir)
         emit(insert_table, "bench_inference_online_insert", extra={"mode": mode})
 
+        delete_table, delete_fewer_pairs, compact_frees = bench_online_delete(tmp_dir)
+        emit(delete_table, "bench_inference_online_delete", extra={"mode": mode})
+
     assert smallest_speedup >= FROZEN_SPEEDUP_BAR, (
         f"frozen forward only {smallest_speedup:.2f}x over grad-enabled eval at "
         f"n={SIZES[0]} (bar: {FROZEN_SPEEDUP_BAR}x)"
@@ -248,9 +326,16 @@ def main() -> None:
         f"warm operator-store start computed {warm_pairs} distance pairs (expected 0)"
     )
     assert fewer_pairs, "online insertion did not beat the full rebuild in distance pairs"
+    assert delete_fewer_pairs, (
+        "online deletion did not beat the full rebuild in distance pairs"
+    )
+    assert compact_frees, (
+        "compact() did not shrink the feature matrix and cached operator bytes"
+    )
     print(
         f"OK: frozen {smallest_speedup:.2f}x at n={SIZES[0]} (bar {FROZEN_SPEEDUP_BAR}x), "
-        f"warm start 0 distance pairs, online insert < full-rebuild distance work"
+        f"warm start 0 distance pairs, online insert and delete < full-rebuild "
+        f"distance work, compact() frees feature/operator bytes"
     )
 
 

@@ -14,7 +14,10 @@ The script walks the full serving workflow of :mod:`repro.serving`:
 4. serve micro-batched queries (labels, logits, embeddings) from one shared
    forward pass;
 5. insert new nodes online: the topology is repaired through the incremental
-   backend instead of being rebuilt.
+   backend instead of being rebuilt;
+6. delete nodes online (lazy tombstoning), compact the session (physical
+   shrink + old->new id remap) and install a background cluster
+   re-assignment policy that bounds frozen-membership staleness.
 """
 
 from __future__ import annotations
@@ -90,6 +93,39 @@ def main() -> None:
             f"refresh was scoped: {backend_stats['rows_requeried']} rows re-queried, "
             f"{backend_stats['full_rebuilds']} full rebuilds"
         )
+
+        # 6. The other half of the lifecycle: nodes leave.  Deletion is a
+        #    lazy tombstone — the next refresh excludes the nodes from every
+        #    hyperedge via the backend's O(r*n) shrink-and-repair — and
+        #    compact() makes it physical, returning the old->new id remap.
+        doomed = [3, 7, 11]
+        serving.delete_nodes(doomed)
+        print(f"deleted nodes {doomed}: now serving {serving.n_alive} of "
+              f"{serving.n_nodes} rows")
+        remap = serving.compact()
+        print(f"compacted to {serving.n_nodes} nodes "
+              f"(old node 4 is now id {remap[4]}, deleted ids map to -1)")
+        backend_stats = serving.stats()["backend"]
+        print(f"deletion was scoped too: {backend_stats['rows_deleted']} state "
+              f"rows dropped, {backend_stats['full_rebuilds']} full rebuilds")
+
+        #    A background policy bounds the frozen-membership staleness of
+        #    the k-means cluster hyperedges: every 5th refresh re-assigns
+        #    every node to its nearest cluster centroid (one k-means
+        #    assignment step over the current embedding, no re-fit).
+        moves = serving.reassign_clusters()
+        serving.reassign_clusters(every_n=5)
+        print(f"cluster re-assignment moved {moves} memberships; background "
+              f"policy installed (every 5 refreshes)")
+
+        #    A churned session can be frozen back into a bundle: the
+        #    node-lifecycle round-trip.
+        checkpoint = Path(tmp) / "after_churn.npz"
+        serving.to_frozen().save(checkpoint)
+        restored = InferenceSession(FrozenModel.load(checkpoint))
+        assert np.array_equal(restored.predict(), serving.predict())
+        print(f"checkpointed the churned session: {checkpoint.name} "
+              f"({checkpoint.stat().st_size / 1024:.0f} KiB), predictions match")
 
 
 if __name__ == "__main__":

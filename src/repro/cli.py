@@ -14,7 +14,9 @@ Five sub-commands mirror the common workflows::
 (weights + resolved operators + incremental neighbour state, see
 :mod:`repro.serving`); ``predict`` answers queries from such a bundle without
 touching the training stack — a warm start performs zero k-NN distance
-computations.
+computations — and exercises the online node lifecycle (``--delete`` to
+tombstone nodes, ``--compact`` to shrink the state and re-number ids,
+``--reassign-clusters`` to refresh the cluster hyperedge memberships).
 
 The CLI intentionally stays thin: every command is a few calls into the public
 API, so scripts and notebooks can do exactly the same things programmatically.
@@ -161,6 +163,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", choices=("labels", "logits", "embeddings"), default="labels"
     )
     predict.add_argument(
+        "--delete", type=int, nargs="+", default=None,
+        help="tombstone these node ids before answering (they leave every "
+        "hyperedge; deleted ids can no longer be queried)",
+    )
+    predict.add_argument(
+        "--compact", action="store_true",
+        help="after --delete, rebuild the dense state without the tombstoned "
+        "rows (re-numbers the surviving ids in ascending order and prints a "
+        "one-line summary to stderr; programmatic callers get the full "
+        "old->new remap from InferenceSession.compact())",
+    )
+    predict.add_argument(
+        "--reassign-clusters", action="store_true",
+        help="run one nearest-centroid re-assignment of the k-means cluster "
+        "hyperedges before answering (bounds frozen-membership staleness)",
+    )
+    predict.add_argument(
         "--stats", action="store_true", help="print session/cache statistics"
     )
     return parser
@@ -263,12 +282,47 @@ def _command_export(args: argparse.Namespace) -> int:
 def _command_predict(args: argparse.Namespace) -> int:
     from repro.serving import FrozenModel, InferenceSession
 
+    from repro.errors import ConfigurationError
+
     session = InferenceSession(FrozenModel.load(args.bundle))
-    values = session.predict(args.nodes if args.nodes else None, output=args.output)
+    query_nodes = args.nodes
+    if args.delete:
+        session.delete_nodes(args.delete)
+    if args.compact:
+        remap = session.compact()
+        dropped = int((remap < 0).sum())
+        print(f"# compacted to {session.n_nodes} nodes ({dropped} removed; "
+              f"surviving ids renumbered 0..{session.n_nodes - 1})",
+              file=sys.stderr)
+        if query_nodes:
+            # --nodes stays in the pre-compact id space the user typed;
+            # translate through the remap (deleted ids cannot be queried).
+            requested = np.asarray(query_nodes, dtype=np.int64)
+            if requested.min() < 0 or requested.max() >= remap.size:
+                raise ConfigurationError(
+                    f"node ids must be in [0, {remap.size}), got {query_nodes}"
+                )
+            mapped = remap[requested]
+            dead = requested[mapped < 0]
+            if dead.size:
+                raise ConfigurationError(
+                    f"nodes {dead.tolist()} have already been deleted"
+                )
+            query_nodes = mapped.tolist()
+    if args.reassign_clusters:
+        moves = session.reassign_clusters()
+        print(f"# reassigned clusters: {moves} membership moves", file=sys.stderr)
+    values = session.predict(query_nodes if query_nodes else None, output=args.output)
+    # Echo the ids the user asked with (pre-compact space for --nodes).
+    ids = args.nodes if args.nodes else session.alive_ids
     if args.output == "labels":
-        ids = args.nodes if args.nodes else range(session.n_nodes)
         for node, label in zip(ids, np.atleast_1d(values)):
             print(f"{node}\t{int(label)}")
+    elif session.n_alive != session.n_nodes:
+        # Tombstones break the row-i-is-node-i convention, so rows carry
+        # their node id explicitly.
+        for node, row in zip(ids, np.atleast_2d(values)):
+            print(f"{node}\t" + "\t".join(f"{value:.6g}" for value in row))
     else:
         for row in np.atleast_2d(values):
             print("\t".join(f"{value:.6g}" for value in row))

@@ -26,7 +26,7 @@ from repro.hypergraph.construction import (
 )
 from repro.hypergraph.expansion import clique_expansion, star_expansion
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.hypergraph.kmeans import KMeansResult, kmeans
+from repro.hypergraph.kmeans import KMeansResult, assign_to_centroids, kmeans
 from repro.hypergraph.knn import (
     DISTANCE_COUNTERS,
     knn_indices,
@@ -72,6 +72,7 @@ __all__ = [
     "available_neighbor_backends",
     "register_neighbor_backend",
     "resolve_backend",
+    "assign_to_centroids",
     "kmeans",
     "KMeansResult",
     "knn_hyperedges",

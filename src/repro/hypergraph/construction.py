@@ -57,17 +57,38 @@ def knn_hyperedges(
     return hyperedges_from_neighbor_indices(neighbours)
 
 
-def hyperedges_from_neighbor_indices(neighbours: np.ndarray) -> Hypergraph:
+def hyperedges_from_neighbor_indices(
+    neighbours: np.ndarray,
+    *,
+    node_ids: np.ndarray | None = None,
+    n_nodes: int | None = None,
+) -> Hypergraph:
     """Hypergraph with one hyperedge per row: ``[node, *neighbours[node]]``.
 
     The shared assembly step of :func:`knn_hyperedges` and the serving
     layer's scoped topology refresh (which obtains the index rows from an
     incremental backend instead of a fresh query).
+
+    ``node_ids`` supports queries over a node *subset* (the serving layer's
+    tombstone mode): row ``i`` then describes node ``node_ids[i]`` and every
+    neighbour entry is a position into ``node_ids`` — the compact indexing a
+    backend query over the subset's features returns — and is mapped back to
+    the full id space.  ``n_nodes`` sets the node count of the resulting
+    hypergraph (default: the number of query rows); nodes outside the subset
+    simply belong to no k-NN hyperedge.
     """
-    hyperedges = [
-        [node, *neighbours[node].tolist()] for node in range(neighbours.shape[0])
-    ]
-    return Hypergraph(neighbours.shape[0], hyperedges)
+    rows = neighbours.shape[0]
+    if n_nodes is None:
+        n_nodes = rows
+    if node_ids is None:
+        hyperedges = [[node, *neighbours[node].tolist()] for node in range(rows)]
+    else:
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        mapped = node_ids[neighbours]
+        hyperedges = [
+            [int(node_ids[row]), *mapped[row].tolist()] for row in range(rows)
+        ]
+    return Hypergraph(n_nodes, hyperedges)
 
 
 def kmeans_hyperedges(

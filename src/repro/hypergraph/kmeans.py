@@ -54,6 +54,31 @@ def _kmeans_plus_plus(features: np.ndarray, n_clusters: int, rng: np.random.Gene
     return centroids
 
 
+def assign_to_centroids(features: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """One k-means assignment step: the nearest-centroid label of every row.
+
+    The serving layer's cluster re-assignment primitive
+    (:meth:`repro.serving.InferenceSession.reassign_clusters`): memberships
+    move to the nearest of the *existing* centroids — no Lloyd iteration, no
+    re-seeding — so the step is deterministic (ties resolve to the lowest
+    centroid index, matching :func:`kmeans`'s argmin), backend-independent
+    and O(n·c·d).
+    """
+    features = np.asarray(features, dtype=np.float64)
+    centroids = np.asarray(centroids, dtype=np.float64)
+    if features.ndim != 2 or centroids.ndim != 2:
+        raise ShapeError(
+            f"features and centroids must be 2-D, got shapes "
+            f"{features.shape} and {centroids.shape}"
+        )
+    if centroids.shape[0] == 0 or centroids.shape[1] != features.shape[1]:
+        raise ShapeError(
+            f"centroids must be non-empty with {features.shape[1]} columns, "
+            f"got shape {centroids.shape}"
+        )
+    return np.argmin(cdist(features, centroids), axis=1).astype(np.int64)
+
+
 def kmeans(
     features: np.ndarray,
     n_clusters: int,

@@ -32,6 +32,9 @@ The backend contract (pinned per-backend by
   backend shares the kernel's validator;
 * ``update(moved_mask, features)`` lets callers push an explicit movement
   hint into stateful backends; stateless backends return ``None``;
+* ``delete(keep_mask)`` shrinks stateful backends' cached rows to a keep
+  mask (the serving layer's node-deletion hook); stateless backends return
+  ``0``;
 * ``cache_key()`` is a hashable description the refresh engine folds into
   :class:`repro.hypergraph.refresh.OperatorCache` keys for *dynamic*
   (backend-derived) topologies, so refresh operators built from different
@@ -81,6 +84,16 @@ class NeighborBackend(abc.ABC):
         invalidate) and return the updated ``(n, k)`` neighbour lists.
         """
         return None
+
+    def delete(self, keep_mask: np.ndarray) -> int:
+        """Drop rows from any cached state (stateless backends: no-op).
+
+        ``keep_mask`` is a boolean keep-mask over the rows of the node stream
+        being shrunk; stateful backends repair their cached state to cover
+        only the kept rows.  Returns the number of cached states shrunk (0
+        for stateless backends, which recompute from scratch anyway).
+        """
+        return 0
 
     def reset(self) -> None:
         """Drop any internal state (stateless backends: no-op)."""
@@ -205,6 +218,7 @@ class IncrementalBackend(NeighborBackend):
         self.rows_requeried = 0
         self.rows_repaired_locally = 0
         self.rows_inserted = 0
+        self.rows_deleted = 0
         #: LRU list of {"signature", "features", "indices", "distances"}.
         self._states: list[dict] = []
 
@@ -221,6 +235,7 @@ class IncrementalBackend(NeighborBackend):
             "rows_requeried": self.rows_requeried,
             "rows_repaired_locally": self.rows_repaired_locally,
             "rows_inserted": self.rows_inserted,
+            "rows_deleted": self.rows_deleted,
             "states": len(self._states),
         }
 
@@ -414,6 +429,89 @@ class IncrementalBackend(NeighborBackend):
         self.rows_inserted += m
         self.rows_requeried += int(rows.size) + m
         return True
+
+    def delete(self, keep_mask) -> int:
+        """Shrink every cached state of ``keep_mask.size`` rows to the kept rows.
+
+        The incremental mirror of :meth:`insert`, and the O(r·n) half of the
+        serving node lifecycle.  Removing points never changes the distance
+        between two survivors, so a kept row whose cached k-list contains no
+        deleted node still holds its true ``k`` nearest survivors *in the
+        same order* — it survives with its stored neighbour indices remapped,
+        no distance work at all.  A row that listed a deleted node has a
+        vacated slot an unseen survivor may take, so it is exactly re-queried
+        against the state's stored (kept) coordinates — O(r·n) total for the
+        ``r`` such rows.  The shrunken state is then a valid incremental
+        baseline: a follow-up :meth:`query`/:meth:`update` resolves any
+        *moved* survivors as usual and returns, at ``tolerance=0``,
+        bit-identically what a cold exact rebuild over the surviving rows
+        returns — pinned by the backend tests.  The float32 kernel
+        mean-centres on its operand set, so removing points perturbs *every*
+        stored distance value and near-ties reorder wholesale against a
+        fresh query (pervasive on tie-heavy data, not an edge case); float32
+        states are therefore **dropped** rather than repaired — the next
+        query performs one clean full rebuild, which keeps deletion
+        bit-identical to exact under both precisions at the price of full
+        distance work on the float32 path.
+
+        Every cached state whose row count equals ``keep_mask.size`` is
+        shrunk — the serving session streams one embedding per layer through
+        this backend, and a node deletion removes the same rows from every
+        stream.  States whose deleted fraction exceeds ``churn_threshold``
+        (the repair would touch most rows anyway) and states whose ``k`` is
+        infeasible for the shrunken row count are dropped instead, so their
+        next query performs one clean full rebuild.  Returns the number of
+        states shrunk in place.
+        """
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        if keep_mask.ndim != 1:
+            raise ShapeError(f"keep_mask must be 1-D, got shape {keep_mask.shape}")
+        n = keep_mask.size
+        keep_ids = np.flatnonzero(keep_mask)
+        removed = n - keep_ids.size
+        if removed == 0:
+            return 0
+        remap = np.full(n, -1, dtype=np.int64)
+        remap[keep_ids] = np.arange(keep_ids.size, dtype=np.int64)
+        survivors: list[dict] = []
+        shrunk = 0
+        for state in self._states:
+            if state["signature"][0] != n:
+                survivors.append(state)
+                continue
+            _, _, dtype_name, k, include_self, metric = state["signature"]
+            limit = keep_ids.size if include_self else keep_ids.size - 1
+            if (
+                removed > self.churn_threshold * n
+                or k > limit
+                or dtype_name == "float32"
+            ):
+                continue  # dropped: one clean full rebuild on the next query
+            features = state["features"][keep_ids]
+            # Rows whose k-list contained a deleted node must be re-queried
+            # (the vacated slot may be taken by an unseen survivor); every
+            # other kept row keeps its list with the indices remapped —
+            # deleted members show up as the remap's -1 sentinel.
+            indices = remap[state["indices"][keep_ids]]
+            distances = state["distances"][keep_ids]
+            requery = np.flatnonzero((indices < 0).any(axis=1))
+            if requery.size:
+                re_indices, re_distances = _knn.knn_query_rows(
+                    features, requery, k, include_self=include_self, metric=metric,
+                    block_size=self.block_size,
+                )
+                indices[requery] = re_indices
+                distances[requery] = re_distances
+            state["signature"] = (keep_ids.size,) + state["signature"][1:]
+            state["features"] = features
+            state["indices"] = indices
+            state["distances"] = distances
+            self.rows_deleted += removed
+            self.rows_requeried += int(requery.size)
+            survivors.append(state)
+            shrunk += 1
+        self._states = survivors
+        return shrunk
 
     def _movers_against(self, features: np.ndarray, state: dict) -> np.ndarray:
         if self.tolerance > 0.0:

@@ -8,8 +8,12 @@ The serving layer turns a trained model into a deployable artefact:
 * :class:`OperatorStore` — one-file persistence of operators, weights and
   incremental neighbour state, so server restarts (and repeated sweeps)
   skip cold topology rebuilds entirely;
-* :class:`InferenceSession` — micro-batched queries plus online node
-  insertion / feature updates through scoped incremental topology repairs.
+* :class:`InferenceSession` — micro-batched queries plus the full online
+  node lifecycle through scoped incremental topology repairs: feature
+  updates, insertion, deletion (lazy tombstoning), compaction (physical
+  shrink + id remap) and periodic cluster re-assignment; a churned session
+  freezes back into a bundleable model with
+  :meth:`InferenceSession.to_frozen`.
 
 Quickstart (see ``examples/serving_quickstart.py``)::
 
@@ -21,6 +25,9 @@ Quickstart (see ``examples/serving_quickstart.py``)::
     session = InferenceSession(FrozenModel.load("model_bundle.npz"))
     labels = session.predict([0, 5, 42])
     session.insert_nodes(new_node_features)
+    session.delete_nodes([5])              # lazy tombstone
+    remap = session.compact()              # physical shrink, old->new ids
+    session.reassign_clusters(every_n=10)  # background staleness bound
 """
 
 from repro.serving.frozen import (

@@ -19,11 +19,15 @@ module-free).
 A compiled plan also carries the *topology slots* — per-layer hypergraphs
 split into their k-NN / cluster / static parts plus the neighbour backend —
 which is what :class:`repro.serving.InferenceSession` uses to repair the
-topology incrementally when nodes are inserted or features updated, instead
+topology incrementally when nodes are inserted, updated or deleted, instead
 of rebuilding it.  :meth:`FrozenModel.save` / :meth:`FrozenModel.load`
 round-trip everything through an :class:`repro.serving.OperatorStore`, so a
 restarted server answers its first request without a single k-NN distance
-computation.
+computation — and since a churned session can be snapshotted back into a
+frozen model (:meth:`InferenceSession.to_frozen`), the same machinery
+round-trips post-deletion state: insert / delete / compact, checkpoint, and
+the restored process carries the compacted features, operators and
+neighbour state.
 """
 
 from __future__ import annotations

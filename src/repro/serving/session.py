@@ -2,7 +2,7 @@
 
 :class:`InferenceSession` answers prediction requests from a
 :class:`~repro.serving.FrozenModel` and keeps serving while the node set
-evolves:
+evolves — the **full node lifecycle**:
 
 * **query requests** — logits / labels / embeddings for single nodes or node
   subsets.  The session runs at most one full-batch forward per topology
@@ -14,16 +14,42 @@ evolves:
 * **node insertion** — new nodes flow through
   :meth:`IncrementalBackend.insert` (an O(m·n) grow-and-repair, not an O(n²)
   rebuild), join their nearest cluster hyperedge by centroid, and the static
-  hypergraph is padded — a *scoped* topology refresh.
+  hypergraph is padded — a *scoped* topology refresh;
+* **node deletion** — :meth:`delete_nodes` *tombstones* nodes lazily: at the
+  next refresh they are excluded from every hyperedge (k-NN rows come from
+  :meth:`IncrementalBackend.delete`, an O(r·n) shrink-and-repair; cluster and
+  static hyperedges are masked), so the propagation operators carry only
+  isolated self-loop rows for them and they can no longer be queried — but
+  the dense feature matrix keeps its size;
+* **compaction** — :meth:`compact` makes deletion physical: it rebuilds the
+  dense feature matrix without the tombstoned rows, shrinks the static /
+  cluster hyperedges into the compact id space, cascades a scoped per-layer
+  refresh over the surviving nodes and returns the old→new id remap;
+* **cluster re-assignment** — :meth:`reassign_clusters` bounds the
+  frozen-membership staleness: one k-means *assignment* step (nearest
+  existing centroid, no re-fit) over the current embedding re-assigns the
+  cluster hyperedge memberships, either on demand or as a background policy
+  every ``every_n`` refreshes.
 
 The refresh pipeline is cascading: layer ``p``'s topology is rebuilt from the
 embedding the current pass produces at depth ``p`` (training instead reuses
 the previous epoch's embeddings).  With the incremental backend at
 ``tolerance=0`` (float64) the refreshed neighbour lists are bit-identical to
-an exact full rebuild of the same pipeline; a positive ``tolerance`` /
-``churn_threshold`` bounds the staleness the session will serve, exactly as
-during training.  Cluster memberships are frozen at export (new nodes join by
-centroid; members are not re-assigned) — the documented serving staleness.
+an exact full rebuild of the same pipeline — including after deletions and
+compactions — and a positive ``tolerance`` / ``churn_threshold`` bounds the
+staleness the session will serve, exactly as during training.
+
+Isolation contract: the session clones every piece of state it mutates — the
+feature matrix, the plan's operator/topology slots, the incremental
+neighbour-backend state and the refresh engine with its operator cache (a
+private :class:`~repro.hypergraph.refresh.OperatorCache` seeded from the
+frozen model's entries) — so several sessions serve from one ``FrozenModel``
+with independent caches, eviction budgets and node sets.  The one exception
+follows :func:`repro.hypergraph.neighbors.resolve_backend`'s explicit-sharing
+rule: a backend *instance* other than the built-in incremental one passes
+through shared, so a custom **stateful** backend must not be shared between
+sessions with diverging node sets (give each session its own
+``FrozenModel.load(..., backend=...)`` instance).
 """
 
 from __future__ import annotations
@@ -35,12 +61,37 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.hypergraph.construction import hyperedges_from_neighbor_indices, union_hypergraphs
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.kmeans import assign_to_centroids
 from repro.hypergraph.laplacian import compactness_hyperedge_weights
 from repro.hypergraph.neighbors import IncrementalBackend
-from repro.hypergraph.refresh import TopologyRefreshEngine
+from repro.hypergraph.refresh import OperatorCache, TopologyRefreshEngine
 from repro.serving.frozen import FrozenModel, TopologySlot, _DHGCNPlan, _ModulePlan
 
 _OUTPUTS = ("labels", "logits", "embeddings")
+
+
+def _clone_incremental(backend: IncrementalBackend) -> IncrementalBackend:
+    """Private copy of an incremental backend including its cached states."""
+    clone = IncrementalBackend(
+        tolerance=backend.tolerance,
+        churn_threshold=backend.churn_threshold,
+        block_size=backend.block_size,
+        max_states=backend.max_states,
+    )
+    clone.import_states(backend.export_states())
+    return clone
+
+
+def _seeded_private_cache(source: OperatorCache) -> OperatorCache:
+    """A fresh cache with ``source``'s budgets, seeded with its entries."""
+    cache = OperatorCache(
+        source.max_entries,
+        max_bytes=source.max_bytes,
+        max_neighbor_entries=source.max_neighbor_entries,
+        enabled=source.enabled,
+    )
+    cache.seed_entries(source.export_entries())
+    return cache
 
 
 class InferenceSession:
@@ -51,10 +102,15 @@ class InferenceSession:
     frozen:
         The compiled model (from :meth:`FrozenModel.compile` or
         :meth:`FrozenModel.load`).  The session clones every piece of state
-        it mutates — the feature matrix, the plan's operator/topology slots
-        and (for the incremental backend) the neighbour state — so the
-        frozen model is never touched and several sessions can serve from
-        one ``FrozenModel`` independently.
+        it mutates — the feature matrix, the plan's operator/topology slots,
+        the neighbour-backend state (for the incremental backend) and the
+        refresh engine with a private operator cache seeded from the frozen
+        one — so the frozen model is never touched and several sessions can
+        serve from one ``FrozenModel`` independently.  Custom backend
+        instances pass through *shared* (``resolve_backend``'s explicit
+        sharing); a custom stateful backend therefore needs one instance per
+        session, since the session pushes deletions into it via
+        :meth:`NeighborBackend.delete`.
     cluster_assignment:
         What inserted nodes do about the k-means cluster hyperedges:
         ``"nearest"`` (default) joins the hyperedge with the nearest centroid
@@ -66,7 +122,8 @@ class InferenceSession:
         hyperedges only), which keeps the refresh cascade proportional to
         the insertion size.  Both policies are deterministic and
         backend-independent, so an incremental and an exact session agree
-        under either.
+        under either.  :meth:`reassign_clusters` additionally re-assigns
+        *existing* members (either policy) to bound membership staleness.
     """
 
     CLUSTER_POLICIES = ("nearest", "frozen")
@@ -82,41 +139,63 @@ class InferenceSession:
         self.plan = frozen.plan.clone()
         backend = frozen.engine.backend
         if isinstance(backend, IncrementalBackend):
-            # Private copy: this session's insertions/updates must not grow
-            # the frozen model's (or a sibling session's) neighbour state.
-            clone = IncrementalBackend(
-                tolerance=backend.tolerance,
-                churn_threshold=backend.churn_threshold,
-                block_size=backend.block_size,
-                max_states=backend.max_states,
-            )
-            clone.import_states(backend.export_states())
-            backend = clone
-            self.engine = TopologyRefreshEngine(
-                cache=frozen.engine.cache,
-                block_size=frozen.engine.block_size,
-                backend=backend,
-            )
-        else:
-            self.engine = frozen.engine
+            # Private copy: this session's insertions/updates/deletions must
+            # not touch the frozen model's (or a sibling session's) state.
+            backend = _clone_incremental(backend)
+        # Private engine + operator cache: sessions with diverging node sets
+        # must not pollute one cache or evict each other's operators under a
+        # shared byte budget.  The cache is seeded from the frozen model's
+        # entries, so a warm start stays warm.
+        self.engine = TopologyRefreshEngine(
+            cache=_seeded_private_cache(frozen.engine.cache),
+            block_size=frozen.engine.block_size,
+            backend=backend,
+        )
         self.backend = backend
         self._features = frozen.features.copy()
-        self._moved = np.zeros(self._features.shape[0], dtype=bool)
+        n = self._features.shape[0]
+        self._moved = np.zeros(n, dtype=bool)
+        self._deleted = np.zeros(n, dtype=bool)
+        #: Full-space ids of the rows the backend's cached states cover
+        #: (pending deletions are pushed into the backend lazily, at refresh).
+        self._state_ids = np.arange(n, dtype=np.int64)
         self._inserted = 0
+        #: Tombstone generation: bumped on every deletion, reset by compact.
+        #: Keys the masked-hypergraph memo and the masked-operator supersede.
+        self._deleted_version = 0
+        self._mask_memo: dict[Any, tuple[int, Hypergraph, Hypergraph]] = {}
+        self._masked_static: Hypergraph | None = None
         self._stale_topology = False
         self._stale_outputs = True
         self._layer_inputs: list[np.ndarray] | None = None
         self._logits: np.ndarray | None = None
         self._slots = {slot.position: slot for slot in self.plan.slots}
+        self._reassign_every: int | None = None
+        self._refreshes_since_reassign = 0
+        self._reassign_pending = False
+        self._reassign_moves = 0
         self.forwards = 0
         self.refreshes = 0
+        self.compactions = 0
+        self.reassignments = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property
     def n_nodes(self) -> int:
+        """Rows of the dense feature matrix (tombstoned rows included)."""
         return int(self._features.shape[0])
+
+    @property
+    def n_alive(self) -> int:
+        """Nodes currently served (tombstoned rows excluded)."""
+        return int(self.n_nodes - self._deleted.sum())
+
+    @property
+    def alive_ids(self) -> np.ndarray:
+        """Ids of the nodes currently served, ascending."""
+        return np.flatnonzero(~self._deleted)
 
     @property
     def features(self) -> np.ndarray:
@@ -128,8 +207,12 @@ class InferenceSession:
     def stats(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
             "n_nodes": self.n_nodes,
+            "n_alive": self.n_alive,
+            "tombstones": int(self._deleted.sum()),
             "forwards": self.forwards,
             "refreshes": self.refreshes,
+            "compactions": self.compactions,
+            "reassignments": self.reassignments,
             "engine": self.engine.stats(),
         }
         stats_hook = getattr(self.backend, "stats", None)
@@ -143,11 +226,13 @@ class InferenceSession:
     def predict(
         self, nodes: int | Sequence[int] | None = None, *, output: str = "labels"
     ) -> np.ndarray:
-        """Predictions for ``nodes`` (``None`` = every node).
+        """Predictions for ``nodes`` (``None`` = every alive node).
 
         ``output`` selects ``"labels"`` (argmax class ids), ``"logits"`` or
         ``"embeddings"`` (the final layer's input representation).  Requests
-        between mutations share one cached full-batch forward.
+        between mutations share one cached full-batch forward.  Deleted node
+        ids raise :class:`~repro.errors.ConfigurationError`; with ``None``
+        the rows follow :attr:`alive_ids` order.
         """
         if output not in _OUTPUTS:
             raise ConfigurationError(f"output must be one of {_OUTPUTS}, got {output!r}")
@@ -163,11 +248,16 @@ class InferenceSession:
         else:
             full = np.argmax(self._logits, axis=1)
         if nodes is None:
-            return full.copy()
+            return full[~self._deleted]
         index = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
         if index.size and (index.min() < 0 or index.max() >= self.n_nodes):
             raise ConfigurationError(
                 f"node ids must be in [0, {self.n_nodes}), got {nodes!r}"
+            )
+        dead = index[self._deleted[index]]
+        if dead.size:
+            raise ConfigurationError(
+                f"nodes {np.unique(dead).tolist()} have been deleted"
             )
         result = full[index]
         return result[0] if np.isscalar(nodes) or np.ndim(nodes) == 0 else result
@@ -193,12 +283,35 @@ class InferenceSession:
     # ------------------------------------------------------------------ #
     # Online mutation
     # ------------------------------------------------------------------ #
+    def _validate_mutation_ids(self, index: np.ndarray, context: str) -> None:
+        """Shared range / duplicate / tombstone validation of mutation ids."""
+        if index.min() < 0 or index.max() >= self.n_nodes:
+            raise ConfigurationError(f"node ids must be in [0, {self.n_nodes})")
+        unique, counts = np.unique(index, return_counts=True)
+        if unique.size != index.size:
+            raise ConfigurationError(
+                f"{context} got duplicate node ids {unique[counts > 1].tolist()}; "
+                f"each id may appear at most once per call"
+            )
+        dead = index[self._deleted[index]]
+        if dead.size:
+            raise ConfigurationError(
+                f"nodes {np.unique(dead).tolist()} have already been deleted"
+            )
+
     def update_features(self, node_ids: Sequence[int], values: np.ndarray) -> None:
-        """Overwrite the features of existing nodes (marks them as movers)."""
+        """Overwrite the features of existing nodes (marks them as movers).
+
+        An empty ``node_ids`` is a no-op (in particular it does not mark the
+        topology stale).  Duplicate ids and tombstoned targets raise
+        :class:`~repro.errors.ConfigurationError`.
+        """
         index = np.atleast_1d(np.asarray(node_ids, dtype=np.int64))
         values = np.atleast_2d(np.asarray(values)).astype(self.frozen.dtype, copy=False)
-        if index.size and (index.min() < 0 or index.max() >= self.n_nodes):
-            raise ConfigurationError(f"node ids must be in [0, {self.n_nodes})")
+        if index.size == 0 and values.size == 0:
+            return
+        if index.size:
+            self._validate_mutation_ids(index, "update_features")
         if values.shape != (index.size, self._features.shape[1]):
             raise ConfigurationError(
                 f"values must have shape {(index.size, self._features.shape[1])}, "
@@ -215,7 +328,8 @@ class InferenceSession:
         scoped refresh: their k-NN hyperedges come from
         :meth:`IncrementalBackend.insert`, they join the nearest cluster
         hyperedge by centroid, and the static hypergraph is padded (new nodes
-        are isolated there, receiving operator self-loops).
+        are isolated there, receiving operator self-loops).  An empty matrix
+        is a no-op.
         """
         if isinstance(self.plan, _ModulePlan):
             raise ConfigurationError(
@@ -224,6 +338,8 @@ class InferenceSession:
         new_features = np.atleast_2d(np.asarray(new_features)).astype(
             self.frozen.dtype, copy=False
         )
+        if new_features.size == 0:
+            return np.empty(0, dtype=np.int64)
         if new_features.shape[1] != self._features.shape[1]:
             raise ConfigurationError(
                 f"new features must have {self._features.shape[1]} columns, "
@@ -234,9 +350,158 @@ class InferenceSession:
         self._moved = np.concatenate(
             [self._moved, np.zeros(new_features.shape[0], dtype=bool)]
         )
+        self._deleted = np.concatenate(
+            [self._deleted, np.zeros(new_features.shape[0], dtype=bool)]
+        )
         self._inserted += new_features.shape[0]
         self._mark_stale()
         return np.arange(first, self.n_nodes, dtype=np.int64)
+
+    def delete_nodes(self, node_ids: Sequence[int]) -> None:
+        """Tombstone nodes: they leave every hyperedge at the next refresh.
+
+        Deletion is lazy — the dense feature matrix keeps its size and the
+        tombstoned rows merely become invisible: excluded from the k-NN,
+        cluster and static hyperedges (so the refreshed propagation operators
+        carry only isolated self-loop rows for them), rejected by
+        :meth:`predict`/:meth:`update_features`, and skipped by every
+        whole-set query.  The incremental backend shrinks its cached state
+        through :meth:`IncrementalBackend.delete` (O(r·n), exactly
+        re-querying only rows whose neighbour list contained a deleted node).
+        Call :meth:`compact` to reclaim the memory and re-number the ids.
+
+        An empty ``node_ids`` is a no-op; duplicate, out-of-range and
+        already-deleted ids raise
+        :class:`~repro.errors.ConfigurationError`, as does deleting so many
+        nodes that fewer than two would survive.
+        """
+        if isinstance(self.plan, _ModulePlan):
+            raise ConfigurationError(
+                "online deletion needs a compiled DHGNN/DHGCN plan"
+            )
+        index = np.atleast_1d(np.asarray(node_ids, dtype=np.int64))
+        if index.size == 0:
+            return
+        self._validate_mutation_ids(index, "delete_nodes")
+        if self.n_alive - index.size < 2:
+            raise ConfigurationError(
+                f"deleting {index.size} nodes would leave fewer than 2 alive "
+                f"(currently {self.n_alive})"
+            )
+        self._deleted[index] = True
+        # A tombstoned mover no longer needs repair work.
+        self._moved[index] = False
+        self._deleted_version += 1
+        self._mark_stale()
+
+    def compact(self) -> np.ndarray:
+        """Make deletions physical; returns the old→new id remap.
+
+        Flushes any pending mutations through the normal (tombstone-aware)
+        refresh, then rebuilds the dense feature matrix without the deleted
+        rows, shrinks the static and cluster hyperedges into the compact id
+        space, discards the superseded full-size operators from the session's
+        cache and cascades a scoped per-layer refresh over the surviving
+        nodes.  With a warm incremental backend the layer-0 stream re-queries
+        nothing; deeper-layer streams re-pay distance work only where the
+        shrunken-matrix forward reproduces their embeddings to rounding
+        rather than bitwise (dense BLAS blocks by matrix size) — at
+        ``tolerance=0`` every bit-level difference counts as a mover, so
+        deep streams can rebuild, while a small positive ``tolerance``
+        absorbs the rounding and keeps the whole cascade scoped.
+
+        Returns an ``int64`` array of length *old* ``n_nodes`` mapping every
+        old id to its new id (``-1`` for deleted rows) — the identity when
+        nothing was tombstoned, in which case the call is a no-op.
+        """
+        if isinstance(self.plan, _ModulePlan):
+            raise ConfigurationError("compaction needs a compiled DHGNN/DHGCN plan")
+        self._ensure_fresh()
+        n_old = self.n_nodes
+        alive = np.flatnonzero(~self._deleted)
+        remap = np.full(n_old, -1, dtype=np.int64)
+        remap[alive] = np.arange(alive.size, dtype=np.int64)
+        if alive.size == n_old:
+            return remap
+        plan = self.plan
+
+        def shrink(operator):
+            # Pure row/column selection: deleted rows are isolated self-loops
+            # by now, so the surviving block is value-identical to an
+            # operator built over the compacted hypergraph.
+            return None if operator is None else operator[alive][:, alive].tocsr()
+
+        if isinstance(plan, _DHGCNPlan):
+            plan.dynamic_operators = [shrink(op) for op in plan.dynamic_operators]
+            if plan.static_hypergraph is not None:
+                # Drop the full-size static entries (masked and unmasked):
+                # the cascade re-caches them compactly.
+                if self._masked_static is not None:
+                    self.engine.discard(self._masked_static)
+                self.engine.discard(plan.static_hypergraph)
+                plan.static_hypergraph = plan.static_hypergraph.subhypergraph(alive)
+            if plan.reweighted_static is not None:
+                self.engine.discard(plan.reweighted_static)
+                plan.reweighted_static = None
+            plan.static_operator = shrink(plan.static_operator)
+        else:
+            plan.operators = [shrink(op) for op in plan.operators]
+        for slot in self._slots.values():
+            slot.cluster_members = [
+                mapped[mapped >= 0]
+                for mapped in (remap[members] for members in slot.cluster_members)
+            ]
+            if slot.static_part is not None:
+                slot.static_part = slot.static_part.subhypergraph(alive)
+
+        self._features = self._features[alive]
+        self._moved = self._moved[alive]
+        self._deleted = np.zeros(alive.size, dtype=bool)
+        self._deleted_version = 0
+        self._mask_memo.clear()
+        self._masked_static = None
+        # The tombstone refresh above already shrank the backend states, so
+        # the tracked rows are exactly the survivors — re-number them.
+        self._state_ids = remap[self._state_ids]
+        self._mark_stale()
+        self._refresh()
+        self.compactions += 1
+        return remap
+
+    def reassign_clusters(self, *, every_n: int | None = None) -> int | None:
+        """Re-assign cluster hyperedge memberships by nearest centroid.
+
+        One k-means *assignment* step per slot over the embedding the refresh
+        cascade produces at that slot's depth: centroids come from the
+        current (surviving) memberships, every alive node then joins the
+        hyperedge of its nearest centroid — no Lloyd re-fit, deterministic,
+        backend-independent.  This bounds the frozen-membership staleness the
+        compile-time export documents: without it, cluster hyperedges only
+        ever *grow* (insertions) or *shrink* (deletions) and existing members
+        never move even when the embedding drifts.
+
+        With ``every_n=None`` (default) one re-assignment runs immediately
+        (forcing a refresh) and the number of membership moves across all
+        slots is returned.  With ``every_n=k`` a background policy is
+        installed instead: every ``k``-th topology refresh — refreshes happen
+        on mutation, so an idle session stays untouched — includes a
+        re-assignment pass; returns ``None``.  ``every_n=0`` clears the
+        policy.
+        """
+        if isinstance(self.plan, _ModulePlan):
+            raise ConfigurationError(
+                "cluster re-assignment needs a compiled DHGNN/DHGCN plan"
+            )
+        if every_n is not None:
+            if every_n < 0:
+                raise ConfigurationError(f"every_n must be >= 0, got {every_n}")
+            self._reassign_every = int(every_n) or None
+            self._refreshes_since_reassign = 0
+            return None
+        self._reassign_pending = True
+        self._mark_stale()
+        self._ensure_fresh()
+        return self._reassign_moves
 
     def prime(self) -> int:
         """Synchronise incremental neighbour state with the serving embeddings.
@@ -251,16 +516,57 @@ class InferenceSession:
         if not isinstance(self.backend, IncrementalBackend) or not self._slots:
             return 0
         self._ensure_fresh()
+        alive = self.alive_ids
         primed = 0
         for position, slot in self._slots.items():
             if not slot.use_knn:
                 continue
             embedding = self._layer_inputs[position]
+            if alive.size != embedding.shape[0]:
+                embedding = embedding[alive]
             k = min(slot.k_neighbors, max(embedding.shape[0] - 1, 1))
             if not self.backend.has_matching_state(embedding, k):
                 self.backend.query(embedding, k)
                 primed += 1
         return primed
+
+    def to_frozen(self) -> FrozenModel:
+        """Snapshot the session's current state as a new :class:`FrozenModel`.
+
+        The node-lifecycle round-trip: a long-running session that has
+        inserted, updated, deleted and compacted nodes is frozen back into a
+        bundleable model — ``session.to_frozen().save(path)`` persists the
+        current features, refreshed operators, topology parts and incremental
+        neighbour state, and a session loaded from that bundle answers
+        bit-identically with zero k-NN distance computations.  Requires a
+        compacted session (tombstones are session-internal laziness, not a
+        bundleable state) and a dedicated DHGNN/DHGCN plan.
+        """
+        if isinstance(self.plan, _ModulePlan):
+            raise ConfigurationError("freezing needs a compiled DHGNN/DHGCN plan")
+        if self._deleted.any():
+            raise ConfigurationError(
+                "compact() the session before to_frozen(): tombstoned rows "
+                "cannot be bundled"
+            )
+        self._ensure_fresh()
+        backend = self.backend
+        if isinstance(backend, IncrementalBackend):
+            backend = _clone_incremental(backend)
+        # The snapshot owns its cache: the session keeps churning (and
+        # evicting) its own, which must not age the frozen copy's entries.
+        engine = TopologyRefreshEngine(
+            cache=_seeded_private_cache(self.engine.cache),
+            block_size=self.engine.block_size,
+            backend=backend,
+        )
+        return FrozenModel(
+            self.plan.clone(),
+            self._features.copy(),
+            self.frozen.precision_name,
+            engine=engine,
+            meta=dict(self.frozen.meta),
+        )
 
     # ------------------------------------------------------------------ #
     # Refresh pipeline
@@ -282,6 +588,17 @@ class InferenceSession:
         """Scoped topology refresh + forward, cascading through the layers."""
         plan = self.plan
         n = self.n_nodes
+        alive = self.alive_ids
+        self._sync_backend_deletions()
+        reassign = self._reassign_pending
+        if self._reassign_every is not None:
+            self._refreshes_since_reassign += 1
+            if self._refreshes_since_reassign >= self._reassign_every:
+                reassign = True
+        if reassign:
+            self._reassign_moves = 0
+            self._refreshes_since_reassign = 0
+            self._reassign_pending = False
         if isinstance(plan, _DHGCNPlan):
             self._refresh_dhgcn_static(n)
         hidden = self._features
@@ -290,54 +607,129 @@ class InferenceSession:
             layer_inputs.append(hidden)
             slot = self._slots.get(position)
             if slot is not None:
-                self._refresh_slot(slot, hidden)
+                self._refresh_slot(slot, hidden, alive, reassign)
             hidden = plan.apply_layer(position, hidden)
         self._layer_inputs = layer_inputs
         self._logits = hidden
         self._moved[:] = False
         self._inserted = 0
+        self._state_ids = alive
         self._stale_topology = False
         self._stale_outputs = False
         self.refreshes += 1
         self.forwards += 1
+        if reassign:
+            self.reassignments += 1
+
+    def _sync_backend_deletions(self) -> None:
+        """Push pending tombstones into the backend's cached states.
+
+        Every backend gets the :meth:`NeighborBackend.delete` hook (stateless
+        backends no-op), so custom stateful backends shrink too.
+        """
+        keep = ~self._deleted[self._state_ids]
+        if keep.all():
+            return
+        self.backend.delete(keep)
+        self._state_ids = self._state_ids[keep]
+
+    def _mask_hypergraph(self, hypergraph: Hypergraph) -> Hypergraph:
+        """``hypergraph`` with tombstoned members removed (same node count).
+
+        Hyperedges left with fewer than two survivors are dropped — the same
+        rule :meth:`Hypergraph.subhypergraph` applies at compaction, so a
+        tombstoned and a compacted session build corresponding topologies.
+        """
+        edges: list[list[int]] = []
+        weights: list[float] = []
+        deleted = self._deleted
+        for edge, weight in zip(hypergraph.hyperedges, hypergraph.weights):
+            members = [node for node in edge if not deleted[node]]
+            if len(members) >= 2:
+                edges.append(members)
+                weights.append(float(weight))
+        return Hypergraph(hypergraph.n_nodes, edges, weights or None)
+
+    def _masked_cached(self, key: Any, hypergraph: Hypergraph) -> Hypergraph:
+        """Masked view of ``hypergraph``, memoised per tombstone generation.
+
+        The tombstone set only changes through :meth:`delete_nodes` /
+        :meth:`compact`, so refreshes between deletions (feature-update
+        traffic) reuse one masked structure — and its memoised fingerprint —
+        instead of re-filtering every hyperedge per refresh.
+        """
+        entry = self._mask_memo.get(key)
+        if (
+            entry is not None
+            and entry[0] == self._deleted_version
+            and entry[1] is hypergraph
+        ):
+            return entry[2]
+        masked = self._mask_hypergraph(hypergraph)
+        self._mask_memo[key] = (self._deleted_version, hypergraph, masked)
+        return masked
 
     def _neighbor_rows(self, slot: TopologySlot, embedding: np.ndarray, k: int) -> np.ndarray:
+        """(n_alive, k) neighbour lists; ``embedding`` holds alive rows only."""
         if isinstance(self.backend, IncrementalBackend):
             if self._inserted:
                 # Grow the matching cached state by the appended rows —
                 # O(m·n) exact repair instead of a full rebuild (falls back
                 # automatically past the backend's churn threshold).
                 self.backend.insert(embedding)
-            if slot.position == 0 and self._moved.any():
-                try:
-                    return self.backend.update(self._moved, embedding)
-                except ConfigurationError:
-                    # No prior state of this shape — cold start, query below.
-                    pass
+            if slot.position == 0:
+                moved = self._moved[~self._deleted]
+                if moved.any():
+                    try:
+                        return self.backend.update(moved, embedding)
+                    except ConfigurationError:
+                        # No prior state of this shape — cold start below.
+                        pass
             return self.backend.query(embedding, k)
         return self.backend.query(embedding, k)
 
-    def _refresh_slot(self, slot: TopologySlot, embedding: np.ndarray) -> None:
+    def _refresh_slot(
+        self,
+        slot: TopologySlot,
+        embedding: np.ndarray,
+        alive: np.ndarray,
+        reassign: bool,
+    ) -> None:
         n = embedding.shape[0]
+        masked = alive.size != n
         parts: list[Hypergraph] = []
         if slot.use_knn:
-            k = min(slot.k_neighbors, max(n - 1, 1))
+            k = min(slot.k_neighbors, max(alive.size - 1, 1))
+            rows = self._neighbor_rows(
+                slot, embedding[alive] if masked else embedding, k
+            )
             parts.append(
-                hyperedges_from_neighbor_indices(self._neighbor_rows(slot, embedding, k))
+                hyperedges_from_neighbor_indices(
+                    rows, node_ids=alive if masked else None, n_nodes=n
+                )
             )
         if slot.cluster_members:
-            if self._inserted and self.cluster_assignment == "nearest":
+            if reassign:
+                self._reassign_slot_clusters(slot, embedding, alive)
+            elif self._inserted and self.cluster_assignment == "nearest":
                 self._assign_new_to_clusters(slot, embedding)
-            parts.append(
-                Hypergraph(n, [members.tolist() for members in slot.cluster_members])
-            )
+            members = slot.cluster_members
+            if masked:
+                members = [m[~self._deleted[m]] for m in members]
+            edges = [m.tolist() for m in members if m.size >= 2]
+            if edges:
+                parts.append(Hypergraph(n, edges))
         if slot.static_part is not None:
             if slot.static_part.n_nodes != n:
                 slot.static_part = Hypergraph(
                     n, slot.static_part.hyperedges, slot.static_part.weights
                 )
-            parts.append(slot.static_part)
-        pooled = union_hypergraphs(*parts)
+            parts.append(
+                self._masked_cached(("slot", slot.position), slot.static_part)
+                if masked
+                else slot.static_part
+            )
+        pooled = union_hypergraphs(*parts) if parts else Hypergraph.empty(n)
         if slot.weighted and pooled.n_hyperedges > 0:
             weights = compactness_hyperedge_weights(
                 pooled, embedding, temperature=slot.temperature
@@ -349,26 +741,62 @@ class InferenceSession:
         slot.hypergraph = pooled
         self.plan.set_operator(slot.position, operator)
 
+    def _cluster_centroids(
+        self, slot: TopologySlot, embedding: np.ndarray
+    ) -> tuple[list[int], np.ndarray | None]:
+        """Surviving-member centroids of the currently occupied clusters."""
+        current = [members[~self._deleted[members]] for members in slot.cluster_members]
+        occupied = [index for index, members in enumerate(current) if members.size]
+        if not occupied:
+            return occupied, None
+        centroids = np.stack(
+            [embedding[current[index]].mean(axis=0) for index in occupied]
+        )
+        return occupied, centroids
+
     def _assign_new_to_clusters(self, slot: TopologySlot, embedding: np.ndarray) -> None:
         """New nodes join the cluster hyperedge with the nearest centroid.
 
         Centroids are recomputed in the *current* embedding; existing members
-        are never re-assigned (bounded staleness — a full k-means re-run is a
-        training-side rebuild, not a serving refresh).  Deterministic and
-        backend-independent, so incremental and exact sessions agree.
+        are never re-assigned here (that is :meth:`reassign_clusters`'s job).
+        Deterministic and backend-independent, so incremental and exact
+        sessions agree.
         """
         n = embedding.shape[0]
         new_ids = np.arange(n - self._inserted, n, dtype=np.int64)
-        centroids = np.stack(
-            [embedding[members].mean(axis=0) for members in slot.cluster_members]
-        )
-        deltas = embedding[new_ids][:, None, :] - centroids[None, :, :]
-        nearest = np.argmin(np.einsum("ijk,ijk->ij", deltas, deltas), axis=1)
-        for node, cluster in zip(new_ids, nearest):
+        new_ids = new_ids[~self._deleted[new_ids]]
+        if new_ids.size == 0:
+            return
+        occupied, centroids = self._cluster_centroids(slot, embedding)
+        if centroids is None:
+            return
+        nearest = assign_to_centroids(embedding[new_ids], centroids)
+        for node, choice in zip(new_ids, nearest):
+            cluster = occupied[choice]
             slot.cluster_members[cluster] = np.append(slot.cluster_members[cluster], node)
 
+    def _reassign_slot_clusters(
+        self, slot: TopologySlot, embedding: np.ndarray, alive: np.ndarray
+    ) -> None:
+        """One nearest-centroid assignment step over this layer's embedding."""
+        occupied, centroids = self._cluster_centroids(slot, embedding)
+        if centroids is None:
+            return
+        labels = assign_to_centroids(embedding[alive], centroids)
+        previous = np.full(self.n_nodes, -1, dtype=np.int64)
+        for index, members in enumerate(slot.cluster_members):
+            previous[members] = index
+        members = [np.empty(0, dtype=np.int64) for _ in slot.cluster_members]
+        moves = 0
+        for position, index in enumerate(occupied):
+            chosen = alive[labels == position]
+            members[index] = chosen
+            moves += int((previous[chosen] != index).sum())
+        slot.cluster_members = members
+        self._reassign_moves += moves
+
     def _refresh_dhgcn_static(self, n: int) -> None:
-        """Pad (and, when enabled, compactness-reweight) the static channel."""
+        """Pad, tombstone-mask and (when enabled) reweight the static channel."""
         plan = self.plan
         if plan.static_hypergraph is None:
             return
@@ -376,11 +804,30 @@ class InferenceSession:
             plan.static_hypergraph = Hypergraph(
                 n, plan.static_hypergraph.hyperedges, plan.static_hypergraph.weights
             )
-        if not plan.use_edge_weighting or plan.static_hypergraph.n_hyperedges == 0:
-            if plan.static_operator is not None and plan.static_operator.shape[0] != n:
+        masked = bool(self._deleted.any())
+        static = (
+            self._masked_cached(("static",), plan.static_hypergraph)
+            if masked
+            else plan.static_hypergraph
+        )
+        if not plan.use_edge_weighting or static.n_hyperedges == 0:
+            if (
+                plan.static_operator is None
+                or plan.static_operator.shape[0] != n
+                or masked
+            ):
+                # Supersede the previous tombstone generation's masked
+                # operator: it can never be requested again (the tombstone
+                # set only grows until compaction) and would otherwise
+                # accumulate in the session's cache.
+                if self._masked_static is not None and (
+                    self._masked_static.fingerprint() != static.fingerprint()
+                ):
+                    self.engine.discard(self._masked_static)
                 plan.static_operator = self.engine.propagation_operator(
-                    plan.static_hypergraph, dtype=self.frozen.dtype
+                    static, dtype=self.frozen.dtype
                 )
+                self._masked_static = static if masked else None
             return
         # The reweighting reference is always recomputed with a baseline
         # forward over the pre-insertion rows (current features, current
@@ -396,9 +843,9 @@ class InferenceSession:
             padding = np.zeros((n - reference.shape[0], reference.shape[1]), reference.dtype)
             reference = np.vstack([reference, padding])
         weights = compactness_hyperedge_weights(
-            plan.static_hypergraph, reference, temperature=plan.weight_temperature
+            static, reference, temperature=plan.weight_temperature
         )
-        reweighted = plan.static_hypergraph.with_weights(weights)
+        reweighted = static.with_weights(weights)
         plan.static_operator = self.engine.refresh_operator(
             plan.reweighted_static, reweighted, dtype=self.frozen.dtype
         )

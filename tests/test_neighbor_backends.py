@@ -10,7 +10,8 @@ the same parametrised contract (``pytest -m backend_contract``):
   empty feature matrices — and non-2-D features) across all backends;
 * exact == brute force **bit-identical**;
 * incremental == exact bit-identical after arbitrary seeded move/no-move
-  sequences (property-based);
+  sequences (property-based), and after arbitrary insert/delete sequences
+  through the grow-and-repair / shrink-and-repair paths;
 * LSH recall above a configured floor on clustered synthetic data.
 
 Plus the golden training regressions: DHGNN trained with the exact and the
@@ -524,6 +525,185 @@ class TestIncrementalInsert:
         assert backend.has_matching_state(features, 4)
         assert not backend.has_matching_state(features, 3)
         assert not backend.has_matching_state(features + 1.0, 4)
+
+
+# --------------------------------------------------------------------------- #
+# IncrementalBackend.delete: the O(r·n) shrink-and-repair
+# --------------------------------------------------------------------------- #
+class TestIncrementalDelete:
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(8, 40),
+        d=st.integers(1, 5),
+        k=st.integers(1, 4),
+        deletions=st.lists(st.integers(1, 3), min_size=1, max_size=3),
+        tie_heavy=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_delete_then_query_bit_identical_to_exact(
+        self, seed, n, d, k, deletions, tie_heavy
+    ):
+        rng = np.random.default_rng(seed)
+        if tie_heavy:
+            features = rng.integers(0, 3, size=(n, d)).astype(np.float64)
+        else:
+            features = rng.normal(size=(n, d))
+        if k >= n:
+            k = n - 1
+        backend = IncrementalBackend(block_size=5)
+        backend.query(features, k)
+        for remove in deletions:
+            count = features.shape[0]
+            if count - remove <= k + 1:
+                break  # k would become infeasible for the survivors
+            keep = np.ones(count, dtype=bool)
+            keep[rng.choice(count, remove, replace=False)] = False
+            shrunk = backend.delete(keep)
+            # Past the churn threshold the backend legitimately declines and
+            # lets the next query rebuild; below it the shrink must succeed.
+            if remove <= backend.churn_threshold * count:
+                assert shrunk == 1, f"delete of {remove}/{count} rows declined"
+            features = features[keep]
+            result = backend.query(features, k)
+            assert np.array_equal(result, knn_indices_bruteforce(features, k))
+
+    def test_delete_requeries_only_rows_that_listed_a_deleted_node(self):
+        features = _clustered_features(20, n=200)
+        backend = IncrementalBackend()
+        reference = backend.query(features, 5)
+        keep = np.ones(200, dtype=bool)
+        keep[[3, 90]] = False
+        affected = np.flatnonzero((~keep[reference]).any(axis=1) & keep)
+        requeried_before = backend.rows_requeried
+        assert backend.delete(keep) == 1
+        assert backend.rows_requeried - requeried_before == affected.size
+        # The follow-up query is a pure cache read: no movers, no re-queries.
+        requeried_before = backend.rows_requeried
+        result = backend.query(features[keep], 5)
+        assert backend.rows_requeried == requeried_before
+        assert np.array_equal(result, knn_indices_bruteforce(features[keep], 5))
+
+    def test_delete_with_simultaneous_drift(self):
+        rng = np.random.default_rng(21)
+        features = _clustered_features(21, n=120)
+        backend = IncrementalBackend()
+        backend.query(features, 6)
+        keep = np.ones(120, dtype=bool)
+        keep[rng.choice(120, 5, replace=False)] = False
+        assert backend.delete(keep) == 1
+        drifted = features[keep].copy()
+        moved = rng.choice(drifted.shape[0], 8, replace=False)
+        drifted[moved] += rng.normal(scale=0.02, size=(8, features.shape[1]))
+        result = backend.query(drifted, 6)
+        assert np.array_equal(result, knn_indices_bruteforce(drifted, 6))
+
+    def test_delete_float32_drops_state_and_matches_exact(self):
+        # The float32 kernel mean-centres, so removing points perturbs every
+        # stored distance value; float32 states are dropped (not repaired)
+        # and the follow-up full rebuild is bit-identical to exact — even on
+        # tie-heavy integer features where near-ties reorder wholesale.
+        rng = np.random.default_rng(22)
+        features = rng.integers(0, 3, size=(150, 12)).astype(np.float32)
+        backend = IncrementalBackend()
+        backend.query(features, 5)
+        keep = np.ones(150, dtype=bool)
+        keep[[0, 70, 149]] = False
+        assert backend.delete(keep) == 0
+        assert backend.stats()["states"] == 0
+        result = backend.query(features[keep], 5)
+        assert np.array_equal(result, ExactBackend().query(features[keep], 5))
+
+    def test_delete_shrinks_every_matching_stream(self):
+        # Two same-length streams of different width (the per-layer embedding
+        # streams of a serving session) shrink together.
+        rng = np.random.default_rng(23)
+        first = rng.normal(size=(80, 4))
+        second = rng.normal(size=(80, 9))
+        backend = IncrementalBackend()
+        backend.query(first, 5)
+        backend.query(second, 3)
+        keep = np.ones(80, dtype=bool)
+        keep[[7, 40]] = False
+        assert backend.delete(keep) == 2
+        assert np.array_equal(
+            backend.query(first[keep], 5), knn_indices_bruteforce(first[keep], 5)
+        )
+        assert np.array_equal(
+            backend.query(second[keep], 3), knn_indices_bruteforce(second[keep], 3)
+        )
+        assert backend.full_rebuilds == 2  # only the two initial queries
+
+    def test_delete_past_churn_threshold_drops_state(self):
+        features = _clustered_features(24, n=100)
+        backend = IncrementalBackend(churn_threshold=0.1)
+        backend.query(features, 4)
+        keep = np.ones(100, dtype=bool)
+        keep[:20] = False  # 20% deleted, way past 10% churn
+        assert backend.delete(keep) == 0
+        assert backend.stats()["states"] == 0
+        backend.query(features[keep], 4)
+        assert backend.full_rebuilds == 2  # initial + the post-drop rebuild
+
+    def test_delete_drops_state_when_k_becomes_infeasible(self):
+        features = _clustered_features(25, n=12)
+        backend = IncrementalBackend(churn_threshold=1.0)
+        backend.query(features, 9)
+        keep = np.ones(12, dtype=bool)
+        keep[[0, 5, 11]] = False  # 9 survivors cannot answer k=9
+        assert backend.delete(keep) == 0
+        assert backend.stats()["states"] == 0
+
+    def test_delete_counts_rows(self):
+        features = _clustered_features(26, n=64)
+        backend = IncrementalBackend()
+        backend.query(features, 4)
+        keep = np.ones(64, dtype=bool)
+        keep[[1, 2, 3]] = False
+        backend.delete(keep)
+        assert backend.rows_deleted == 3
+        assert backend.stats()["rows_deleted"] == 3
+
+    def test_delete_ignores_other_lengths_and_full_keep(self):
+        features = _clustered_features(27, n=50)
+        backend = IncrementalBackend()
+        backend.query(features, 4)
+        assert backend.delete(np.ones(50, dtype=bool)) == 0  # nothing removed
+        keep = np.ones(30, dtype=bool)
+        keep[0] = False
+        assert backend.delete(keep) == 0  # no state has 30 rows
+        assert backend.stats()["states"] == 1
+
+    def test_delete_validates_mask_shape(self):
+        backend = IncrementalBackend()
+        with pytest.raises(ShapeError):
+            backend.delete(np.ones((4, 2), dtype=bool))
+
+    def test_stateless_backends_ignore_delete(self):
+        keep = np.ones(10, dtype=bool)
+        keep[0] = False
+        assert ExactBackend().delete(keep) == 0
+        assert LSHBackend().delete(keep) == 0
+
+    def test_interleaved_insert_delete_matches_exact(self):
+        rng = np.random.default_rng(28)
+        pool = _clustered_features(28, n=160)
+        features = pool[:120]
+        backend = IncrementalBackend()
+        backend.query(features, 5)
+        cursor = 120
+        for step in range(6):
+            if step % 2 == 0:
+                grow = pool[cursor : cursor + 4]
+                cursor += 4
+                features = np.vstack([features, grow])
+                backend.insert(features)
+            else:
+                keep = np.ones(features.shape[0], dtype=bool)
+                keep[rng.choice(features.shape[0], 3, replace=False)] = False
+                backend.delete(keep)
+                features = features[keep]
+            result = backend.query(features, 5)
+            assert np.array_equal(result, knn_indices_bruteforce(features, 5))
 
 
 # --------------------------------------------------------------------------- #

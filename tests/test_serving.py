@@ -10,6 +10,15 @@ The load-bearing guarantees pinned here:
 * online insertion of a few percent new nodes goes through the incremental
   backend's scoped grow-and-repair (no construction rebuild) and matches an
   exact-rebuild reference session bit-for-bit at ``tolerance=0``;
+* the full node lifecycle: deletion (lazy tombstoning through the backend's
+  shrink-and-repair), compaction (physical shrink + old->new id remap) and
+  cluster re-assignment all match an exact-rebuild reference session
+  bit-for-bit at ``tolerance=0`` — including random interleaved
+  insert/update/delete/compact sequences — and a churned session freezes
+  back into a warm bundle;
+* session isolation: every session owns a private refresh engine, operator
+  cache and backend state; empty mutations are no-ops and duplicate update
+  ids are rejected;
 * the operator cache's byte budget, its content-keyed neighbour memo, and
   the cross-process stability of hypergraph fingerprints.
 """
@@ -364,6 +373,413 @@ class TestOnlineChurn:
 
 
 # --------------------------------------------------------------------------- #
+# Node lifecycle: deletion, compaction, cluster re-assignment
+# --------------------------------------------------------------------------- #
+class TestNodeLifecycle:
+    def _bundle(self, dataset, tmp_path, model_kind="dhgnn", precision_name="float64"):
+        reset_default_engine()
+        if model_kind == "dhgnn":
+            model = DHGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        else:
+            model = DHGCN(
+                dataset.n_features, dataset.n_classes, DHGCNConfig(hidden_dim=8), seed=0
+            )
+        trainer = _train(model, dataset, backend="incremental", precision_name=precision_name)
+        trainer.export_frozen(str(tmp_path / "bundle"))
+        return tmp_path / "bundle.npz"
+
+    @pytest.mark.parametrize("model_kind", ["dhgnn", "dhgcn"])
+    @pytest.mark.parametrize("precision_name", PRECISIONS)
+    def test_deletion_matches_exact_rebuild(
+        self, tiny_citation_dataset, tmp_path, model_kind, precision_name
+    ):
+        dataset = tiny_citation_dataset
+        bundle = self._bundle(dataset, tmp_path, model_kind, precision_name)
+        doomed = [3, 17, 40, 41, 99]
+
+        incremental = InferenceSession(FrozenModel.load(bundle))
+        exact = InferenceSession(FrozenModel.load(bundle, backend=ExactBackend()))
+        incremental.delete_nodes(doomed)
+        exact.delete_nodes(doomed)
+        # tolerance=0: the shrink-and-repair is bit-identical to the exact
+        # full rebuild of the surviving node set.
+        logits = incremental.predict(output="logits")
+        assert np.array_equal(logits, exact.predict(output="logits"))
+        assert logits.shape[0] == dataset.n_nodes - 5
+        assert incremental.n_alive == dataset.n_nodes - 5
+        assert incremental.n_nodes == dataset.n_nodes  # lazy: matrix unshrunk
+        backend_stats = incremental.stats()["backend"]
+        if precision_name == "float64":
+            # The layer-0 stream was shrunk in place (deeper streams may
+            # legitimately churn past the threshold at tolerance=0).
+            assert backend_stats["rows_deleted"] > 0
+        else:
+            # float32 states are dropped (recentring reorders near-ties
+            # wholesale), so bit-identity comes from a clean full rebuild.
+            assert backend_stats["rows_deleted"] == 0
+            assert backend_stats["full_rebuilds"] > 0
+
+    @pytest.mark.parametrize("model_kind", ["dhgnn", "dhgcn"])
+    def test_compact_matches_exact_rebuild(
+        self, tiny_citation_dataset, tmp_path, model_kind
+    ):
+        dataset = tiny_citation_dataset
+        bundle = self._bundle(dataset, tmp_path, model_kind)
+        doomed = [0, 25, 60, 119]
+
+        incremental = InferenceSession(FrozenModel.load(bundle))
+        exact = InferenceSession(FrozenModel.load(bundle, backend=ExactBackend()))
+        incremental.delete_nodes(doomed)
+        exact.delete_nodes(doomed)
+        remap = incremental.compact()
+        assert np.array_equal(remap, exact.compact())
+        # The remap contract: deleted ids map to -1, survivors to their rank.
+        assert np.array_equal(remap[doomed], [-1] * 4)
+        survivors = np.setdiff1d(np.arange(dataset.n_nodes), doomed)
+        assert np.array_equal(remap[survivors], np.arange(survivors.size))
+        assert incremental.n_nodes == incremental.n_alive == survivors.size
+        assert incremental.features.shape[0] == survivors.size
+        assert np.array_equal(
+            incremental.predict(output="logits"), exact.predict(output="logits")
+        )
+        # Compacting a session with no tombstones is an identity no-op.
+        refreshes = incremental.refreshes
+        identity = incremental.compact()
+        assert np.array_equal(identity, np.arange(survivors.size))
+        assert incremental.refreshes == refreshes
+
+    def test_tombstoned_close_to_compacted(self, tiny_citation_dataset, tmp_path):
+        # The tombstoned (full-size, isolated rows) and the compacted
+        # (shrunken) topologies are the same hypergraph up to re-indexing;
+        # for the unweighted DHGNN pipeline the surviving logits agree to
+        # rounding (dense BLAS blocks by matrix size, so bitwise equality
+        # across the two shapes is not guaranteed).
+        dataset = tiny_citation_dataset
+        bundle = self._bundle(dataset, tmp_path)
+        doomed = [5, 50, 95]
+        tombstoned = InferenceSession(FrozenModel.load(bundle))
+        compacted = InferenceSession(FrozenModel.load(bundle))
+        tombstoned.delete_nodes(doomed)
+        compacted.delete_nodes(doomed)
+        compacted.compact()
+        assert np.allclose(
+            tombstoned.predict(output="logits"),
+            compacted.predict(output="logits"),
+            atol=1e-10,
+        )
+
+    def test_deleted_nodes_are_rejected(self, tiny_citation_dataset, tmp_path):
+        dataset = tiny_citation_dataset
+        session = InferenceSession(FrozenModel.load(self._bundle(dataset, tmp_path)))
+        session.delete_nodes([4, 9])
+        with pytest.raises(ConfigurationError, match="deleted"):
+            session.predict([4])
+        with pytest.raises(ConfigurationError, match="deleted"):
+            session.predict(9, output="logits")
+        with pytest.raises(ConfigurationError, match="deleted"):
+            session.update_features([9], dataset.features[[9]])
+        with pytest.raises(ConfigurationError, match="already been deleted"):
+            session.delete_nodes([4])
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            session.delete_nodes([7, 7])
+        with pytest.raises(ConfigurationError):
+            session.delete_nodes([dataset.n_nodes])
+        with pytest.raises(ConfigurationError, match="fewer than 2"):
+            session.delete_nodes(
+                np.setdiff1d(np.arange(dataset.n_nodes), [4, 9, 0]).tolist()
+            )
+        # Alive nodes keep working, and whole-set queries skip the dead rows.
+        assert session.predict().shape == (dataset.n_nodes - 2,)
+        assert np.array_equal(
+            session.alive_ids, np.setdiff1d(np.arange(dataset.n_nodes), [4, 9])
+        )
+
+    def test_deletion_saves_distance_work_and_compact_frees_bytes(
+        self, tiny_citation_dataset, tmp_path
+    ):
+        dataset = tiny_citation_dataset
+        bundle = self._bundle(dataset, tmp_path)
+        doomed = [2, 30, 31, 77, 111]
+
+        session = InferenceSession(
+            FrozenModel.load(bundle, backend=IncrementalBackend(tolerance=0.05)),
+            cluster_assignment="frozen",
+        )
+        session.predict()
+        DISTANCE_COUNTERS.reset()
+        session.delete_nodes(doomed)
+        session.predict()
+        incremental_pairs = DISTANCE_COUNTERS.pairs
+        assert session.stats()["backend"]["full_rebuilds"] == 0
+
+        feature_bytes = session.features.nbytes
+        operator_bytes = session.stats()["engine"]["bytes"]
+        session.compact()
+        assert session.features.nbytes < feature_bytes
+        assert session.stats()["engine"]["bytes"] < operator_bytes
+
+        exact = InferenceSession(
+            FrozenModel.load(bundle, backend=ExactBackend()), cluster_assignment="frozen"
+        )
+        exact.predict()
+        DISTANCE_COUNTERS.reset()
+        exact.delete_nodes(doomed)
+        exact.predict()
+        assert incremental_pairs < DISTANCE_COUNTERS.pairs
+
+    def test_repeated_deletions_do_not_accumulate_cache_entries(
+        self, tiny_citation_dataset, tmp_path
+    ):
+        # Every tombstone generation supersedes the previous one's masked
+        # operators (including the unweighted-DHGCN static channel), so a
+        # long-running delete->predict server keeps a bounded cache.
+        dataset = tiny_citation_dataset
+        reset_default_engine()
+        model = DHGCN(
+            dataset.n_features,
+            dataset.n_classes,
+            DHGCNConfig(hidden_dim=8, use_edge_weighting=False),
+            seed=0,
+        )
+        trainer = _train(model, dataset, backend="incremental")
+        trainer.export_frozen(str(tmp_path / "bundle"))
+        session = InferenceSession(FrozenModel.load(tmp_path / "bundle.npz"))
+        session.delete_nodes([1, 2])
+        session.predict()
+        entries = session.stats()["engine"]["entries"]
+        bytes_first = session.stats()["engine"]["bytes"]
+        for doomed in ([5, 6], [9], [12, 13]):
+            session.delete_nodes(doomed)
+            session.predict()
+            assert session.stats()["engine"]["entries"] == entries
+            assert session.stats()["engine"]["bytes"] <= bytes_first
+        session.compact()
+        assert session.stats()["engine"]["bytes"] < bytes_first
+
+    @pytest.mark.parametrize("model_kind", ["dhgnn", "dhgcn"])
+    def test_reassign_clusters_is_backend_independent(
+        self, tiny_citation_dataset, tmp_path, model_kind
+    ):
+        dataset = tiny_citation_dataset
+        bundle = self._bundle(dataset, tmp_path, model_kind)
+        incremental = InferenceSession(FrozenModel.load(bundle))
+        exact = InferenceSession(FrozenModel.load(bundle, backend=ExactBackend()))
+        moves = incremental.reassign_clusters()
+        assert moves == exact.reassign_clusters()
+        assert incremental.reassignments == 1
+        assert np.array_equal(
+            incremental.predict(output="logits"), exact.predict(output="logits")
+        )
+
+    def test_reassign_policy_fires_every_n_refreshes(
+        self, tiny_citation_dataset, tmp_path
+    ):
+        dataset = tiny_citation_dataset
+        session = InferenceSession(FrozenModel.load(self._bundle(dataset, tmp_path)))
+        assert session.reassign_clusters(every_n=2) is None
+        for step in range(4):
+            session.update_features([step], dataset.features[[step]] + 0.1)
+            session.predict()
+        assert session.refreshes == 4
+        assert session.reassignments == 2  # refreshes 2 and 4
+        session.reassign_clusters(every_n=0)  # clear the policy
+        session.update_features([10], dataset.features[[10]] + 0.1)
+        session.predict()
+        session.update_features([11], dataset.features[[11]] + 0.1)
+        session.predict()
+        assert session.reassignments == 2
+        with pytest.raises(ConfigurationError):
+            session.reassign_clusters(every_n=-1)
+
+    def test_reassignment_bounds_membership_staleness(
+        self, tiny_citation_dataset, tmp_path
+    ):
+        # After a large coherent drift the re-assigned memberships follow the
+        # embedding: re-running the assignment immediately afterwards moves
+        # (almost) nothing.
+        dataset = tiny_citation_dataset
+        session = InferenceSession(FrozenModel.load(self._bundle(dataset, tmp_path)))
+        rng = np.random.default_rng(3)
+        moved = rng.choice(dataset.n_nodes, 30, replace=False)
+        session.update_features(
+            moved, dataset.features[(moved + 60) % dataset.n_nodes]
+        )
+        first = session.reassign_clusters()
+        second = session.reassign_clusters()
+        assert second <= first
+
+    def test_lifecycle_round_trip_through_bundle(self, tiny_citation_dataset, tmp_path):
+        # The deleted-state round-trip: churn, compact, freeze, save, load —
+        # the restored session answers bit-identically with zero distance
+        # work.
+        dataset = tiny_citation_dataset
+        bundle = self._bundle(dataset, tmp_path)
+        session = InferenceSession(FrozenModel.load(bundle))
+        rng = np.random.default_rng(4)
+        session.insert_nodes(
+            dataset.features[rng.choice(dataset.n_nodes, 4, replace=False)] + 0.01
+        )
+        session.delete_nodes([1, 2, 3])
+        with pytest.raises(ConfigurationError, match="compact"):
+            session.to_frozen()
+        session.compact()
+        reference = session.predict(output="logits")
+
+        snapshot = session.to_frozen()
+        # The snapshot owns its cache and backend: further session churn
+        # must not age or grow them.
+        assert snapshot.engine.cache is not session.engine.cache
+        assert snapshot.engine.backend is not session.backend
+        checkpoint = snapshot.save(tmp_path / "checkpoint")
+        reset_default_engine()
+        restored = InferenceSession(FrozenModel.load(checkpoint))
+        DISTANCE_COUNTERS.reset()
+        assert np.array_equal(restored.predict(output="logits"), reference)
+        assert DISTANCE_COUNTERS.pairs == 0
+        # The restored backend state is warm: the layer-0 stream repairs
+        # incrementally instead of rebuilding.
+        restored.update_features([0], restored.features[[0]] + 0.05)
+        restored.predict()
+        assert restored.stats()["backend"]["partial_refreshes"] >= 1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_interleaved_lifecycle_property(self, tiny_citation_dataset, tmp_path, seed):
+        # Random insert/update/delete/compact sequences: the incremental
+        # session at tolerance=0 stays bit-identical to the exact full
+        # rebuild of the same surviving node set, and the per-refresh
+        # bookkeeping invariants hold after every predict.
+        dataset = tiny_citation_dataset
+        bundle = self._bundle(dataset, tmp_path)
+        incremental = InferenceSession(FrozenModel.load(bundle))
+        exact = InferenceSession(FrozenModel.load(bundle, backend=ExactBackend()))
+        rng = np.random.default_rng(seed)
+        for step in range(8):
+            operation = rng.choice(["insert", "update", "delete", "compact"])
+            if operation == "insert":
+                count = int(rng.integers(1, 4))
+                base = dataset.features[rng.choice(dataset.n_nodes, count, replace=False)]
+                new = base + rng.normal(scale=0.05, size=base.shape)
+                assert np.array_equal(
+                    incremental.insert_nodes(new), exact.insert_nodes(new)
+                )
+            elif operation == "update":
+                alive = incremental.alive_ids
+                ids = rng.choice(alive, min(3, alive.size), replace=False)
+                values = incremental.features[ids] + rng.normal(
+                    scale=0.1, size=(ids.size, dataset.n_features)
+                )
+                incremental.update_features(ids, values)
+                exact.update_features(ids, values)
+            elif operation == "delete":
+                alive = incremental.alive_ids
+                ids = rng.choice(alive, int(rng.integers(1, 4)), replace=False)
+                incremental.delete_nodes(ids)
+                exact.delete_nodes(ids)
+            else:
+                assert np.array_equal(incremental.compact(), exact.compact())
+            refreshes = incremental.refreshes
+            assert np.array_equal(
+                incremental.predict(output="logits"), exact.predict(output="logits")
+            )
+            # Refresh bookkeeping invariants: the mover mask and insertion
+            # counter reset, the backend states track the alive set.
+            assert incremental.refreshes >= refreshes
+            assert not incremental._moved.any()
+            assert incremental._inserted == 0
+            assert incremental._state_ids.size == incremental.n_alive
+            backend_stats = incremental.stats()["backend"]
+            assert backend_stats["states"] >= 1
+        assert incremental.n_alive == exact.n_alive
+
+
+# --------------------------------------------------------------------------- #
+# Session-isolation and validation bugfix regressions
+# --------------------------------------------------------------------------- #
+class TestSessionBugfixes:
+    def _bundle(self, dataset, tmp_path):
+        reset_default_engine()
+        model = DHGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        trainer = _train(model, dataset, backend="incremental")
+        trainer.export_frozen(str(tmp_path / "bundle"))
+        return tmp_path / "bundle.npz"
+
+    def test_sessions_get_private_engine_and_cache(
+        self, tiny_citation_dataset, tmp_path
+    ):
+        # Two sessions over one FrozenModel: one churns (insert + delete +
+        # compact), the other's predictions stay bit-identical and its cache
+        # stats untouched.
+        dataset = tiny_citation_dataset
+        frozen = FrozenModel.load(self._bundle(dataset, tmp_path))
+        churning = InferenceSession(frozen)
+        steady = InferenceSession(frozen)
+        assert churning.engine is not frozen.engine
+        assert churning.engine.cache is not frozen.engine.cache
+        assert churning.engine.cache is not steady.engine.cache
+
+        baseline = steady.predict(output="logits")
+        steady_stats = steady.stats()["engine"].copy()
+        rng = np.random.default_rng(7)
+        churning.insert_nodes(
+            dataset.features[rng.choice(dataset.n_nodes, 4, replace=False)] + 0.02
+        )
+        churning.predict()
+        churning.delete_nodes([0, 1])
+        churning.predict()
+        churning.compact()
+        churning.predict()
+        assert np.array_equal(steady.predict(output="logits"), baseline)
+        assert steady.stats()["engine"] == steady_stats
+        assert frozen.features.shape[0] == dataset.n_nodes
+
+    def test_private_cache_is_seeded_from_frozen(self, tiny_citation_dataset):
+        # A compiled (in-process) frozen model carries cached operators; the
+        # session's private cache starts warm with those entries.
+        reset_default_engine()
+        dataset = tiny_citation_dataset
+        model = DHGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+        _train(model, dataset, backend="incremental")
+        frozen = FrozenModel.compile(model, dataset.features)
+        source_entries = len(frozen.engine.cache.export_entries())
+        assert source_entries > 0
+        session = InferenceSession(frozen)
+        assert session.stats()["engine"]["entries"] == source_entries
+
+    def test_empty_mutations_are_noops(self, tiny_citation_dataset, tmp_path):
+        dataset = tiny_citation_dataset
+        session = InferenceSession(FrozenModel.load(self._bundle(dataset, tmp_path)))
+        session.predict()
+        refreshes, forwards = session.refreshes, session.forwards
+        DISTANCE_COUNTERS.reset()
+        session.update_features([], np.zeros((0, dataset.n_features)))
+        session.update_features([], [])  # the natural empty-list spelling too
+        ids = session.insert_nodes(np.zeros((0, dataset.n_features)))
+        assert session.insert_nodes([]).size == 0
+        session.delete_nodes([])
+        session.predict()
+        assert ids.size == 0
+        # Empty ids with non-empty values is still a (loud) shape error.
+        with pytest.raises(ConfigurationError, match="shape"):
+            session.update_features([], dataset.features[:2])
+        assert session.refreshes == refreshes
+        assert session.forwards == forwards
+        assert DISTANCE_COUNTERS.pairs == 0 and DISTANCE_COUNTERS.blocks == 0
+
+    def test_duplicate_update_ids_rejected(self, tiny_citation_dataset, tmp_path):
+        dataset = tiny_citation_dataset
+        session = InferenceSession(FrozenModel.load(self._bundle(dataset, tmp_path)))
+        with pytest.raises(ConfigurationError, match=r"duplicate node ids \[5\]"):
+            session.update_features([5, 5, 9], dataset.features[[5, 5, 9]])
+        with pytest.raises(ConfigurationError, match=r"\[2, 7\]"):
+            session.update_features([2, 7, 2, 7], dataset.features[[2, 7, 2, 7]])
+        # The failed calls left no stale marks behind.
+        session.predict()
+        refreshes = session.refreshes
+        session.predict()
+        assert session.refreshes == refreshes
+
+
+# --------------------------------------------------------------------------- #
 # OperatorStore and the operator cache bridges
 # --------------------------------------------------------------------------- #
 class TestOperatorStore:
@@ -539,3 +955,45 @@ class TestServingCLI:
         assert len(lines) == 2 and lines[0].startswith("0\t")
         assert main(["predict", "--bundle", str(bundle), "--output", "logits"]) == 0
         assert len(capsys.readouterr().out.strip().splitlines()) == 150
+
+    def test_predict_delete_and_compact(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bundle = tmp_path / "bundle.npz"
+        main(
+            [
+                "export", "--dataset", "cora-cocitation", "--model", "dhgnn",
+                "--epochs", "3", "--nodes", "150", "--hidden-dim", "8",
+                "--out", str(bundle),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["predict", "--bundle", str(bundle), "--delete", "0", "5"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 148
+        assert lines[0].startswith("1\t")  # deleted ids skipped, not renumbered
+        assert (
+            main(
+                ["predict", "--bundle", str(bundle), "--delete", "0", "5",
+                 "--compact", "--reassign-clusters"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 148
+        assert lines[0].startswith("0\t")  # compaction renumbered the ids
+        assert "compacted to 148 nodes" in captured.err
+        assert "reassigned clusters" in captured.err
+        # --nodes keeps meaning the PRE-compact ids the user typed: node 10
+        # answers identically whether or not the state was compacted.
+        assert main(["predict", "--bundle", str(bundle), "--delete", "0", "5",
+                     "--nodes", "10"]) == 0
+        tombstoned_line = capsys.readouterr().out.strip()
+        assert main(["predict", "--bundle", str(bundle), "--delete", "0", "5",
+                     "--compact", "--nodes", "10"]) == 0
+        assert capsys.readouterr().out.strip() == tombstoned_line
+        assert tombstoned_line.startswith("10\t")
+        with pytest.raises(ConfigurationError, match="deleted"):
+            main(["predict", "--bundle", str(bundle), "--delete", "0", "5",
+                  "--compact", "--nodes", "5"])
