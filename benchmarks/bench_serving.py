@@ -1,0 +1,398 @@
+"""Load-generator benchmark of the serving front-end (``repro.serving.server``).
+
+Two measurements over one trained DHGNN bundle:
+
+**Micro-batching sweep (asserted).**  A concurrent closed-loop load
+generator submits single-node predict requests straight into the
+:class:`~repro.serving.MicroBatcher` over a real :class:`SessionPool` and
+sweeps the batch window.  At window ``0`` every request pays its own
+event-loop → worker-thread dispatch round-trip; at a positive window,
+requests coalesce into one :meth:`InferenceSession.predict_batch` call that
+slices one cached forward.  This isolates the dispatch path the batcher
+exists to amortise: QPS must be **>= 2x** at the best nonzero window, with a
+mean coalesced batch size >= 2.
+
+**HTTP end-to-end (reported + checked).**  The same workload through real
+sockets against :class:`ServingServer`: per-request p50/p99 latency and QPS
+per window, a **bit-identity** check (responses for labels and logits must
+equal a direct :class:`InferenceSession` on the same bundle, bit for bit),
+and a mixed phase driving ``/insert`` + ``/predict`` concurrently (reads
+must keep succeeding while the single writer republishes).  The HTTP QPS
+contrast is reported but not asserted: the load generator shares the
+server's process and GIL, so client-side socket/parse CPU — identical in
+both modes — dilutes the dispatch saving end-to-end.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_serving.py``);
+``REPRO_BENCH_QUICK=1`` selects the CI smoke configuration.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import emit  # noqa: E402
+
+from repro import DHGNN, TrainConfig, Trainer, reset_default_engine  # noqa: E402
+from repro.data.citation import make_citation_dataset  # noqa: E402
+from repro.serving import FrozenModel, InferenceSession  # noqa: E402
+from repro.serving.server import (  # noqa: E402
+    MicroBatcher,
+    ServerConfig,
+    ServingServer,
+    SessionPool,
+)
+from repro.training.results import ResultTable  # noqa: E402
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+N_NODES = 240 if QUICK else 600
+HIDDEN = 16
+N_LAYERS = 3
+EPOCHS = 4 if QUICK else 10
+#: Batch windows (ms) for the asserted batcher sweep; 0 = no coalescing.
+BATCHER_WINDOWS_MS = [0.0, 2.0] if QUICK else [0.0, 0.5, 1.0, 2.0, 5.0]
+BATCHER_CLIENTS = 64
+BATCHER_REQUESTS = 40 if QUICK else 120
+#: Batch windows (ms) for the reported HTTP end-to-end sweep.
+HTTP_WINDOWS_MS = [0.0, 2.0] if QUICK else [0.0, 2.0, 6.0]
+HTTP_CLIENTS = 32
+HTTP_REQUESTS = 40 if QUICK else 120
+REPLICAS = 1 if QUICK else 2
+QPS_SPEEDUP_BAR = 2.0
+BATCH_SIZE_BAR = 2.0
+
+
+def _dataset():
+    return make_citation_dataset(
+        "bench-serving-http",
+        n_nodes=N_NODES,
+        n_classes=4,
+        n_features=40,
+        intra_class_degree=3.0,
+        inter_class_degree=1.0,
+        active_words=6,
+        noise_words=2,
+        confusion=0.4,
+        train_per_class=8,
+        val_fraction=0.2,
+        seed=7,
+    )
+
+
+def _export_bundle(tmp_dir: Path) -> Path:
+    reset_default_engine()
+    dataset = _dataset()
+    model = DHGNN(
+        dataset.n_features, dataset.n_classes, hidden_dim=HIDDEN, n_layers=N_LAYERS, seed=0
+    )
+    trainer = Trainer(
+        model,
+        dataset,
+        TrainConfig(epochs=EPOCHS, patience=None, neighbor_backend="incremental"),
+    )
+    trainer.train()
+    bundle = tmp_dir / "bench_serving_bundle.npz"
+    trainer.export_frozen(str(bundle))
+    return bundle
+
+
+# --------------------------------------------------------------------------- #
+# Part 1: micro-batching sweep against the MicroBatcher (asserted)
+# --------------------------------------------------------------------------- #
+async def _run_batcher_load(bundle: Path, window_ms: float) -> dict:
+    """Closed-loop load straight into the batcher at one window setting."""
+    pool = SessionPool(FrozenModel.load(bundle), replicas=REPLICAS)
+    executor = ThreadPoolExecutor(max_workers=REPLICAS + 1)
+    batcher = MicroBatcher(
+        pool,
+        executor,
+        window_s=window_ms / 1000.0,
+        # Cap at the client count: a closed-loop generator has at most
+        # BATCHER_CLIENTS requests in flight, so a full batch dispatches
+        # immediately instead of idling out the rest of the window.
+        max_batch_size=BATCHER_CLIENTS,
+        max_queue_depth=8192,
+    )
+    batcher.start()
+    try:
+        rng = np.random.default_rng(int(window_ms * 10) + 1)
+        latencies: list[float] = []
+
+        async def client(plan: np.ndarray) -> None:
+            for node in plan:
+                start = time.perf_counter()
+                await batcher.submit({"nodes": int(node), "output": "labels"})
+                latencies.append(time.perf_counter() - start)
+
+        await client(rng.integers(0, N_NODES, 8))  # warm-up
+        latencies.clear()
+        plans = [
+            rng.integers(0, N_NODES, BATCHER_REQUESTS)
+            for _ in range(BATCHER_CLIENTS)
+        ]
+        start = time.perf_counter()
+        await asyncio.gather(*[client(plan) for plan in plans])
+        elapsed = time.perf_counter() - start
+        stats = batcher.stats()
+        return {
+            "window_ms": window_ms,
+            "qps": len(latencies) / elapsed,
+            "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+            "p99_ms": float(np.percentile(latencies, 99) * 1e3),
+            "mean_batch": stats["mean_batch_size"],
+            "batches": stats["batches"],
+        }
+    finally:
+        await batcher.stop()
+        executor.shutdown(wait=True)
+
+
+# --------------------------------------------------------------------------- #
+# Part 2: HTTP end-to-end — minimal keep-alive client
+# --------------------------------------------------------------------------- #
+async def _request(reader, writer, method: str, path: str, payload=None):
+    """One JSON request/response exchange (slow path: used off the hot loop)."""
+    body = json.dumps(payload).encode() if payload is not None else b""
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\nHost: bench\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        + body
+    )
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    marker = head.index(b"Content-Length: ") + 16
+    length = int(head[marker : head.index(b"\r", marker)])
+    data = await reader.readexactly(length)
+    return status, json.loads(data)
+
+
+def _predict_bytes(node: int) -> bytes:
+    body = json.dumps({"node": int(node)}).encode()
+    return (
+        f"POST /predict HTTP/1.1\r\nHost: bench\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode() + body
+
+
+async def _client_loop(port: int, node_ids: np.ndarray, latencies: list) -> None:
+    """Closed-loop HTTP client: pre-encoded requests, minimal response parsing.
+
+    The load generator shares the server's process (and GIL), so client-side
+    CPU directly eats server throughput; the hot loop therefore skips JSON
+    decoding and reads each response head in a single ``readuntil``.
+    """
+    requests = [_predict_bytes(node) for node in node_ids]
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        for raw in requests:
+            start = time.perf_counter()
+            writer.write(raw)
+            head = await reader.readuntil(b"\r\n\r\n")
+            marker = head.index(b"Content-Length: ") + 16
+            length = int(head[marker : head.index(b"\r", marker)])
+            body = await reader.readexactly(length)
+            latencies.append(time.perf_counter() - start)
+            if not head.startswith(b"HTTP/1.1 200"):
+                raise AssertionError(f"predict failed: {head!r} {body!r}")
+    finally:
+        writer.close()
+
+
+async def _run_http_load(bundle: Path, window_ms: float) -> dict:
+    """One closed-loop HTTP measurement of the server at one batch window."""
+    server = ServingServer(
+        FrozenModel.load(bundle),
+        ServerConfig(
+            port=0,
+            replicas=REPLICAS,
+            batch_window_ms=window_ms,
+            max_batch_size=HTTP_CLIENTS,
+            max_queue_depth=4096,
+        ),
+    )
+    await server.start()
+    try:
+        port = server.port
+        rng = np.random.default_rng(int(window_ms * 10) + 1)
+        warm: list = []
+        await _client_loop(port, rng.integers(0, N_NODES, 8), warm)
+
+        latencies: list[float] = []
+        plans = [
+            rng.integers(0, N_NODES, HTTP_REQUESTS) for _ in range(HTTP_CLIENTS)
+        ]
+        start = time.perf_counter()
+        await asyncio.gather(
+            *[_client_loop(port, plan, latencies) for plan in plans]
+        )
+        elapsed = time.perf_counter() - start
+        stats = server.stats()["batcher"]
+        return {
+            "window_ms": window_ms,
+            "qps": len(latencies) / elapsed,
+            "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+            "p99_ms": float(np.percentile(latencies, 99) * 1e3),
+            "mean_batch": stats["mean_batch_size"],
+            "batches": stats["batches"],
+        }
+    finally:
+        await server.shutdown()
+
+
+async def _check_bit_identity(bundle: Path) -> int:
+    """Server responses must match a direct session bit-for-bit."""
+    local = InferenceSession(FrozenModel.load(bundle))
+    server = ServingServer(
+        FrozenModel.load(bundle), ServerConfig(port=0, replicas=2, batch_window_ms=2.0)
+    )
+    await server.start()
+    checked = 0
+    try:
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        rng = np.random.default_rng(3)
+        for _ in range(12 if QUICK else 40):
+            nodes = rng.integers(0, N_NODES, rng.integers(1, 6)).tolist()
+            for output in ("labels", "logits"):
+                _, payload = await _request(
+                    reader, writer, "POST", "/predict",
+                    {"nodes": nodes, "output": output},
+                )
+                expected = local.predict(nodes, output=output)
+                got = np.asarray(payload["result"], dtype=expected.dtype)
+                assert np.array_equal(got, expected), (
+                    f"server diverged from direct session on {nodes} ({output})"
+                )
+                checked += 1
+        writer.close()
+    finally:
+        await server.shutdown()
+    return checked
+
+
+async def _check_write_path(bundle: Path) -> dict:
+    """Reads keep succeeding while the single writer inserts and republishes."""
+    dataset = _dataset()
+    server = ServingServer(
+        FrozenModel.load(bundle), ServerConfig(port=0, replicas=2, batch_window_ms=2.0)
+    )
+    await server.start()
+    try:
+        port = server.port
+        rng = np.random.default_rng(11)
+
+        async def writes():
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            inserted = 0
+            for _ in range(3 if QUICK else 6):
+                rows = dataset.features[rng.choice(N_NODES, 2, replace=False)]
+                rows = rows + rng.normal(scale=0.05, size=rows.shape)
+                status, payload = await _request(
+                    reader, writer, "POST", "/insert", {"features": rows.tolist()}
+                )
+                assert status == 200, payload
+                inserted += len(payload["ids"])
+            writer.close()
+            return inserted
+
+        reads: list[float] = []
+        read_tasks = [
+            _client_loop(port, rng.integers(0, N_NODES, 30), reads)
+            for _ in range(4)
+        ]
+        inserted, *_ = await asyncio.gather(writes(), *read_tasks)
+        return {
+            "inserted": inserted,
+            "reads": len(reads),
+            "generation": server.pool.generation,
+        }
+    finally:
+        await server.shutdown()
+
+
+def main() -> None:
+    mode = "quick" if QUICK else "full"
+    print(f"serving benchmark ({mode} mode): n={N_NODES}, {REPLICAS} replica(s)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = _export_bundle(Path(tmp))
+
+        # -- Part 1: asserted micro-batching sweep ---------------------- #
+        batcher_table = ResultTable(
+            ["batch window (ms)", "QPS", "p50 (ms)", "p99 (ms)",
+             "mean batch", "batches"],
+            title=f"Micro-batcher: QPS vs batch window "
+                  f"({BATCHER_CLIENTS} concurrent clients, {REPLICAS} replica(s))",
+        )
+        batcher_rows = []
+        for window_ms in BATCHER_WINDOWS_MS:
+            row = asyncio.run(_run_batcher_load(bundle, window_ms))
+            batcher_rows.append(row)
+            batcher_table.add_row(
+                [window_ms, round(row["qps"], 1), round(row["p50_ms"], 3),
+                 round(row["p99_ms"], 3), row["mean_batch"], row["batches"]]
+            )
+        emit(batcher_table, "bench_serving_batcher",
+             extra={"mode": mode, "rows": batcher_rows})
+
+        # -- Part 2: HTTP end-to-end ------------------------------------ #
+        http_table = ResultTable(
+            ["batch window (ms)", "QPS", "p50 (ms)", "p99 (ms)",
+             "mean batch", "batches"],
+            title=f"HTTP end-to-end: latency vs batch window "
+                  f"({HTTP_CLIENTS} keep-alive clients, {REPLICAS} replica(s))",
+        )
+        http_rows = []
+        for window_ms in HTTP_WINDOWS_MS:
+            row = asyncio.run(_run_http_load(bundle, window_ms))
+            http_rows.append(row)
+            http_table.add_row(
+                [window_ms, round(row["qps"], 1), round(row["p50_ms"], 3),
+                 round(row["p99_ms"], 3), row["mean_batch"], row["batches"]]
+            )
+        emit(http_table, "bench_serving_http",
+             extra={"mode": mode, "rows": http_rows})
+
+        checked = asyncio.run(_check_bit_identity(bundle))
+        print(f"bit-identity: {checked} sampled responses match the direct session")
+
+        mixed = asyncio.run(_check_write_path(bundle))
+        print(f"write path: {mixed['inserted']} nodes inserted across "
+              f"{mixed['generation'] - 1} republishes while {mixed['reads']} "
+              f"concurrent reads succeeded")
+
+    baseline = batcher_rows[0]
+    best = max(batcher_rows[1:], key=lambda row: row["qps"])
+    speedup = best["qps"] / baseline["qps"]
+    assert speedup >= QPS_SPEEDUP_BAR, (
+        f"micro-batching only reached {speedup:.2f}x QPS over window=0 "
+        f"(bar: {QPS_SPEEDUP_BAR}x; window {best['window_ms']}ms: "
+        f"{best['qps']:.0f} vs {baseline['qps']:.0f} QPS)"
+    )
+    assert best["mean_batch"] >= BATCH_SIZE_BAR, (
+        f"mean batch size {best['mean_batch']} at {best['window_ms']}ms "
+        f"(bar: {BATCH_SIZE_BAR}) — coalescing is not happening"
+    )
+    http_speedup = max(r["qps"] for r in http_rows[1:]) / http_rows[0]["qps"]
+    print(
+        f"OK: {speedup:.2f}x QPS at a {best['window_ms']}ms batch window vs no "
+        f"batching (bar {QPS_SPEEDUP_BAR}x; {http_speedup:.2f}x end-to-end over "
+        f"HTTP), mean batch {best['mean_batch']}, responses bit-identical"
+    )
+
+
+if __name__ == "__main__":
+    main()

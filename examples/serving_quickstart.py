@@ -17,11 +17,18 @@ The script walks the full serving workflow of :mod:`repro.serving`:
    backend instead of being rebuilt;
 6. delete nodes online (lazy tombstoning), compact the session (physical
    shrink + old->new id remap) and install a background cluster
-   re-assignment policy that bounds frozen-membership staleness.
+   re-assignment policy that bounds frozen-membership staleness;
+7. put the bundle behind the batched HTTP front-end
+   (:class:`~repro.serving.ServingServer`) and drive it over a socket:
+   coalesced predicts, an online insert, operational stats.  Outside an
+   example, ``python -m repro.cli serve --bundle ...`` starts the same
+   server standalone.
 """
 
 from __future__ import annotations
 
+import asyncio
+import json
 import tempfile
 from pathlib import Path
 
@@ -126,6 +133,80 @@ def main() -> None:
         assert np.array_equal(restored.predict(), serving.predict())
         print(f"checkpointed the churned session: {checkpoint.name} "
               f"({checkpoint.stat().st_size / 1024:.0f} KiB), predictions match")
+
+        # 7. The HTTP front-end: a session pool of forked read replicas
+        #    behind a micro-batching request queue.  Concurrent single-node
+        #    predicts coalesce into one cached forward; writes go through
+        #    the single writer and republish to fresh replicas.
+        asyncio.run(_drive_http_server(checkpoint, dataset))
+
+
+async def _drive_http_server(bundle: Path, dataset) -> None:
+    from repro.serving import ServerConfig, ServingServer
+
+    server = ServingServer(
+        FrozenModel.load(bundle),
+        ServerConfig(port=0, replicas=2, batch_window_ms=2.0),
+    )
+    await server.start()
+    try:
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+
+        async def request(method: str, path: str, payload=None):
+            body = json.dumps(payload).encode() if payload is not None else b""
+            writer.write(
+                (f"{method} {path} HTTP/1.1\r\nHost: quickstart\r\n"
+                 f"Content-Length: {len(body)}\r\n\r\n").encode() + body
+            )
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            marker = head.index(b"Content-Length: ") + 16
+            length = int(head[marker:head.index(b"\r", marker)])
+            return json.loads(await reader.readexactly(length))
+
+        health = await request("GET", "/healthz")
+        print(f"HTTP server up on port {server.port}: {health}")
+
+        # Concurrent predicts (one connection each, like distinct clients)
+        # coalesce into micro-batches server-side.
+        async def lone_client(node: int):
+            lone_reader, lone_writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            try:
+                body = json.dumps({"node": node}).encode()
+                lone_writer.write(
+                    (f"POST /predict HTTP/1.1\r\nHost: quickstart\r\n"
+                     f"Content-Length: {len(body)}\r\n\r\n").encode() + body
+                )
+                await lone_writer.drain()
+                head = await lone_reader.readuntil(b"\r\n\r\n")
+                marker = head.index(b"Content-Length: ") + 16
+                length = int(head[marker:head.index(b"\r", marker)])
+                return json.loads(await lone_reader.readexactly(length))
+            finally:
+                lone_writer.close()
+
+        answers = await asyncio.gather(*[lone_client(node) for node in range(6)])
+        print(f"6 concurrent predicts -> labels "
+              f"{[answer['result'] for answer in answers]}")
+
+        # One more node joins over the wire; the response names its new id
+        # and the very next read already sees generation 2.
+        row = (dataset.features[0] + 0.01).tolist()
+        inserted = await request("POST", "/insert", {"features": [row]})
+        batched = await request(
+            "POST", "/predict", {"nodes": inserted["ids"], "output": "logits"}
+        )
+        stats = await request("GET", "/stats")
+        print(f"HTTP insert -> ids {inserted['ids']} at generation "
+              f"{inserted['generation']}; logits {batched['result']}")
+        print(f"server stats: {stats['batcher']['requests']} requests in "
+              f"{stats['batcher']['batches']} dispatches "
+              f"(mean batch {stats['batcher']['mean_batch_size']})")
+        writer.close()
+    finally:
+        await server.shutdown()
 
 
 if __name__ == "__main__":

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five sub-commands mirror the common workflows::
+Six sub-commands mirror the common workflows::
 
     python -m repro.cli datasets
     python -m repro.cli train   --dataset cora-cocitation --model dhgcn --epochs 150
@@ -9,6 +9,8 @@ Five sub-commands mirror the common workflows::
     python -m repro.cli export  --dataset cora-cocitation --model dhgnn \
                                 --epochs 150 --out bundle.npz
     python -m repro.cli predict --bundle bundle.npz --nodes 0 5 42 --output labels
+    python -m repro.cli serve   --bundle bundle.npz --replicas 2 \
+                                --batch-window-ms 2 --port 8100
 
 ``export`` trains a dynamic-topology model and writes a serving bundle
 (weights + resolved operators + incremental neighbour state, see
@@ -17,6 +19,12 @@ touching the training stack — a warm start performs zero k-NN distance
 computations — and exercises the online node lifecycle (``--delete`` to
 tombstone nodes, ``--compact`` to shrink the state and re-number ids,
 ``--reassign-clusters`` to refresh the cluster hyperedge memberships).
+``serve`` exposes a bundle over batched asyncio HTTP/JSON
+(:mod:`repro.serving.server`): concurrent ``POST /predict`` requests are
+coalesced into micro-batches off one cached forward, reads fan out over
+forked replica sessions, writes (``/insert``, ``/update``, ``/delete``,
+``/compact``, ``/reassign``) serialise through a single writer session and
+republish, and a bounded queue sheds overload with HTTP 429.
 
 The CLI intentionally stays thin: every command is a few calls into the public
 API, so scripts and notebooks can do exactly the same things programmatically.
@@ -182,6 +190,41 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument(
         "--stats", action="store_true", help="print session/cache statistics"
     )
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a bundle over HTTP with micro-batching and replicas"
+    )
+    serve.add_argument("--bundle", required=True, help="bundle written by export")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8100, help="0 picks a free port")
+    serve.add_argument(
+        "--replicas", type=int, default=2,
+        help="read-replica sessions forked from the single writer session",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="micro-batching window: concurrent predict requests arriving "
+        "within it are coalesced into one cached forward (0 disables)",
+    )
+    serve.add_argument(
+        "--max-batch-size", type=int, default=64,
+        help="cap on how many requests one coalesced batch may hold",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=1024,
+        help="admission control: pending requests beyond this are rejected "
+        "with HTTP 429 instead of queueing without bound",
+    )
+    serve.add_argument(
+        "--checkpoint", default=None,
+        help="after every write, atomically persist the published generation "
+        "as a warm-start bundle at this path (skipped while tombstones are "
+        "pending; compact to resume)",
+    )
+    serve.add_argument(
+        "--cluster-assignment", choices=("nearest", "frozen"), default="nearest",
+        help="cluster policy for nodes inserted through POST /insert",
+    )
     return parser
 
 
@@ -331,6 +374,48 @@ def _command_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving import FrozenModel
+    from repro.serving.server import ServerConfig, ServingServer
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        replicas=args.replicas,
+        batch_window_ms=args.batch_window_ms,
+        max_batch_size=args.max_batch_size,
+        max_queue_depth=args.max_queue_depth,
+        checkpoint_path=args.checkpoint,
+        cluster_assignment=args.cluster_assignment,
+    )
+    frozen = FrozenModel.load(args.bundle)
+
+    async def run() -> None:
+        server = ServingServer(frozen, config)
+        await server.start()
+        print(
+            f"serving {args.bundle} on http://{config.host}:{server.port} "
+            f"({config.replicas} replicas, {config.batch_window_ms}ms batch window, "
+            f"queue depth {config.max_queue_depth})",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("draining...", file=sys.stderr)
+            await server.shutdown()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -344,6 +429,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_export(args)
     if args.command == "predict":
         return _command_predict(args)
+    if args.command == "serve":
+        return _command_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

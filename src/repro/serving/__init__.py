@@ -13,7 +13,13 @@ The serving layer turns a trained model into a deployable artefact:
   updates, insertion, deletion (lazy tombstoning), compaction (physical
   shrink + id remap) and periodic cluster re-assignment; a churned session
   freezes back into a bundleable model with
-  :meth:`InferenceSession.to_frozen`.
+  :meth:`InferenceSession.to_frozen` and fans out to read replicas with
+  :meth:`InferenceSession.fork`;
+* :class:`ServingServer` (``repro.serving.server``) — a batched asyncio
+  HTTP/JSON front-end: a micro-batching request queue over a
+  :class:`SessionPool` of forked read replicas, a single-writer mutation
+  path that republishes after every write, and admission control with
+  graceful drain.  ``python -m repro.cli serve --bundle ...`` starts one.
 
 Quickstart (see ``examples/serving_quickstart.py``)::
 
@@ -36,13 +42,25 @@ from repro.serving.frozen import (
     backend_from_cache_key,
     prime_backend,
 )
+from repro.serving.server import (
+    MicroBatcher,
+    ServerConfig,
+    ServerOverloadedError,
+    ServingServer,
+    SessionPool,
+)
 from repro.serving.session import InferenceSession
 from repro.serving.store import OperatorStore, pack_hypergraph, unpack_hypergraph
 
 __all__ = [
     "FrozenModel",
     "InferenceSession",
+    "MicroBatcher",
     "OperatorStore",
+    "ServerConfig",
+    "ServerOverloadedError",
+    "ServingServer",
+    "SessionPool",
     "TopologySlot",
     "backend_from_cache_key",
     "pack_hypergraph",

@@ -1,0 +1,652 @@
+"""Batched asyncio HTTP serving front-end over :class:`InferenceSession`.
+
+The in-process serving story (:class:`~repro.serving.FrozenModel` +
+:class:`~repro.serving.InferenceSession`) stops at a Python API; production
+traffic needs a process boundary.  This module provides it as three layers,
+mirroring the queue/worker split of distributed-GNN serving stacks:
+
+* :class:`SessionPool` — one **writer** session plus N forked **read
+  replicas** of a single frozen model.  PR 5's session isolation (private
+  plan, features, engine, cache and neighbour state per session) is what
+  makes replicas safe.  All mutations are serialised through the writer; a
+  *publish* then refreshes the writer's topology exactly once and fans the
+  refreshed state out to a brand-new replica set via
+  :meth:`InferenceSession.fork` — replicas inherit the cached forward, so a
+  swap costs no replica-side forward or k-NN work.  With a checkpoint path
+  configured, every publish of a tombstone-free writer also persists the
+  current state as a bundle through the (atomic-write)
+  :class:`~repro.serving.OperatorStore`, so a restarted server warm-starts
+  from the last published generation;
+* :class:`MicroBatcher` — a bounded asyncio request queue that coalesces
+  concurrent predict requests arriving within ``batch_window_ms`` into one
+  :meth:`InferenceSession.predict_batch` call on one replica.  Batching
+  amortises the per-request event-loop → worker-thread round-trip; a window
+  of ``0`` disables coalescing (every request is its own dispatch).
+  Admission control: once ``max_queue_depth`` requests are pending, further
+  requests are rejected immediately (HTTP 429) instead of growing the queue
+  without bound;
+* :class:`ServingServer` — a dependency-free asyncio HTTP/1.1 (keep-alive)
+  front-end speaking JSON.  ``POST /predict`` is coalesced through the
+  batcher; ``POST /insert|update|delete|compact|reassign`` take the single
+  writer path and republish; ``GET /healthz`` and ``GET /stats`` serve
+  operational state.  Shutdown drains: new requests get 503, queued and
+  in-flight batches finish, then the sockets close.
+
+Responses are **bit-identical** to calling the underlying session directly:
+the server only ever slices the same cached forward a local
+``session.predict`` would.  Start one from the CLI::
+
+    python -m repro.cli serve --bundle bundle.npz --replicas 2 --port 8100
+
+or programmatically (see ``benchmarks/bench_serving.py``)::
+
+    server = ServingServer(FrozenModel.load("bundle.npz"),
+                           ServerConfig(port=0, batch_window_ms=2.0))
+    await server.start()
+    ...
+    await server.shutdown()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import asynccontextmanager, suppress
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.serving.frozen import FrozenModel
+from repro.serving.session import InferenceSession
+
+__all__ = [
+    "MicroBatcher",
+    "ServerConfig",
+    "ServerOverloadedError",
+    "ServingServer",
+    "SessionPool",
+]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ServerOverloadedError(Exception):
+    """The request queue is at ``max_queue_depth``; try again later (429)."""
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy containers into JSON-serialisable builtins."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of the serving front-end.
+
+    ``batch_window_ms`` is the micro-batching window: the first queued
+    predict request opens a batch, requests arriving within the window join
+    it (up to ``max_batch_size``), and the whole batch is answered from one
+    cached forward by one replica.  ``0`` disables coalescing.
+    ``max_queue_depth`` bounds the number of queued-but-unanswered predict
+    requests; beyond it the server sheds load with HTTP 429.  ``replicas``
+    sets the read-replica count (the writer session is separate);
+    ``drain_timeout_s`` caps how long shutdown waits for in-flight work.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8100
+    replicas: int = 2
+    batch_window_ms: float = 2.0
+    max_batch_size: int = 64
+    max_queue_depth: int = 1024
+    drain_timeout_s: float = 10.0
+    cluster_assignment: str = "nearest"
+    checkpoint_path: str | Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {self.replicas}")
+        if self.batch_window_ms < 0:
+            raise ConfigurationError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
+        if self.max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_queue_depth < 1:
+            raise ConfigurationError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+
+
+class _Replica:
+    """One read session plus the lock serialising access to it."""
+
+    __slots__ = ("session", "lock", "served")
+
+    def __init__(self, session: InferenceSession) -> None:
+        self.session = session
+        self.lock = asyncio.Lock()
+        self.served = 0
+
+
+class SessionPool:
+    """A writer session and N read replicas over one frozen model.
+
+    Reads round-robin over the replicas (preferring an idle one); writes are
+    applied to the writer only, then :meth:`publish` refreshes the writer's
+    topology once and swaps in a freshly forked replica set.  In-flight read
+    batches keep their pre-swap replica until they finish — readers always
+    serve a complete, immutable generation, never a half-mutated one.
+    """
+
+    def __init__(
+        self,
+        frozen: FrozenModel,
+        *,
+        replicas: int = 2,
+        cluster_assignment: str = "nearest",
+        checkpoint_path: str | Path | None = None,
+    ) -> None:
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
+        self.n_replicas = int(replicas)
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self.writer = InferenceSession(frozen, cluster_assignment=cluster_assignment)
+        self.generation = 0
+        self.checkpoints = 0
+        self._counter = 0
+        self._replicas: list[_Replica] = []
+        self.publish()
+
+    # -- read path ----------------------------------------------------- #
+    def _pick(self) -> _Replica:
+        replicas = self._replicas
+        start = self._counter
+        self._counter = (self._counter + 1) % len(replicas)
+        for offset in range(len(replicas)):
+            replica = replicas[(start + offset) % len(replicas)]
+            if not replica.lock.locked():
+                return replica
+        return replicas[start % len(replicas)]
+
+    @asynccontextmanager
+    async def acquire(self):
+        """Borrow one read replica (round-robin, preferring an idle one)."""
+        replica = self._pick()
+        async with replica.lock:
+            replica.served += 1
+            yield replica.session
+
+    # -- write path ---------------------------------------------------- #
+    def publish(self) -> None:
+        """Refresh the writer once and fan its state out to new replicas.
+
+        The writer's (single) scoped refresh + forward happens here; the
+        forked replicas inherit the refreshed operators, features and the
+        cached forward, so the fan-out itself performs no further topology
+        or forward work.  When a checkpoint path is configured and the
+        writer carries no tombstones, the published generation is also
+        persisted as a warm-start bundle (atomically — replicas or restarted
+        servers can never observe a torn archive).
+        """
+        self.writer.predict()  # one refresh + forward for the whole fleet
+        self._replicas = [
+            _Replica(self.writer.fork(seed_cache=False))
+            for _ in range(self.n_replicas)
+        ]
+        self.generation += 1
+        if self.checkpoint_path is not None and self.writer.n_alive == self.writer.n_nodes:
+            self.writer.to_frozen().save(self.checkpoint_path)
+            self.checkpoints += 1
+
+    def insert(self, features: Any) -> dict[str, Any]:
+        ids = self.writer.insert_nodes(np.asarray(features, dtype=np.float64))
+        self.publish()
+        return {"ids": ids, "n_alive": self.writer.n_alive}
+
+    def update(self, nodes: Any, features: Any) -> dict[str, Any]:
+        self.writer.update_features(nodes, np.asarray(features, dtype=np.float64))
+        self.publish()
+        return {"updated": int(np.atleast_1d(np.asarray(nodes)).size)}
+
+    def delete(self, nodes: Any) -> dict[str, Any]:
+        self.writer.delete_nodes(nodes)
+        self.publish()
+        return {
+            "n_alive": self.writer.n_alive,
+            "tombstones": self.writer.n_nodes - self.writer.n_alive,
+        }
+
+    def compact(self) -> dict[str, Any]:
+        remap = self.writer.compact()
+        self.publish()
+        return {"remap": remap, "n_nodes": self.writer.n_nodes}
+
+    def reassign(self) -> dict[str, Any]:
+        moves = self.writer.reassign_clusters()
+        self.publish()
+        return {"moves": int(moves)}
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "generation": self.generation,
+            "replicas": self.n_replicas,
+            "served_per_replica": [replica.served for replica in self._replicas],
+            "checkpoints": self.checkpoints,
+            "writer": {
+                "n_nodes": self.writer.n_nodes,
+                "n_alive": self.writer.n_alive,
+                "refreshes": self.writer.refreshes,
+                "forwards": self.writer.forwards,
+                "compactions": self.writer.compactions,
+            },
+        }
+
+
+class MicroBatcher:
+    """Coalesces concurrent predict requests into ``predict_batch`` calls.
+
+    Requests enter a bounded FIFO; a dispatcher task opens a batch with the
+    oldest request, waits up to the batch window for more to join (up to the
+    batch-size cap), then answers the whole batch from **one** replica with
+    one event-loop → worker-thread round-trip.  Per-request validation
+    errors come back as per-request exceptions (the session validates the
+    batch up front), so one bad request never fails its batch-mates.
+    """
+
+    def __init__(
+        self,
+        pool: SessionPool,
+        executor: ThreadPoolExecutor,
+        *,
+        window_s: float,
+        max_batch_size: int,
+        max_queue_depth: int,
+    ) -> None:
+        self.pool = pool
+        self.executor = executor
+        self.window_s = float(window_s)
+        self.max_batch_size = int(max_batch_size)
+        self.max_queue_depth = int(max_queue_depth)
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._tasks: set[asyncio.Task] = set()
+        self._dispatcher: asyncio.Task | None = None
+        self.pending = 0
+        self.requests = 0
+        self.rejected = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_observed = 0
+
+    def start(self) -> None:
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def stop(self, *, drain_timeout_s: float = 10.0) -> None:
+        """Finish queued and in-flight work, then stop the dispatcher."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + drain_timeout_s
+        while (self.pending or self._tasks) and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            with suppress(asyncio.CancelledError):
+                await self._dispatcher
+            self._dispatcher = None
+
+    async def submit(self, request: Mapping[str, Any]) -> Any:
+        """Queue one predict request; resolves to its result (or raises).
+
+        Raises :class:`ServerOverloadedError` immediately when the queue is
+        at ``max_queue_depth`` — load is shed at admission, not after the
+        client has already waited.
+        """
+        if self.pending >= self.max_queue_depth:
+            self.rejected += 1
+            raise ServerOverloadedError(
+                f"request queue is full ({self.max_queue_depth} pending)"
+            )
+        future = asyncio.get_running_loop().create_future()
+        self.pending += 1
+        self.requests += 1
+        self._queue.put_nowait((request, future))
+        return await future
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            if self.window_s > 0:
+                deadline = loop.time() + self.window_s
+                while len(batch) < self.max_batch_size:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(self._queue.get(), remaining)
+                        )
+                    except asyncio.TimeoutError:
+                        break
+            task = asyncio.create_task(self._run_batch(batch))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _run_batch(self, batch: list) -> None:
+        loop = asyncio.get_running_loop()
+        requests = [request for request, _ in batch]
+        try:
+            async with self.pool.acquire() as session:
+                results = await loop.run_in_executor(
+                    self.executor,
+                    partial(session.predict_batch, requests, on_error="return"),
+                )
+        except Exception as error:  # replica died: fail the whole batch
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(error)
+        else:
+            for (_, future), result in zip(batch, results):
+                if future.done():
+                    continue
+                if isinstance(result, ConfigurationError):
+                    future.set_exception(result)
+                else:
+                    future.set_result(result)
+        finally:
+            self.pending -= len(batch)
+            self.batches += 1
+            self.batched_requests += len(batch)
+            self.max_batch_observed = max(self.max_batch_observed, len(batch))
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "pending": self.pending,
+            "mean_batch_size": (
+                round(self.batched_requests / self.batches, 3) if self.batches else 0.0
+            ),
+            "max_batch_size": self.max_batch_observed,
+        }
+
+
+class ServingServer:
+    """Asyncio HTTP/JSON front-end over a :class:`SessionPool`.
+
+    Routes (all bodies and responses are JSON):
+
+    ========  ==============  ====================================================
+    method    path            body → response
+    ========  ==============  ====================================================
+    GET       ``/healthz``    → ``{"status", "generation", "n_alive"}``
+    GET       ``/stats``      → server / batcher / pool statistics
+    POST      ``/predict``    ``{"node": 3}`` or ``{"nodes": [...]|null,
+                              "output": "labels"|"logits"|"embeddings"}``
+                              → ``{"result", "generation"}`` (coalesced)
+    POST      ``/insert``     ``{"features": [[...], ...]}`` → ``{"ids"}``
+    POST      ``/update``     ``{"nodes": [...], "features": [[...]]}``
+    POST      ``/delete``     ``{"nodes": [...]}`` → ``{"n_alive"}``
+    POST      ``/compact``    ``{}`` → ``{"remap"}``
+    POST      ``/reassign``   ``{}`` → ``{"moves"}``
+    ========  ==============  ====================================================
+
+    Error mapping: invalid request → 400 with ``{"error": ...}`` (scoped to
+    the one request even inside a coalesced batch), queue full → 429,
+    draining → 503, unknown path → 404.
+    """
+
+    def __init__(self, frozen: FrozenModel | str | Path, config: ServerConfig | None = None):
+        if not isinstance(frozen, FrozenModel):
+            frozen = FrozenModel.load(frozen)
+        self.config = config or ServerConfig()
+        self.pool = SessionPool(
+            frozen,
+            replicas=self.config.replicas,
+            cluster_assignment=self.config.cluster_assignment,
+            checkpoint_path=self.config.checkpoint_path,
+        )
+        # One worker per replica plus a dedicated slot for the write path,
+        # so a publish can never deadlock behind a full read fleet.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.replicas + 1, thread_name_prefix="repro-serve"
+        )
+        self.batcher = MicroBatcher(
+            self.pool,
+            self._executor,
+            window_s=self.config.batch_window_ms / 1000.0,
+            max_batch_size=self.config.max_batch_size,
+            max_queue_depth=self.config.max_queue_depth,
+        )
+        self._write_lock = asyncio.Lock()
+        self._server: asyncio.base_events.Server | None = None
+        self._draining = False
+        self.connections = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` for an ephemeral one)."""
+        if self._server is None:
+            raise ConfigurationError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the dispatcher."""
+        if self._server is not None:
+            raise ConfigurationError("server is already started")
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: reject new work, finish in-flight, close sockets.
+
+        New requests receive 503 the moment draining starts; everything
+        already admitted to the queue (and every in-flight batch) is served
+        before the dispatcher stops, bounded by ``drain_timeout_s``.
+        """
+        self._draining = True
+        await self.batcher.stop(drain_timeout_s=self.config.drain_timeout_s)
+        if self._server is not None:
+            self._server.close()
+            with suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._server.wait_closed(), timeout=1.0)
+            self._server = None
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "draining": self._draining,
+            "connections": self.connections,
+            "batcher": self.batcher.stats(),
+            "pool": self.pool.stats(),
+            "config": {
+                "replicas": self.config.replicas,
+                "batch_window_ms": self.config.batch_window_ms,
+                "max_batch_size": self.config.max_batch_size,
+                "max_queue_depth": self.config.max_queue_depth,
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        try:
+            while True:
+                # One read for the whole head (request line + headers): the
+                # predict hot path is CPU-bound on header parsing under load,
+                # so avoid a coroutine round-trip per header line.
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                except asyncio.LimitOverrunError:
+                    await self._respond(writer, 400, {"error": "headers too large"})
+                    break
+                except asyncio.CancelledError:
+                    # Loop teardown while parked on a keep-alive connection:
+                    # close quietly instead of surfacing the cancellation.
+                    break
+                request_line, _, header_block = head.decode("latin-1").partition("\r\n")
+                parts = request_line.split()
+                if len(parts) != 3:
+                    await self._respond(writer, 400, {"error": "malformed request line"})
+                    break
+                method, target, _version = parts
+                headers: dict[str, str] = {}
+                for line in header_block.split("\r\n"):
+                    if not line:
+                        continue
+                    name, _, value = line.partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    await self._respond(writer, 400, {"error": "bad content-length"})
+                    break
+                body = b""
+                if length:
+                    try:
+                        body = await reader.readexactly(length)
+                    except asyncio.IncompleteReadError:
+                        break
+                status, payload = await self._route(method, target.partition("?")[0], body)
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                await self._respond(writer, status, payload, keep_alive=keep_alive)
+                if not keep_alive:
+                    break
+        finally:
+            self.connections -= 1
+            writer.close()
+            with suppress(Exception):
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        *,
+        keep_alive: bool = False,
+    ) -> None:
+        data = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + data)
+        with suppress(ConnectionResetError, BrokenPipeError):
+            await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        try:
+            if method == "GET":
+                if path in ("/healthz", "/health"):
+                    return 200, {
+                        "status": "draining" if self._draining else "ok",
+                        "generation": self.pool.generation,
+                        "n_alive": self.pool.writer.n_alive,
+                    }
+                if path == "/stats":
+                    return 200, _jsonable(self.stats())
+                return 404, {"error": f"unknown path {path!r}"}
+            if method != "POST":
+                return 405, {"error": f"unsupported method {method!r}"}
+            if self._draining:
+                return 503, {"error": "server is draining"}
+            try:
+                payload = json.loads(body.decode() or "{}")
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                return 400, {"error": f"invalid JSON body: {error}"}
+            if not isinstance(payload, Mapping):
+                return 400, {"error": "request body must be a JSON object"}
+            if path == "/predict":
+                return await self._route_predict(payload)
+            if path in ("/insert", "/update", "/delete", "/compact", "/reassign"):
+                return await self._route_write(path, payload)
+            return 404, {"error": f"unknown path {path!r}"}
+        except ServerOverloadedError as error:
+            return 429, {"error": str(error)}
+        except ConfigurationError as error:
+            return 400, {"error": str(error)}
+        except Exception as error:  # pragma: no cover - defensive
+            return 500, {"error": f"{type(error).__name__}: {error}"}
+
+    async def _route_predict(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
+        if "node" in payload and "nodes" not in payload:
+            nodes: Any = payload["node"]
+        else:
+            nodes = payload.get("nodes")
+        request = {"nodes": nodes, "output": payload.get("output", "labels")}
+        try:
+            result = await self.batcher.submit(request)
+        except ConfigurationError as error:
+            return 400, {"error": str(error)}
+        return 200, {"result": _jsonable(result), "generation": self.pool.generation}
+
+    async def _route_write(self, path: str, payload: Mapping[str, Any]) -> tuple[int, dict]:
+        loop = asyncio.get_running_loop()
+        if path == "/insert":
+            if "features" not in payload:
+                return 400, {"error": "/insert needs a 'features' matrix"}
+            call = partial(self.pool.insert, payload["features"])
+        elif path == "/update":
+            if "nodes" not in payload or "features" not in payload:
+                return 400, {"error": "/update needs 'nodes' and 'features'"}
+            call = partial(self.pool.update, payload["nodes"], payload["features"])
+        elif path == "/delete":
+            if "nodes" not in payload:
+                return 400, {"error": "/delete needs 'nodes'"}
+            call = partial(self.pool.delete, payload["nodes"])
+        elif path == "/compact":
+            call = self.pool.compact
+        else:
+            call = self.pool.reassign
+        async with self._write_lock:
+            result = await loop.run_in_executor(self._executor, call)
+        result = dict(result)
+        result["generation"] = self.pool.generation
+        return 200, _jsonable(result)

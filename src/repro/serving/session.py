@@ -70,6 +70,31 @@ from repro.serving.frozen import FrozenModel, TopologySlot, _DHGCNPlan, _ModuleP
 _OUTPUTS = ("labels", "logits", "embeddings")
 
 
+def _node_index(nodes: Any, context: str) -> np.ndarray:
+    """``nodes`` as a 1-D ``int64`` array, rejecting non-integer dtypes.
+
+    A bare ``np.asarray(nodes, dtype=np.int64)`` would silently truncate a
+    float id like ``3.7`` to node 3 — a wrong answer, not an error.  Any
+    non-integer input dtype (float, bool, strings, mixed objects) raises a
+    :class:`~repro.errors.ConfigurationError` naming the offending values;
+    the fractional ones are listed first when there are any.
+    """
+    index = np.atleast_1d(np.asarray(nodes))
+    if index.size and not np.issubdtype(index.dtype, np.integer):
+        offending = index
+        if np.issubdtype(index.dtype, np.floating):
+            fractional = index[index != np.floor(index)]
+            if fractional.size:
+                offending = fractional
+        preview = offending.ravel()[:8].tolist()
+        suffix = ", ..." if offending.size > 8 else ""
+        raise ConfigurationError(
+            f"{context} node ids must be integers, got dtype {index.dtype} "
+            f"with values {preview}{suffix}"
+        )
+    return index.astype(np.int64, copy=False)
+
+
 def _clone_incremental(backend: IncrementalBackend) -> IncrementalBackend:
     """Private copy of an incremental backend including its cached states."""
     clone = IncrementalBackend(
@@ -82,7 +107,7 @@ def _clone_incremental(backend: IncrementalBackend) -> IncrementalBackend:
     return clone
 
 
-def _seeded_private_cache(source: OperatorCache) -> OperatorCache:
+def _seeded_private_cache(source: OperatorCache, *, seed: bool = True) -> OperatorCache:
     """A fresh cache with ``source``'s budgets, seeded with its entries."""
     cache = OperatorCache(
         source.max_entries,
@@ -90,7 +115,8 @@ def _seeded_private_cache(source: OperatorCache) -> OperatorCache:
         max_neighbor_entries=source.max_neighbor_entries,
         enabled=source.enabled,
     )
-    cache.seed_entries(source.export_entries())
+    if seed:
+        cache.seed_entries(source.export_entries())
     return cache
 
 
@@ -223,33 +249,23 @@ class InferenceSession:
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
-    def predict(
-        self, nodes: int | Sequence[int] | None = None, *, output: str = "labels"
-    ) -> np.ndarray:
-        """Predictions for ``nodes`` (``None`` = every alive node).
+    def _validate_request(
+        self, nodes: Any, output: str
+    ) -> tuple[np.ndarray | None, str, bool]:
+        """Validate one query without computing anything.
 
-        ``output`` selects ``"labels"`` (argmax class ids), ``"logits"`` or
-        ``"embeddings"`` (the final layer's input representation).  Requests
-        between mutations share one cached full-batch forward.  Deleted node
-        ids raise :class:`~repro.errors.ConfigurationError`; with ``None``
-        the rows follow :attr:`alive_ids` order.
+        Returns ``(index, output, scalar)`` where ``index`` is ``None`` for a
+        whole-set query and ``scalar`` says whether to unwrap a single row.
+        Validation needs no refresh: the node set and tombstones only change
+        through mutations, never through the refresh itself.
         """
         if output not in _OUTPUTS:
             raise ConfigurationError(f"output must be one of {_OUTPUTS}, got {output!r}")
-        self._ensure_fresh()
-        if output == "embeddings":
-            if isinstance(self.plan, _ModulePlan):
-                raise ConfigurationError(
-                    "embeddings need a compiled DHGNN/DHGCN plan"
-                )
-            full = self._layer_inputs[-1]
-        elif output == "logits":
-            full = self._logits
-        else:
-            full = np.argmax(self._logits, axis=1)
+        if output == "embeddings" and isinstance(self.plan, _ModulePlan):
+            raise ConfigurationError("embeddings need a compiled DHGNN/DHGCN plan")
         if nodes is None:
-            return full[~self._deleted]
-        index = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+            return None, output, False
+        index = _node_index(nodes, "predict")
         if index.size and (index.min() < 0 or index.max() >= self.n_nodes):
             raise ConfigurationError(
                 f"node ids must be in [0, {self.n_nodes}), got {nodes!r}"
@@ -259,26 +275,81 @@ class InferenceSession:
             raise ConfigurationError(
                 f"nodes {np.unique(dead).tolist()} have been deleted"
             )
+        return index, output, bool(np.isscalar(nodes) or np.ndim(nodes) == 0)
+
+    def _answer(self, index: np.ndarray | None, output: str, scalar: bool) -> np.ndarray:
+        """Slice one validated request out of the cached forward."""
+        if output == "embeddings":
+            full = self._layer_inputs[-1]
+        elif output == "logits":
+            full = self._logits
+        else:
+            full = np.argmax(self._logits, axis=1)
+        if index is None:
+            return full[~self._deleted]
         result = full[index]
-        return result[0] if np.isscalar(nodes) or np.ndim(nodes) == 0 else result
+        return result[0] if scalar else result
+
+    def predict(
+        self, nodes: int | Sequence[int] | None = None, *, output: str = "labels"
+    ) -> np.ndarray:
+        """Predictions for ``nodes`` (``None`` = every alive node).
+
+        ``output`` selects ``"labels"`` (argmax class ids), ``"logits"`` or
+        ``"embeddings"`` (the final layer's input representation).  Requests
+        between mutations share one cached full-batch forward.  Deleted and
+        non-integer node ids raise :class:`~repro.errors.ConfigurationError`;
+        with ``None`` the rows follow :attr:`alive_ids` order.
+        """
+        request = self._validate_request(nodes, output)
+        self._ensure_fresh()
+        return self._answer(*request)
+
+    @staticmethod
+    def _parse_request(request: Mapping[str, Any] | Sequence[int] | None) -> tuple[Any, str]:
+        """Split a batch entry into its ``(nodes, output)`` pair."""
+        if isinstance(request, Mapping):
+            return request.get("nodes"), request.get("output", "labels")
+        return request, "labels"
 
     def predict_batch(
-        self, requests: Iterable[Mapping[str, Any] | Sequence[int] | None]
-    ) -> list[np.ndarray]:
+        self,
+        requests: Iterable[Mapping[str, Any] | Sequence[int] | None],
+        *,
+        on_error: str = "raise",
+    ) -> list[np.ndarray | ConfigurationError]:
         """Micro-batched requests: one forward pass serves every entry.
 
         Each request is either a node subset (sequence / ``None`` for all) or
-        a mapping ``{"nodes": ..., "output": ...}``.
+        a mapping ``{"nodes": ..., "output": ...}``.  Every request is
+        validated **up front**, before anything is computed, so one bad entry
+        (deleted / out-of-range / non-integer id, unknown output) can never
+        poison a half-evaluated batch.  With ``on_error="raise"`` (default)
+        the first invalid request raises; with ``on_error="return"`` the
+        result list carries the :class:`~repro.errors.ConfigurationError`
+        itself at that request's position while every valid entry is still
+        answered — a serving front-end maps one bad client request to one
+        error response instead of failing the coalesced batch.
         """
-        results = []
+        if on_error not in ("raise", "return"):
+            raise ConfigurationError(
+                f"on_error must be 'raise' or 'return', got {on_error!r}"
+            )
+        parsed: list[tuple[np.ndarray | None, str, bool] | ConfigurationError] = []
         for request in requests:
-            if isinstance(request, Mapping):
-                results.append(
-                    self.predict(request.get("nodes"), output=request.get("output", "labels"))
-                )
-            else:
-                results.append(self.predict(request))
-        return results
+            nodes, output = self._parse_request(request)
+            try:
+                parsed.append(self._validate_request(nodes, output))
+            except ConfigurationError as error:
+                if on_error == "raise":
+                    raise
+                parsed.append(error)
+        if any(not isinstance(entry, ConfigurationError) for entry in parsed):
+            self._ensure_fresh()
+        return [
+            entry if isinstance(entry, ConfigurationError) else self._answer(*entry)
+            for entry in parsed
+        ]
 
     # ------------------------------------------------------------------ #
     # Online mutation
@@ -306,7 +377,7 @@ class InferenceSession:
         topology stale).  Duplicate ids and tombstoned targets raise
         :class:`~repro.errors.ConfigurationError`.
         """
-        index = np.atleast_1d(np.asarray(node_ids, dtype=np.int64))
+        index = _node_index(node_ids, "update_features")
         values = np.atleast_2d(np.asarray(values)).astype(self.frozen.dtype, copy=False)
         if index.size == 0 and values.size == 0:
             return
@@ -379,7 +450,7 @@ class InferenceSession:
             raise ConfigurationError(
                 "online deletion needs a compiled DHGNN/DHGCN plan"
             )
-        index = np.atleast_1d(np.asarray(node_ids, dtype=np.int64))
+        index = _node_index(node_ids, "delete_nodes")
         if index.size == 0:
             return
         self._validate_mutation_ids(index, "delete_nodes")
@@ -567,6 +638,70 @@ class InferenceSession:
             engine=engine,
             meta=dict(self.frozen.meta),
         )
+
+    def fork(self, *, seed_cache: bool = True) -> "InferenceSession":
+        """An independent copy of the session's **current** serving state.
+
+        Unlike ``InferenceSession(self.to_frozen())`` this works mid-lifecycle
+        — tombstones, pending movers and the cached forward all carry over —
+        and costs one feature-matrix copy plus a plan clone (the refreshed
+        CSR operators and weights are immutable and stay shared).  A freshly
+        refreshed parent therefore forks replicas that answer immediately,
+        without re-running a forward: the session-pool fan-out a serving
+        front-end performs after every write.  The fork follows the same
+        isolation contract as constructing a session: private plan slots,
+        feature matrix, tombstone state, refresh engine and (for the built-in
+        incremental backend) neighbour state; custom backend instances pass
+        through shared.  With ``seed_cache=False`` the fork starts with an
+        empty operator cache (same budgets) — useful when a pool fans the
+        current operators out explicitly through an
+        :class:`~repro.serving.OperatorStore` instead of inheriting the whole
+        cache history.  Counters (``forwards``/``refreshes``/...) restart at
+        zero.
+        """
+        clone = InferenceSession.__new__(InferenceSession)
+        clone.cluster_assignment = self.cluster_assignment
+        clone.frozen = self.frozen
+        clone.plan = self.plan.clone()
+        backend = self.backend
+        if isinstance(backend, IncrementalBackend):
+            backend = _clone_incremental(backend)
+        clone.engine = TopologyRefreshEngine(
+            cache=_seeded_private_cache(self.engine.cache, seed=seed_cache),
+            block_size=self.engine.block_size,
+            backend=backend,
+        )
+        clone.backend = backend
+        clone._features = self._features.copy()
+        clone._moved = self._moved.copy()
+        clone._deleted = self._deleted.copy()
+        clone._state_ids = self._state_ids.copy()
+        clone._inserted = self._inserted
+        clone._deleted_version = self._deleted_version
+        clone._mask_memo = dict(self._mask_memo)
+        clone._masked_static = self._masked_static
+        clone._stale_topology = self._stale_topology
+        clone._stale_outputs = self._stale_outputs
+        if self._layer_inputs is None:
+            clone._layer_inputs = None
+        else:
+            # Layer 0's input aliases the parent's feature matrix, which the
+            # parent keeps mutating in place — re-point it at the copy.
+            clone._layer_inputs = [
+                clone._features if array is self._features else array
+                for array in self._layer_inputs
+            ]
+        clone._logits = self._logits
+        clone._slots = {slot.position: slot for slot in clone.plan.slots}
+        clone._reassign_every = self._reassign_every
+        clone._refreshes_since_reassign = self._refreshes_since_reassign
+        clone._reassign_pending = self._reassign_pending
+        clone._reassign_moves = self._reassign_moves
+        clone.forwards = 0
+        clone.refreshes = 0
+        clone.compactions = 0
+        clone.reassignments = 0
+        return clone
 
     # ------------------------------------------------------------------ #
     # Refresh pipeline

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import ast
 import json
+import os
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -140,7 +141,15 @@ class OperatorStore:
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, path: str | Path) -> Path:
-        """Write the store as one compressed ``.npz`` archive."""
+        """Write the store as one compressed ``.npz`` archive.
+
+        The write is **atomic**: the archive is assembled in a temporary file
+        in the destination directory and :func:`os.replace`\\ d into place, so
+        a crash (or kill) mid-write can never leave a truncated, unloadable
+        bundle at ``path`` — readers see either the previous complete archive
+        or the new one.  Serving replicas that warm-start from a bundle a
+        writer process republishes depend on this.
+        """
         path = Path(path)
         if path.suffix != ".npz":
             path = path.with_suffix(path.suffix + ".npz")
@@ -160,7 +169,16 @@ class OperatorStore:
             "meta": self.meta,
         }
         arrays["__manifest__"] = np.asarray(json.dumps(manifest))
-        np.savez_compressed(path, **arrays)
+        temp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+        try:
+            # A file handle keeps numpy from appending a second ``.npz``.
+            with open(temp, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, path)
+        finally:
+            temp.unlink(missing_ok=True)
         return path
 
     @classmethod

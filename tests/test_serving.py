@@ -778,6 +778,69 @@ class TestSessionBugfixes:
         session.predict()
         assert session.refreshes == refreshes
 
+    def test_non_integer_node_ids_rejected(self, tiny_citation_dataset, tmp_path):
+        # float 3.7 used to be silently truncated to node 3 by the astype
+        # coercion; now every non-integer id dtype is a loud error that names
+        # the offending values.
+        dataset = tiny_citation_dataset
+        session = InferenceSession(FrozenModel.load(self._bundle(dataset, tmp_path)))
+        with pytest.raises(ConfigurationError, match=r"3\.7"):
+            session.predict(3.7)
+        with pytest.raises(ConfigurationError, match=r"1\.5"):
+            session.predict([0, 1.5, 2])
+        # Integral-valued floats are still the wrong dtype: reject them too
+        # rather than guessing the caller's intent.
+        with pytest.raises(ConfigurationError, match="must be integers"):
+            session.predict(np.array([1.0, 2.0]))
+        with pytest.raises(ConfigurationError, match="must be integers"):
+            session.update_features(np.array([2.5]), dataset.features[:1])
+        with pytest.raises(ConfigurationError, match="must be integers"):
+            session.delete_nodes([0.3])
+        # Empty selections (float64 by numpy default) and plain ints pass.
+        assert session.predict([]).size == 0
+        assert session.predict(np.array([], dtype=np.float64)).size == 0
+        session.predict([0, 1])
+        session.predict(np.array([3], dtype=np.uint16))
+
+    def test_predict_batch_isolates_bad_requests(self, tiny_citation_dataset, tmp_path):
+        dataset = tiny_citation_dataset
+        session = InferenceSession(FrozenModel.load(self._bundle(dataset, tmp_path)))
+        session.delete_nodes([11])
+        requests = [
+            {"nodes": [0, 1], "output": "logits"},
+            {"nodes": 3.7},                      # non-integer id
+            [2, 5],                              # bare sequence form
+            {"nodes": [11]},                     # deleted node
+            {"nodes": [4], "output": "entropy"},  # unknown output
+            {"nodes": None, "output": "labels"},  # whole alive set
+        ]
+        results = session.predict_batch(requests, on_error="return")
+        assert np.array_equal(results[0], session.predict([0, 1], output="logits"))
+        assert isinstance(results[1], ConfigurationError) and "3.7" in str(results[1])
+        assert np.array_equal(results[2], session.predict([2, 5]))
+        assert isinstance(results[3], ConfigurationError) and "deleted" in str(results[3])
+        assert isinstance(results[4], ConfigurationError) and "output" in str(results[4])
+        assert np.array_equal(results[5], session.predict())
+
+    def test_predict_batch_validates_before_computing(
+        self, tiny_citation_dataset, tmp_path
+    ):
+        # With on_error="raise" a bad entry anywhere in the batch fails the
+        # call before any forward happens — even when fresh work was pending.
+        dataset = tiny_citation_dataset
+        session = InferenceSession(FrozenModel.load(self._bundle(dataset, tmp_path)))
+        session.insert_nodes(dataset.features[:2] + 0.01)  # make a refresh pending
+        forwards = session.forwards
+        with pytest.raises(ConfigurationError, match="must be integers"):
+            session.predict_batch([{"nodes": [0]}, {"nodes": [1.5]}])
+        assert session.forwards == forwards  # nothing was computed
+        with pytest.raises(ConfigurationError, match="on_error"):
+            session.predict_batch([[0]], on_error="ignore")
+        # An all-bad batch under on_error="return" computes nothing either.
+        results = session.predict_batch([{"nodes": 0.5}], on_error="return")
+        assert session.forwards == forwards
+        assert isinstance(results[0], ConfigurationError)
+
 
 # --------------------------------------------------------------------------- #
 # OperatorStore and the operator cache bridges
@@ -843,6 +906,29 @@ class TestOperatorStore:
         assert loaded.restore_backend(tolerant) == 1
         with pytest.raises(ConfigurationError):
             loaded.restore_backend(ExactBackend())
+
+    def test_save_is_atomic(self, tmp_path, monkeypatch):
+        # A crash mid-write must never leave a torn archive at the target
+        # path: the previous complete bundle stays readable and no temp
+        # files are left behind.
+        store = OperatorStore()
+        store.put_group("weights", {"w": np.arange(4.0)})
+        path = store.save(tmp_path / "store")
+        assert [p.name for p in tmp_path.iterdir()] == ["store.npz"]
+
+        def torn_write(handle, **arrays):
+            handle.write(b"partial garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", torn_write)
+        store.put_group("weights", {"w": np.arange(8.0)})
+        with pytest.raises(OSError, match="disk full"):
+            store.save(path)
+        monkeypatch.undo()
+        # The original archive is intact and still loads; no .tmp litter.
+        assert [p.name for p in tmp_path.iterdir()] == ["store.npz"]
+        loaded = OperatorStore.load(path)
+        assert np.array_equal(loaded.get_group("weights")["w"], np.arange(4.0))
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,605 @@
+"""Tests of the batched async serving front-end (``repro.serving.server``).
+
+The load-bearing guarantees pinned here:
+
+* :meth:`InferenceSession.fork` replicas are **bit-identical** to their
+  parent and fully isolated from it (and from each other) afterwards;
+* a :class:`SessionPool`'s reader fleet stays bit-identical to a fresh
+  ``to_frozen()`` snapshot of its generation — before, during and after an
+  operator fan-out swap while the writer mutates, including when readers
+  run concurrently with the writer on worker threads;
+* the :class:`MicroBatcher` coalesces concurrent requests within the batch
+  window into one ``predict_batch`` dispatch, degrades to per-request
+  dispatch at window 0, maps per-request validation errors to the one
+  offending submitter, and sheds load (:class:`ServerOverloadedError`)
+  once ``max_queue_depth`` requests are pending;
+* the HTTP front-end: every route round-trips JSON, responses are
+  bit-identical to a direct session on the same bundle, writes are
+  read-your-writes (a client sees its own insert immediately), draining
+  returns 503, and bad requests map to 400 without failing their batch;
+* ``repro.cli serve`` boots a real server process that answers HTTP.
+
+No pytest-asyncio here: each async scenario runs under ``asyncio.run``
+inside a plain sync test.
+"""
+
+import asyncio
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import (
+    DHGNN,
+    FrozenModel,
+    InferenceSession,
+    TrainConfig,
+    Trainer,
+    reset_default_engine,
+)
+from repro.errors import ConfigurationError
+from repro.serving.server import (
+    MicroBatcher,
+    ServerConfig,
+    ServerOverloadedError,
+    ServingServer,
+    SessionPool,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle_path(tiny_citation_dataset, tmp_path_factory):
+    """One trained DHGNN bundle shared by every test in this module."""
+    reset_default_engine()
+    dataset = tiny_citation_dataset
+    model = DHGNN(dataset.n_features, dataset.n_classes, hidden_dim=8, seed=0)
+    trainer = Trainer(
+        model,
+        dataset,
+        TrainConfig(epochs=4, patience=None, neighbor_backend="incremental"),
+    )
+    trainer.train()
+    path = tmp_path_factory.mktemp("serving_server") / "bundle.npz"
+    trainer.export_frozen(str(path))
+    return path
+
+
+def _new_rows(dataset, count, seed=5):
+    rng = np.random.default_rng(seed)
+    base = dataset.features[rng.choice(dataset.n_nodes, count, replace=False)]
+    return base + rng.normal(scale=0.05, size=base.shape)
+
+
+# --------------------------------------------------------------------------- #
+# InferenceSession.fork
+# --------------------------------------------------------------------------- #
+class TestFork:
+    def test_fork_is_bit_identical(self, bundle_path):
+        parent = InferenceSession(FrozenModel.load(bundle_path))
+        parent.predict()
+        child = parent.fork()
+        assert np.array_equal(
+            child.predict(output="logits"), parent.predict(output="logits")
+        )
+        assert np.array_equal(
+            child.predict([3, 7], output="embeddings"),
+            parent.predict([3, 7], output="embeddings"),
+        )
+
+    def test_fork_inherits_cached_forward(self, bundle_path):
+        parent = InferenceSession(FrozenModel.load(bundle_path))
+        parent.predict()
+        child = parent.fork(seed_cache=False)
+        # The fork answers from the parent's cached forward: no refresh, no
+        # forward of its own.
+        assert np.array_equal(child.predict([0, 4]), parent.predict([0, 4]))
+        assert child.forwards == 0 and child.refreshes == 0
+
+    def test_fork_carries_mid_lifecycle_state(self, tiny_citation_dataset, bundle_path):
+        dataset = tiny_citation_dataset
+        parent = InferenceSession(FrozenModel.load(bundle_path))
+        parent.insert_nodes(_new_rows(dataset, 3))
+        parent.delete_nodes([1, 6])
+        parent.predict()
+        child = parent.fork()
+        assert child.n_nodes == parent.n_nodes
+        assert child.n_alive == parent.n_alive
+        assert np.array_equal(
+            child.predict(output="logits"), parent.predict(output="logits")
+        )
+        with pytest.raises(ConfigurationError, match="deleted"):
+            child.predict([1])
+
+    def test_fork_is_isolated_both_ways(self, tiny_citation_dataset, bundle_path):
+        dataset = tiny_citation_dataset
+        parent = InferenceSession(FrozenModel.load(bundle_path))
+        parent.predict()
+        baseline = parent.predict(output="logits").copy()
+        child = parent.fork()
+        # Child churns: parent's answers must not move.
+        child.insert_nodes(_new_rows(dataset, 4, seed=8))
+        child.delete_nodes([0])
+        child.compact()
+        child.predict()
+        assert np.array_equal(parent.predict(output="logits"), baseline)
+        assert parent.n_nodes == dataset.n_nodes
+        # Parent churns: the (already churned) child must not move either.
+        child_view = child.predict(output="logits").copy()
+        parent.update_features([5], dataset.features[[5]] + 0.3)
+        parent.predict()
+        assert np.array_equal(child.predict(output="logits"), child_view)
+
+
+# --------------------------------------------------------------------------- #
+# SessionPool: fan-out swap bit-identity
+# --------------------------------------------------------------------------- #
+class TestSessionPool:
+    def _replica_sessions(self, pool):
+        return [replica.session for replica in pool._replicas]
+
+    def test_readers_match_frozen_snapshot_across_swap(
+        self, tiny_citation_dataset, bundle_path
+    ):
+        # The satellite guarantee: N reader sessions are bit-identical to a
+        # fresh to_frozen() snapshot of their generation, before and after an
+        # operator fan-out swap, while the writer mutates in between.
+        dataset = tiny_citation_dataset
+        pool = SessionPool(FrozenModel.load(bundle_path), replicas=3)
+        snapshot = InferenceSession(pool.writer.to_frozen())
+        reference = snapshot.predict(output="logits")
+        old_readers = self._replica_sessions(pool)
+        for session in old_readers:
+            assert np.array_equal(session.predict(output="logits"), reference)
+
+        pool.insert(_new_rows(dataset, 4))  # mutate + republish
+        new_snapshot = InferenceSession(pool.writer.to_frozen())
+        new_reference = new_snapshot.predict(output="logits")
+        assert new_reference.shape[0] == reference.shape[0] + 4
+        for session in self._replica_sessions(pool):
+            assert np.array_equal(session.predict(output="logits"), new_reference)
+        # Pre-swap readers still serve their own complete generation.
+        for session in old_readers:
+            assert np.array_equal(session.predict(output="logits"), reference)
+
+    def test_readers_stay_identical_while_writer_mutates_concurrently(
+        self, tiny_citation_dataset, bundle_path
+    ):
+        dataset = tiny_citation_dataset
+        pool = SessionPool(FrozenModel.load(bundle_path), replicas=3)
+        reference = InferenceSession(pool.writer.to_frozen()).predict(output="logits")
+        readers = self._replica_sessions(pool)
+        stop = False
+
+        def churn():
+            for round_index in range(4):
+                pool.writer.insert_nodes(_new_rows(dataset, 2, seed=round_index))
+                pool.writer.update_features(
+                    [round_index], dataset.features[[round_index]] + 0.1
+                )
+                pool.publish()
+            return pool.generation
+
+        def read_loop(session):
+            checks = 0
+            while not stop:
+                assert np.array_equal(session.predict(output="logits"), reference)
+                checks += 1
+            return checks
+
+        with ThreadPoolExecutor(max_workers=4) as executor:
+            futures = [executor.submit(read_loop, session) for session in readers]
+            generation = executor.submit(churn).result()
+            stop = True
+            for future in futures:
+                assert future.result() > 0
+        assert generation == 5  # initial publish + 4 republishes
+        # The post-churn fleet serves the post-churn snapshot, bit-identically.
+        final = InferenceSession(pool.writer.to_frozen()).predict(output="logits")
+        for session in self._replica_sessions(pool):
+            assert np.array_equal(session.predict(output="logits"), final)
+
+    def test_delete_and_compact_republish(self, bundle_path):
+        pool = SessionPool(FrozenModel.load(bundle_path), replicas=2)
+        n_before = pool.writer.n_nodes
+        result = pool.delete([2, 9])
+        assert result["n_alive"] == n_before - 2 and result["tombstones"] == 2
+        for session in self._replica_sessions(pool):
+            with pytest.raises(ConfigurationError, match="deleted"):
+                session.predict([2])
+            assert np.array_equal(
+                session.predict(output="labels"), pool.writer.predict(output="labels")
+            )
+        result = pool.compact()
+        assert result["n_nodes"] == n_before - 2
+        for session in self._replica_sessions(pool):
+            assert session.n_nodes == n_before - 2
+
+    def test_checkpoints_published_generations(self, tmp_path, bundle_path):
+        checkpoint = tmp_path / "checkpoint.npz"
+        pool = SessionPool(
+            FrozenModel.load(bundle_path), replicas=1, checkpoint_path=checkpoint
+        )
+        assert checkpoint.exists() and pool.checkpoints == 1
+        reference = pool.writer.predict(output="logits")
+        warm = InferenceSession(FrozenModel.load(checkpoint))
+        assert np.array_equal(warm.predict(output="logits"), reference)
+        # A tombstoned generation is not bundleable and is skipped.
+        pool.delete([0])
+        assert pool.checkpoints == 1
+        pool.compact()
+        assert pool.checkpoints == 2
+
+
+# --------------------------------------------------------------------------- #
+# MicroBatcher
+# --------------------------------------------------------------------------- #
+class TestMicroBatcher:
+    def _batcher(self, bundle_path, **kwargs):
+        pool = SessionPool(FrozenModel.load(bundle_path), replicas=1)
+        executor = ThreadPoolExecutor(max_workers=2)
+        kwargs.setdefault("window_s", 0.05)
+        kwargs.setdefault("max_batch_size", 64)
+        kwargs.setdefault("max_queue_depth", 128)
+        return pool, executor, MicroBatcher(pool, executor, **kwargs)
+
+    def test_concurrent_requests_coalesce_into_one_dispatch(self, bundle_path):
+        pool, executor, batcher = self._batcher(bundle_path)
+        direct = InferenceSession(FrozenModel.load(bundle_path))
+
+        async def scenario():
+            batcher.start()
+            results = await asyncio.gather(
+                *[
+                    batcher.submit({"nodes": [node], "output": "logits"})
+                    for node in range(10)
+                ]
+            )
+            await batcher.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        for node, result in enumerate(results):
+            assert np.array_equal(result, direct.predict([node], output="logits"))
+        assert batcher.stats()["batches"] == 1
+        assert batcher.stats()["mean_batch_size"] == 10.0
+        executor.shutdown()
+
+    def test_window_zero_disables_coalescing(self, bundle_path):
+        pool, executor, batcher = self._batcher(bundle_path, window_s=0.0)
+
+        async def scenario():
+            batcher.start()
+            await asyncio.gather(
+                *[batcher.submit({"nodes": [node]}) for node in range(7)]
+            )
+            await batcher.stop()
+
+        asyncio.run(scenario())
+        stats = batcher.stats()
+        assert stats["batches"] == 7 and stats["max_batch_size"] == 1
+        executor.shutdown()
+
+    def test_one_bad_request_fails_only_its_submitter(self, bundle_path):
+        pool, executor, batcher = self._batcher(bundle_path)
+        direct = InferenceSession(FrozenModel.load(bundle_path))
+
+        async def scenario():
+            batcher.start()
+            results = await asyncio.gather(
+                batcher.submit({"nodes": [3]}),
+                batcher.submit({"nodes": 7.5}),
+                batcher.submit({"nodes": [5], "output": "logits"}),
+                return_exceptions=True,
+            )
+            await batcher.stop()
+            return results
+
+        good, bad, also_good = asyncio.run(scenario())
+        assert np.array_equal(good, direct.predict([3]))
+        assert isinstance(bad, ConfigurationError) and "7.5" in str(bad)
+        assert np.array_equal(also_good, direct.predict([5], output="logits"))
+        assert batcher.stats()["batches"] == 1  # they shared one dispatch
+        executor.shutdown()
+
+    def test_queue_depth_sheds_load(self, bundle_path):
+        pool, executor, batcher = self._batcher(bundle_path, max_queue_depth=2)
+
+        async def scenario():
+            # The dispatcher is NOT started: submissions park in the queue.
+            first = asyncio.ensure_future(batcher.submit({"nodes": [0]}))
+            second = asyncio.ensure_future(batcher.submit({"nodes": [1]}))
+            await asyncio.sleep(0)
+            with pytest.raises(ServerOverloadedError, match="full"):
+                await batcher.submit({"nodes": [2]})
+            assert batcher.stats()["rejected"] == 1
+            # Draining the queue re-admits new work.
+            batcher.start()
+            await asyncio.gather(first, second)
+            await batcher.submit({"nodes": [2]})
+            await batcher.stop()
+
+        asyncio.run(scenario())
+        executor.shutdown()
+
+
+# --------------------------------------------------------------------------- #
+# HTTP front-end
+# --------------------------------------------------------------------------- #
+async def _http(reader, writer, method, path, payload=None):
+    body = json.dumps(payload).encode() if payload is not None else b""
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        + body
+    )
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    marker = head.index(b"Content-Length: ") + 16
+    length = int(head[marker : head.index(b"\r", marker)])
+    return status, json.loads(await reader.readexactly(length))
+
+
+class _Client:
+    """One keep-alive connection to a test server."""
+
+    def __init__(self, port):
+        self.port = port
+
+    async def __aenter__(self):
+        self.reader, self.writer = await asyncio.open_connection(
+            "127.0.0.1", self.port
+        )
+        return self
+
+    async def __aexit__(self, *exc):
+        self.writer.close()
+
+    async def request(self, method, path, payload=None):
+        return await _http(self.reader, self.writer, method, path, payload)
+
+
+class TestServingServerHTTP:
+    def _serve(self, bundle_path, scenario, **config_kwargs):
+        config_kwargs.setdefault("port", 0)
+        config_kwargs.setdefault("replicas", 2)
+        config_kwargs.setdefault("batch_window_ms", 2.0)
+
+        async def run():
+            server = ServingServer(
+                FrozenModel.load(bundle_path), ServerConfig(**config_kwargs)
+            )
+            await server.start()
+            try:
+                async with _Client(server.port) as client:
+                    return await scenario(server, client)
+            finally:
+                await server.shutdown()
+
+        return asyncio.run(run())
+
+    def test_health_stats_and_predict(self, bundle_path):
+        direct = InferenceSession(FrozenModel.load(bundle_path))
+
+        async def scenario(server, client):
+            status, health = await client.request("GET", "/healthz")
+            assert status == 200 and health["status"] == "ok"
+            assert health["generation"] == 1
+
+            status, answer = await client.request("POST", "/predict", {"node": 5})
+            assert status == 200
+            assert answer["result"] == int(direct.predict(5))
+
+            status, answer = await client.request(
+                "POST", "/predict", {"nodes": [0, 3, 8], "output": "logits"}
+            )
+            assert status == 200
+            assert np.array_equal(
+                np.asarray(answer["result"]),
+                direct.predict([0, 3, 8], output="logits"),
+            )
+
+            status, answer = await client.request(
+                "POST", "/predict", {"nodes": None, "output": "labels"}
+            )
+            assert status == 200
+            assert answer["result"] == direct.predict().tolist()
+
+            status, stats = await client.request("GET", "/stats")
+            assert status == 200
+            assert stats["batcher"]["requests"] == 3
+            assert stats["pool"]["replicas"] == 2
+
+        self._serve(bundle_path, scenario)
+
+    def test_error_mapping(self, bundle_path):
+        async def scenario(server, client):
+            assert (await client.request("GET", "/nope"))[0] == 404
+            assert (await client.request("POST", "/nope", {}))[0] == 404
+            status, payload = await client.request("POST", "/predict", {"node": 3.7})
+            assert status == 400 and "3.7" in payload["error"]
+            status, payload = await client.request(
+                "POST", "/predict", {"nodes": [10_000]}
+            )
+            assert status == 400 and "node ids" in payload["error"]
+            status, payload = await client.request("POST", "/insert", {})
+            assert status == 400 and "features" in payload["error"]
+            # Malformed JSON body.
+            client.writer.write(
+                b"POST /predict HTTP/1.1\r\nHost: t\r\nContent-Length: 4\r\n\r\n{{{{"
+            )
+            head = await client.reader.readuntil(b"\r\n\r\n")
+            assert b"400" in head.split(b"\r\n", 1)[0]
+            marker = head.index(b"Content-Length: ") + 16
+            await client.reader.readexactly(
+                int(head[marker : head.index(b"\r", marker)])
+            )
+            # An unsupported method.
+            assert (await client.request("PUT", "/predict", {}))[0] == 405
+
+        self._serve(bundle_path, scenario)
+
+    def test_bad_request_does_not_poison_batch(self, bundle_path):
+        direct = InferenceSession(FrozenModel.load(bundle_path))
+
+        async def scenario(server, client):
+            async with _Client(server.port) as second:
+                good, bad = await asyncio.gather(
+                    client.request(
+                        "POST", "/predict", {"nodes": [1, 2], "output": "labels"}
+                    ),
+                    second.request("POST", "/predict", {"node": 2.5}),
+                )
+            assert good[0] == 200
+            assert good[1]["result"] == direct.predict([1, 2]).tolist()
+            assert bad[0] == 400 and "2.5" in bad[1]["error"]
+
+        self._serve(bundle_path, scenario, batch_window_ms=25.0)
+
+    def test_writes_are_read_your_writes(self, tiny_citation_dataset, bundle_path):
+        dataset = tiny_citation_dataset
+
+        async def scenario(server, client):
+            rows = _new_rows(dataset, 2).tolist()
+            status, inserted = await client.request(
+                "POST", "/insert", {"features": rows}
+            )
+            assert status == 200 and inserted["generation"] == 2
+            new_ids = inserted["ids"]
+            assert len(new_ids) == 2
+
+            # The very next read sees the insert (new replicas already live).
+            status, answer = await client.request(
+                "POST", "/predict", {"nodes": new_ids}
+            )
+            assert status == 200 and len(answer["result"]) == 2
+            assert answer["generation"] == 2
+
+            status, updated = await client.request(
+                "POST", "/update", {"nodes": [0], "features": [rows[0]]}
+            )
+            assert status == 200 and updated["generation"] == 3
+
+            status, deleted = await client.request(
+                "POST", "/delete", {"nodes": [new_ids[1]]}
+            )
+            assert status == 200 and deleted["tombstones"] == 1
+            status, payload = await client.request(
+                "POST", "/predict", {"nodes": [new_ids[1]]}
+            )
+            assert status == 400 and "deleted" in payload["error"]
+
+            status, compacted = await client.request("POST", "/compact", {})
+            assert status == 200
+            assert compacted["n_nodes"] == dataset.n_nodes + 1
+            status, reassigned = await client.request("POST", "/reassign", {})
+            assert status == 200 and "moves" in reassigned
+
+            status, health = await client.request("GET", "/healthz")
+            assert health["n_alive"] == dataset.n_nodes + 1
+
+        self._serve(bundle_path, scenario)
+
+    def test_server_matches_direct_session_bit_for_bit(self, bundle_path):
+        direct = InferenceSession(FrozenModel.load(bundle_path))
+
+        async def scenario(server, client):
+            rng = np.random.default_rng(0)
+            for _ in range(8):
+                nodes = rng.integers(0, direct.n_nodes, 4).tolist()
+                for output in ("labels", "logits", "embeddings"):
+                    status, answer = await client.request(
+                        "POST", "/predict", {"nodes": nodes, "output": output}
+                    )
+                    assert status == 200
+                    expected = direct.predict(nodes, output=output)
+                    got = np.asarray(answer["result"], dtype=expected.dtype)
+                    assert np.array_equal(got, expected)
+
+        self._serve(bundle_path, scenario)
+
+    def test_draining_returns_503(self, bundle_path):
+        async def scenario(server, client):
+            server._draining = True
+            status, payload = await client.request("POST", "/predict", {"node": 0})
+            assert status == 503 and "draining" in payload["error"]
+            status, health = await client.request("GET", "/healthz")
+            assert status == 200 and health["status"] == "draining"
+
+        self._serve(bundle_path, scenario)
+
+    def test_overload_returns_429(self, bundle_path):
+        async def scenario(server, client):
+            # Stop the dispatcher so admitted requests park in the queue.
+            server.batcher._dispatcher.cancel()
+            await asyncio.sleep(0)
+            pending = [
+                asyncio.ensure_future(server.batcher.submit({"nodes": [i]}))
+                for i in range(2)
+            ]
+            await asyncio.sleep(0)
+            status, payload = await client.request("POST", "/predict", {"node": 0})
+            assert status == 429 and "full" in payload["error"]
+            for future in pending:
+                future.cancel()
+            server.batcher.pending = 0
+
+        self._serve(bundle_path, scenario, max_queue_depth=2)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError, match="replicas"):
+            ServerConfig(replicas=0)
+        with pytest.raises(ConfigurationError, match="batch_window_ms"):
+            ServerConfig(batch_window_ms=-1.0)
+        with pytest.raises(ConfigurationError, match="max_batch_size"):
+            ServerConfig(max_batch_size=0)
+        with pytest.raises(ConfigurationError, match="max_queue_depth"):
+            ServerConfig(max_queue_depth=0)
+
+
+# --------------------------------------------------------------------------- #
+# CLI: repro serve
+# --------------------------------------------------------------------------- #
+class TestServeCLI:
+    def test_serve_boots_and_answers(self, bundle_path):
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--bundle", str(bundle_path), "--port", "0", "--replicas", "1",
+            ],
+            stderr=subprocess.PIPE,
+            text=True,
+            env=dict(os.environ, PYTHONPATH="src"),
+            cwd=str(Path(__file__).resolve().parents[1]),
+        )
+        try:
+            line = process.stderr.readline()
+            match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+            assert match, f"no address announced: {line!r}"
+            port = int(match.group(1))
+            with socket.create_connection(("127.0.0.1", port), timeout=10) as conn:
+                conn.sendall(
+                    b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                    b"Connection: close\r\n\r\n"
+                )
+                response = b""
+                while chunk := conn.recv(4096):
+                    response += chunk
+            assert response.startswith(b"HTTP/1.1 200")
+            assert b'"status": "ok"' in response
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
