@@ -22,6 +22,14 @@ contrast is reported but not asserted: the load generator shares the
 server's process and GIL, so client-side socket/parse CPU — identical in
 both modes — dilutes the dispatch saving end-to-end.
 
+**WAL write-throughput (asserted).**  The same single-writer mutation loop
+with the write-ahead log off, on (per-record ``fsync``, the serving
+default) and on without ``fsync``.  Journalling happens *before* every
+apply, so its cost rides the write path's critical section; the asserted
+ceiling states the durability budget: fsync'd journalling must keep at
+least ``1/3`` of the unjournalled write throughput (in practice the
+mutation's refresh + forward + republish dwarfs the fsync).
+
 Run standalone (``PYTHONPATH=src python benchmarks/bench_serving.py``);
 ``REPRO_BENCH_QUICK=1`` selects the CI smoke configuration.
 """
@@ -71,6 +79,12 @@ HTTP_REQUESTS = 40 if QUICK else 120
 REPLICAS = 1 if QUICK else 2
 QPS_SPEEDUP_BAR = 2.0
 BATCH_SIZE_BAR = 2.0
+WAL_WRITE_OPS = 8 if QUICK else 24
+#: Stated durability budget: fsync'd journalling may cost at most a 3x
+#: write-throughput slowdown vs no WAL (generous for CI disks; locally the
+#: measured overhead is far smaller because each write's refresh + forward +
+#: republish dominates the fsync).
+WAL_SLOWDOWN_CEILING = 3.0
 
 
 def _dataset():
@@ -323,6 +337,35 @@ async def _check_write_path(bundle: Path) -> dict:
         await server.shutdown()
 
 
+# --------------------------------------------------------------------------- #
+# Part 3: WAL on/off write throughput (asserted)
+# --------------------------------------------------------------------------- #
+def _measure_write_throughput(
+    bundle: Path, tmp_dir: Path, *, label: str, wal: bool, fsync: bool = True
+) -> dict:
+    """Single-writer update loop; journalling rides the critical section."""
+    wal_path = tmp_dir / f"bench_{label}.wal" if wal else None
+    pool = SessionPool(
+        FrozenModel.load(bundle), replicas=1, wal_path=wal_path, wal_fsync=fsync
+    )
+    rng = np.random.default_rng(17)
+    n_cols = pool.writer.features.shape[1]
+    pool.update([0, 1], rng.normal(size=(2, n_cols)))  # warm-up
+    start = time.perf_counter()
+    for _ in range(WAL_WRITE_OPS):
+        nodes = rng.choice(N_NODES, 2, replace=False)
+        pool.update(
+            sorted(int(node) for node in nodes), rng.normal(size=(2, n_cols))
+        )
+    elapsed = time.perf_counter() - start
+    return {
+        "wal": label,
+        "writes_per_s": WAL_WRITE_OPS / elapsed,
+        "mean_ms": elapsed / WAL_WRITE_OPS * 1e3,
+        "wal_depth": pool.wal.depth if pool.wal is not None else 0,
+    }
+
+
 def main() -> None:
     mode = "quick" if QUICK else "full"
     print(f"serving benchmark ({mode} mode): n={N_NODES}, {REPLICAS} replica(s)")
@@ -366,6 +409,27 @@ def main() -> None:
         emit(http_table, "bench_serving_http",
              extra={"mode": mode, "rows": http_rows})
 
+        # -- Part 3: WAL on/off write throughput ------------------------ #
+        wal_rows = [
+            _measure_write_throughput(bundle, Path(tmp), label="off", wal=False),
+            _measure_write_throughput(bundle, Path(tmp), label="on", wal=True),
+            _measure_write_throughput(
+                bundle, Path(tmp), label="on-nofsync", wal=True, fsync=False
+            ),
+        ]
+        wal_table = ResultTable(
+            ["WAL", "writes/s", "mean write (ms)"],
+            title=f"Write throughput: WAL off vs fsync'd journalling "
+                  f"({WAL_WRITE_OPS} single-writer updates)",
+        )
+        for row in wal_rows:
+            wal_table.add_row(
+                [row["wal"], round(row["writes_per_s"], 1), round(row["mean_ms"], 3)]
+            )
+        emit(wal_table, "bench_serving_wal",
+             extra={"mode": mode, "rows": wal_rows,
+                    "slowdown_ceiling": WAL_SLOWDOWN_CEILING})
+
         checked = asyncio.run(_check_bit_identity(bundle))
         print(f"bit-identity: {checked} sampled responses match the direct session")
 
@@ -386,11 +450,20 @@ def main() -> None:
         f"mean batch size {best['mean_batch']} at {best['window_ms']}ms "
         f"(bar: {BATCH_SIZE_BAR}) — coalescing is not happening"
     )
+    wal_slowdown = wal_rows[0]["writes_per_s"] / wal_rows[1]["writes_per_s"]
+    assert wal_slowdown <= WAL_SLOWDOWN_CEILING, (
+        f"fsync'd journalling costs {wal_slowdown:.2f}x write throughput "
+        f"(stated ceiling: {WAL_SLOWDOWN_CEILING}x; "
+        f"{wal_rows[1]['writes_per_s']:.1f} vs {wal_rows[0]['writes_per_s']:.1f} "
+        f"writes/s)"
+    )
     http_speedup = max(r["qps"] for r in http_rows[1:]) / http_rows[0]["qps"]
     print(
         f"OK: {speedup:.2f}x QPS at a {best['window_ms']}ms batch window vs no "
         f"batching (bar {QPS_SPEEDUP_BAR}x; {http_speedup:.2f}x end-to-end over "
-        f"HTTP), mean batch {best['mean_batch']}, responses bit-identical"
+        f"HTTP), mean batch {best['mean_batch']}, responses bit-identical; "
+        f"fsync'd WAL costs {wal_slowdown:.2f}x write throughput "
+        f"(ceiling {WAL_SLOWDOWN_CEILING}x)"
     )
 
 

@@ -22,13 +22,18 @@ The script walks the full serving workflow of :mod:`repro.serving`:
    (:class:`~repro.serving.ServingServer`) and drive it over a socket:
    coalesced predicts, an online insert, operational stats.  Outside an
    example, ``python -m repro.cli serve --bundle ...`` starts the same
-   server standalone.
+   server standalone;
+8. prove the durability story: start that standalone server as a real
+   subprocess with ``--checkpoint`` + ``--wal``, mutate it over the wire,
+   ``kill -9`` it mid-flight, restart it from the same paths and check the
+   recovered process answers bit-identically.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import tempfile
 from pathlib import Path
 
@@ -140,6 +145,10 @@ def main() -> None:
         #    the single writer and republish to fresh replicas.
         asyncio.run(_drive_http_server(checkpoint, dataset))
 
+        # 8. Fault tolerance: the same server as a subprocess with a
+        #    write-ahead log, killed with SIGKILL and recovered.
+        _crash_and_recover(checkpoint, dataset, Path(tmp))
+
 
 async def _drive_http_server(bundle: Path, dataset) -> None:
     from repro.serving import ServerConfig, ServingServer
@@ -207,6 +216,80 @@ async def _drive_http_server(bundle: Path, dataset) -> None:
         writer.close()
     finally:
         await server.shutdown()
+
+
+def _crash_and_recover(bundle: Path, dataset, tmp: Path) -> None:
+    """Kill -9 a journalling server mid-stream and restart it losslessly."""
+    import re
+    import signal
+    import subprocess
+    import sys
+
+    import repro
+
+    checkpoint, wal = tmp / "serve_ckpt.npz", tmp / "serve_mutations.wal"
+    argv = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--bundle", str(bundle), "--port", "0", "--replicas", "1",
+        "--checkpoint", str(checkpoint), "--wal", str(wal),
+    ]
+    env = dict(os.environ, PYTHONPATH=str(Path(repro.__file__).parents[1]))
+
+    def start() -> tuple[subprocess.Popen, int]:
+        process = subprocess.Popen(argv, env=env, stderr=subprocess.PIPE, text=True)
+        for _ in range(600):
+            match = re.search(r"http://127\.0\.0\.1:(\d+)", process.stderr.readline())
+            if match:
+                return process, int(match.group(1))
+        process.kill()
+        raise RuntimeError("server did not report its port")
+
+    async def drive(port: int, *requests):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            answers = []
+            for method, path, payload in requests:
+                body = json.dumps(payload).encode() if payload is not None else b""
+                writer.write(
+                    (f"{method} {path} HTTP/1.1\r\nHost: quickstart\r\n"
+                     f"Content-Length: {len(body)}\r\n\r\n").encode() + body
+                )
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                marker = head.index(b"Content-Length: ") + 16
+                length = int(head[marker:head.index(b"\r", marker)])
+                answers.append(json.loads(await reader.readexactly(length)))
+            return answers
+        finally:
+            writer.close()
+
+    process, port = start()
+    try:
+        row = (dataset.features[1] + 0.02).tolist()
+        inserted, logits = asyncio.run(drive(
+            port,
+            ("POST", "/insert", {"features": [row]}),
+            ("POST", "/predict", {"nodes": None, "output": "logits"}),
+        ))
+        process.send_signal(signal.SIGKILL)  # no drain, no atexit, no mercy
+        process.wait(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+    print(f"killed the serving subprocess (SIGKILL) after inserting "
+          f"node {inserted['ids']}")
+
+    process, port = start()
+    try:
+        recovered, = asyncio.run(drive(
+            port, ("POST", "/predict", {"nodes": None, "output": "logits"})
+        ))
+        assert recovered["result"] == logits["result"]
+        print(f"restarted from {checkpoint.name} + {wal.name}: "
+              f"{len(recovered['result'])} rows, predictions bit-identical")
+    finally:
+        process.terminate()
+        process.wait(timeout=30)
 
 
 if __name__ == "__main__":

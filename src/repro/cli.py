@@ -219,7 +219,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint", default=None,
         help="after every write, atomically persist the published generation "
         "as a warm-start bundle at this path (skipped while tombstones are "
-        "pending; compact to resume)",
+        "pending; compact to resume); on restart an existing checkpoint is "
+        "preferred over --bundle",
+    )
+    serve.add_argument(
+        "--wal", default=None,
+        help="write-ahead log path: every mutation is fsync'd here before it "
+        "is applied, and recovery replays the journal suffix on top of the "
+        "last checkpoint — a crash between checkpoints loses nothing",
+    )
+    serve.add_argument(
+        "--no-wal-fsync", action="store_true",
+        help="skip the per-record fsync (faster writes, last records may be "
+        "lost on an OS crash; process crashes still recover fully)",
+    )
+    serve.add_argument(
+        "--request-timeout-s", type=float, default=30.0,
+        help="per-request predict deadline; expiry answers HTTP 504 "
+        "(0 disables)",
+    )
+    serve.add_argument(
+        "--write-timeout-s", type=float, default=120.0,
+        help="per-request write deadline; expiry answers HTTP 504 and "
+        "quarantines the writer into read-only degraded mode (0 disables)",
+    )
+    serve.add_argument(
+        "--faults", default=None,
+        help="fault-injection spec 'point=action[,point=action...]' with "
+        "actions crash / raise / delay:<s>, optionally @N for the Nth hit "
+        "(chaos testing; see repro.serving.faults)",
     )
     serve.add_argument(
         "--cluster-assignment", choices=("nearest", "frozen"), default="nearest",
@@ -377,9 +405,11 @@ def _command_predict(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.serving import FrozenModel
+    from repro.serving.faults import configure_faults
     from repro.serving.server import ServerConfig, ServingServer
 
+    if args.faults:
+        configure_faults(args.faults)
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -388,12 +418,23 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch_size,
         max_queue_depth=args.max_queue_depth,
         checkpoint_path=args.checkpoint,
+        wal_path=args.wal,
+        wal_fsync=not args.no_wal_fsync,
+        request_timeout_s=args.request_timeout_s or None,
+        write_timeout_s=args.write_timeout_s or None,
         cluster_assignment=args.cluster_assignment,
     )
-    frozen = FrozenModel.load(args.bundle)
 
     async def run() -> None:
-        server = ServingServer(frozen, config)
+        # The server prefers an existing --checkpoint bundle over --bundle
+        # (warm restart) and replays any pending WAL records on top of it.
+        server = ServingServer(args.bundle, config)
+        if server.recovered:
+            print(
+                f"recovered {server.recovered} journalled mutation(s) from "
+                f"{config.wal_path}",
+                file=sys.stderr,
+            )
         await server.start()
         print(
             f"serving {args.bundle} on http://{config.host}:{server.port} "

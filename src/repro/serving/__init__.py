@@ -19,7 +19,15 @@ The serving layer turns a trained model into a deployable artefact:
   HTTP/JSON front-end: a micro-batching request queue over a
   :class:`SessionPool` of forked read replicas, a single-writer mutation
   path that republishes after every write, and admission control with
-  graceful drain.  ``python -m repro.cli serve --bundle ...`` starts one.
+  graceful drain.  ``python -m repro.cli serve --bundle ...`` starts one;
+* fault tolerance (``repro.serving.wal`` / ``repro.serving.faults``) — a
+  checksummed, fsync'd :class:`WriteAheadLog` journals every mutation
+  before it is applied, :meth:`SessionPool.recover` replays the journal
+  suffix on top of the last atomic checkpoint (bit-identical to a
+  never-crashed run), a failed writer quarantines the pool into read-only
+  degraded mode, and a :func:`fault_registry` of named crash/delay/raise
+  injection points lets tests kill the process at every fsync/apply/publish
+  boundary.
 
 Quickstart (see ``examples/serving_quickstart.py``)::
 
@@ -36,6 +44,16 @@ Quickstart (see ``examples/serving_quickstart.py``)::
     session.reassign_clusters(every_n=10)  # background staleness bound
 """
 
+from repro.serving.faults import (
+    CRASH_EXIT_CODE,
+    FaultInjected,
+    FaultRegistry,
+    clear_faults,
+    configure_faults,
+    declare_fault_point,
+    fault_point,
+    fault_registry,
+)
 from repro.serving.frozen import (
     FrozenModel,
     TopologySlot,
@@ -45,24 +63,48 @@ from repro.serving.frozen import (
 from repro.serving.server import (
     MicroBatcher,
     ServerConfig,
+    ServerDrainingError,
     ServerOverloadedError,
     ServingServer,
     SessionPool,
+    WriterQuarantinedError,
 )
 from repro.serving.session import InferenceSession
 from repro.serving.store import OperatorStore, pack_hypergraph, unpack_hypergraph
+from repro.serving.wal import (
+    WAL_HEADER,
+    WALCorruptionError,
+    WALError,
+    WALRecord,
+    WriteAheadLog,
+)
 
 __all__ = [
+    "CRASH_EXIT_CODE",
+    "FaultInjected",
+    "FaultRegistry",
     "FrozenModel",
     "InferenceSession",
     "MicroBatcher",
     "OperatorStore",
     "ServerConfig",
+    "ServerDrainingError",
     "ServerOverloadedError",
     "ServingServer",
     "SessionPool",
     "TopologySlot",
+    "WAL_HEADER",
+    "WALCorruptionError",
+    "WALError",
+    "WALRecord",
+    "WriteAheadLog",
+    "WriterQuarantinedError",
     "backend_from_cache_key",
+    "clear_faults",
+    "configure_faults",
+    "declare_fault_point",
+    "fault_point",
+    "fault_registry",
     "pack_hypergraph",
     "prime_backend",
     "unpack_hypergraph",

@@ -12,11 +12,18 @@ mirroring the queue/worker split of distributed-GNN serving stacks:
   *publish* then refreshes the writer's topology exactly once and fans the
   refreshed state out to a brand-new replica set via
   :meth:`InferenceSession.fork` — replicas inherit the cached forward, so a
-  swap costs no replica-side forward or k-NN work.  With a checkpoint path
-  configured, every publish of a tombstone-free writer also persists the
-  current state as a bundle through the (atomic-write)
-  :class:`~repro.serving.OperatorStore`, so a restarted server warm-starts
-  from the last published generation;
+  swap costs no replica-side forward or k-NN work.  Durability is layered:
+  with a checkpoint path configured, every publish of a tombstone-free
+  writer persists the current state as a bundle through the (atomic-write)
+  :class:`~repro.serving.OperatorStore`; with a WAL path configured, every
+  mutation is additionally journalled and fsync'd **before** it is applied
+  (:class:`~repro.serving.wal.WriteAheadLog`), so a crash *between*
+  checkpoints loses nothing — :meth:`SessionPool.recover` replays the
+  journal suffix on top of the last checkpoint and reconstructs the
+  pre-crash state bit-for-bit.  Failure containment: a writer that throws
+  mid-apply is **quarantined** — the pool degrades to read-only (writes
+  raise :class:`WriterQuarantinedError` → HTTP 503 + ``Retry-After``) while
+  the replicas keep serving the last published generation;
 * :class:`MicroBatcher` — a bounded asyncio request queue that coalesces
   concurrent predict requests arriving within ``batch_window_ms`` into one
   :meth:`InferenceSession.predict_batch` call on one replica.  Batching
@@ -24,19 +31,28 @@ mirroring the queue/worker split of distributed-GNN serving stacks:
   of ``0`` disables coalescing (every request is its own dispatch).
   Admission control: once ``max_queue_depth`` requests are pending, further
   requests are rejected immediately (HTTP 429) instead of growing the queue
-  without bound;
+  without bound.  Every admitted request is guaranteed an answer: an
+  unexpected ``predict_batch`` failure resolves the whole batch with the
+  error (a structured 500, never a dropped connection), and dispatcher
+  shutdown fails still-queued futures instead of leaking them;
 * :class:`ServingServer` — a dependency-free asyncio HTTP/1.1 (keep-alive)
   front-end speaking JSON.  ``POST /predict`` is coalesced through the
   batcher; ``POST /insert|update|delete|compact|reassign`` take the single
-  writer path and republish; ``GET /healthz`` and ``GET /stats`` serve
-  operational state.  Shutdown drains: new requests get 503, queued and
-  in-flight batches finish, then the sockets close.
+  writer path and republish; both paths carry **per-request deadlines**
+  (``request_timeout_s`` / ``write_timeout_s``) answered with HTTP 504 on
+  expiry, so a wedged executor call can no longer block a connection
+  forever.  ``GET /healthz`` is a real state machine — ``ok`` /
+  ``degraded`` / ``draining`` plus WAL depth, queue depth and checkpoint
+  age, so a load balancer can drain a degraded node.  Shutdown drains: new
+  requests get 503, queued and in-flight batches finish, then the sockets
+  close.
 
 Responses are **bit-identical** to calling the underlying session directly:
 the server only ever slices the same cached forward a local
 ``session.predict`` would.  Start one from the CLI::
 
-    python -m repro.cli serve --bundle bundle.npz --replicas 2 --port 8100
+    python -m repro.cli serve --bundle bundle.npz --replicas 2 --port 8100 \
+        --checkpoint ckpt.npz --wal ckpt.wal
 
 or programmatically (see ``benchmarks/bench_serving.py``)::
 
@@ -51,6 +67,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import asynccontextmanager, suppress
 from dataclasses import dataclass
@@ -61,15 +78,19 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.serving.faults import declare_fault_point, fault_point
 from repro.serving.frozen import FrozenModel
 from repro.serving.session import InferenceSession
+from repro.serving.wal import WALRecord, WriteAheadLog
 
 __all__ = [
     "MicroBatcher",
     "ServerConfig",
+    "ServerDrainingError",
     "ServerOverloadedError",
     "ServingServer",
     "SessionPool",
+    "WriterQuarantinedError",
 ]
 
 _REASONS = {
@@ -80,11 +101,28 @@ _REASONS = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+declare_fault_point("pool.before_apply", "request journalled, writer untouched")
+declare_fault_point("pool.mid_apply", "writer mutated, generation not published")
+declare_fault_point("pool.before_publish", "start of refresh + replica fan-out")
+declare_fault_point("pool.after_publish", "new generation live, not checkpointed")
+declare_fault_point("pool.before_checkpoint", "snapshot built, not yet on disk")
+declare_fault_point("pool.after_checkpoint", "checkpoint durable, WAL not truncated")
+declare_fault_point("batcher.before_dispatch", "inside the predict worker thread")
 
 
 class ServerOverloadedError(Exception):
     """The request queue is at ``max_queue_depth``; try again later (429)."""
+
+
+class ServerDrainingError(Exception):
+    """The server is shutting down; the request was not served (503)."""
+
+
+class WriterQuarantinedError(Exception):
+    """The writer failed mid-apply; the pool is read-only (503 + Retry-After)."""
 
 
 def _jsonable(value: Any) -> Any:
@@ -100,6 +138,20 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
+def _feature_list(features: Any) -> list:
+    """``features`` as float64 nested lists (the WAL/replay wire format).
+
+    The float64 round-trip is exact: JSON serialises Python floats with
+    ``repr`` (shortest round-tripping form), so a journalled mutation
+    replays into bit-identical feature rows.
+    """
+    try:
+        matrix = np.asarray(features, dtype=np.float64)
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(f"features must be a numeric matrix: {error}") from error
+    return matrix.tolist()
+
+
 @dataclass
 class ServerConfig:
     """Tunables of the serving front-end.
@@ -112,6 +164,16 @@ class ServerConfig:
     requests; beyond it the server sheds load with HTTP 429.  ``replicas``
     sets the read-replica count (the writer session is separate);
     ``drain_timeout_s`` caps how long shutdown waits for in-flight work.
+
+    Fault tolerance: ``checkpoint_path`` persists every tombstone-free
+    published generation as an atomic warm-start bundle — and when a bundle
+    already exists there at startup, the server restarts *from it* instead
+    of the cold bundle.  ``wal_path`` journals every mutation (fsync'd
+    before apply, unless ``wal_fsync=False``) so recovery replays the suffix
+    since the last checkpoint.  ``request_timeout_s`` / ``write_timeout_s``
+    are per-request deadlines answered with HTTP 504 (``None`` disables);
+    an expired *write* additionally quarantines the pool, because the
+    wedged writer thread's state can no longer be trusted.
     """
 
     host: str = "127.0.0.1"
@@ -123,6 +185,10 @@ class ServerConfig:
     drain_timeout_s: float = 10.0
     cluster_assignment: str = "nearest"
     checkpoint_path: str | Path | None = None
+    wal_path: str | Path | None = None
+    wal_fsync: bool = True
+    request_timeout_s: float | None = 30.0
+    write_timeout_s: float | None = 120.0
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -139,6 +205,10 @@ class ServerConfig:
             raise ConfigurationError(
                 f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
             )
+        for name in ("request_timeout_s", "write_timeout_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigurationError(f"{name} must be > 0 or None, got {value}")
 
 
 class _Replica:
@@ -160,7 +230,21 @@ class SessionPool:
     topology once and swaps in a freshly forked replica set.  In-flight read
     batches keep their pre-swap replica until they finish — readers always
     serve a complete, immutable generation, never a half-mutated one.
+
+    With ``wal_path`` set, every write is journalled and fsync'd **before**
+    the writer applies it; :meth:`recover` replays the journal suffix (its
+    record sequence numbers are deduplicated against the ``wal_seq`` the
+    last checkpoint carries) through the identical apply path, so a
+    recovered pool serves predictions bit-identical to one that never
+    crashed.  A write that throws past validation **quarantines** the
+    writer: :attr:`read_only` flips, further writes raise
+    :class:`WriterQuarantinedError`, and the replicas keep serving the last
+    published generation — a failed apply never leaks a half-mutated state
+    to readers, because publishing is always the *last* step of an apply.
     """
+
+    #: Ops a WAL record may carry (the full write surface of the pool).
+    WAL_OPS = ("insert", "update", "delete", "compact", "reassign")
 
     def __init__(
         self,
@@ -169,6 +253,8 @@ class SessionPool:
         replicas: int = 2,
         cluster_assignment: str = "nearest",
         checkpoint_path: str | Path | None = None,
+        wal_path: str | Path | None = None,
+        wal_fsync: bool = True,
     ) -> None:
         if replicas < 1:
             raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
@@ -177,6 +263,23 @@ class SessionPool:
         self.writer = InferenceSession(frozen, cluster_assignment=cluster_assignment)
         self.generation = 0
         self.checkpoints = 0
+        self.read_only = False
+        self.failure: str | None = None
+        self.recovered = 0
+        self.last_checkpoint_time: float | None = None
+        #: High-water mutation sequence number.  A checkpoint stores it as
+        #: ``meta["wal_seq"]``, which is what makes WAL replay idempotent: a
+        #: crash between a checkpoint landing and the journal truncation
+        #: replays only records *beyond* the checkpoint.
+        self.last_seq = int(frozen.meta.get("wal_seq", 0))
+        self.wal = WriteAheadLog(wal_path, fsync=wal_fsync) if wal_path else None
+        self._pending_records: list[WALRecord] = []
+        self._recovering = False
+        if self.wal is not None:
+            self._pending_records = [
+                record for record in self.wal.read_records()
+                if record.seq > self.last_seq
+            ]
         self._counter = 0
         self._replicas: list[_Replica] = []
         self.publish()
@@ -200,6 +303,24 @@ class SessionPool:
             replica.served += 1
             yield replica.session
 
+    # -- failure containment ------------------------------------------- #
+    @property
+    def status(self) -> str:
+        """``"ok"`` or ``"degraded"`` (read-only after a writer failure)."""
+        return "degraded" if self.read_only else "ok"
+
+    def quarantine(self, reason: str) -> None:
+        """Degrade the pool to read-only: the writer can't be trusted.
+
+        Reads keep serving the last *published* generation (publishing is
+        the final step of every apply, so readers never saw the failed
+        write); further writes raise :class:`WriterQuarantinedError` until a
+        fresh process recovers from checkpoint + WAL.
+        """
+        self.read_only = True
+        if self.failure is None:
+            self.failure = reason
+
     # -- write path ---------------------------------------------------- #
     def publish(self) -> None:
         """Refresh the writer once and fan its state out to new replicas.
@@ -210,52 +331,180 @@ class SessionPool:
         or forward work.  When a checkpoint path is configured and the
         writer carries no tombstones, the published generation is also
         persisted as a warm-start bundle (atomically — replicas or restarted
-        servers can never observe a torn archive).
+        servers can never observe a torn archive), and the WAL — whose
+        records the checkpoint now subsumes — is truncated.
         """
+        fault_point("pool.before_publish")
         self.writer.predict()  # one refresh + forward for the whole fleet
         self._replicas = [
             _Replica(self.writer.fork(seed_cache=False))
             for _ in range(self.n_replicas)
         ]
         self.generation += 1
-        if self.checkpoint_path is not None and self.writer.n_alive == self.writer.n_nodes:
-            self.writer.to_frozen().save(self.checkpoint_path)
-            self.checkpoints += 1
+        fault_point("pool.after_publish")
+        if not self._recovering and not self._pending_records:
+            self._checkpoint()
+
+    def _checkpoint(self) -> None:
+        """Persist the published generation + its WAL seq; truncate the WAL."""
+        if self.checkpoint_path is None or self.writer.n_alive != self.writer.n_nodes:
+            return
+        snapshot = self.writer.to_frozen()
+        snapshot.meta["wal_seq"] = self.last_seq
+        fault_point("pool.before_checkpoint")
+        snapshot.save(self.checkpoint_path)
+        self.checkpoints += 1
+        self.last_checkpoint_time = time.time()
+        fault_point("pool.after_checkpoint")
+        if self.wal is not None:
+            self.wal.truncate()
+
+    def _submit(self, op: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Journal one mutation (fsync'd), then apply it."""
+        if self.read_only:
+            raise WriterQuarantinedError(
+                f"writer is quarantined ({self.failure}); the pool serves "
+                f"reads only — restart the server to recover from "
+                f"checkpoint + WAL"
+            )
+        if self._pending_records:
+            raise ConfigurationError(
+                f"the WAL at {self.wal.path} holds {len(self._pending_records)} "
+                f"unreplayed records; call recover() before writing"
+            )
+        seq = self.last_seq + 1
+        if self.wal is not None:
+            self.wal.append(op, payload, seq)
+        self.last_seq = seq
+        return self._execute(op, payload)
+
+    def _execute(self, op: str, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Apply one (already journalled) mutation and republish.
+
+        This is the single apply path shared by live writes and WAL replay —
+        sharing it is what makes recovery bit-identical.  A
+        :class:`~repro.errors.ConfigurationError` means the writer rejected
+        the request *before* mutating anything (the sessions validate up
+        front), so it maps to a client error without quarantining; any other
+        exception means the writer may be half-mutated and quarantines the
+        pool.
+        """
+        try:
+            fault_point("pool.before_apply")
+            if op == "insert":
+                ids = self.writer.insert_nodes(
+                    np.asarray(payload["features"], dtype=np.float64)
+                )
+                fault_point("pool.mid_apply")
+                self.publish()
+                return {"ids": ids, "n_alive": self.writer.n_alive}
+            if op == "update":
+                nodes = payload["nodes"]
+                self.writer.update_features(
+                    nodes, np.asarray(payload["features"], dtype=np.float64)
+                )
+                fault_point("pool.mid_apply")
+                self.publish()
+                return {"updated": int(np.atleast_1d(np.asarray(nodes)).size)}
+            if op == "delete":
+                self.writer.delete_nodes(payload["nodes"])
+                fault_point("pool.mid_apply")
+                self.publish()
+                return {
+                    "n_alive": self.writer.n_alive,
+                    "tombstones": self.writer.n_nodes - self.writer.n_alive,
+                }
+            if op == "compact":
+                remap = self.writer.compact()
+                fault_point("pool.mid_apply")
+                self.publish()
+                return {"remap": remap, "n_nodes": self.writer.n_nodes}
+            if op == "reassign":
+                moves = self.writer.reassign_clusters()
+                fault_point("pool.mid_apply")
+                self.publish()
+                return {"moves": int(moves)}
+            raise ConfigurationError(f"unknown mutation op {op!r}")
+        except ConfigurationError:
+            raise  # rejected before any mutation: client error, writer intact
+        except Exception as error:
+            self.quarantine(f"{type(error).__name__}: {error}")
+            raise
+
+    def recover(self) -> int:
+        """Replay the WAL suffix on top of the loaded state; returns count.
+
+        Records whose sequence number the starting checkpoint already covers
+        are skipped (idempotent replay); each remaining record runs through
+        the same :meth:`_execute` path as a live write — including the
+        per-mutation publish — so the reconstructed state is bit-identical
+        to a process that never crashed.  Records the live run rejected with
+        :class:`~repro.errors.ConfigurationError` deterministically reject
+        again and are skipped.  After a successful replay the recovered
+        state is immediately checkpointed (when eligible) and the journal
+        truncated.  An unexpected replay failure quarantines the pool:
+        reads serve the checkpoint state, writes are refused.
+        """
+        if self.wal is None or not self._pending_records:
+            return 0
+        pending, self._pending_records = self._pending_records, []
+        self._recovering = True
+        replayed = 0
+        try:
+            for record in pending:
+                self.last_seq = record.seq
+                try:
+                    self._execute(record.op, record.payload)
+                except ConfigurationError:
+                    continue
+                except Exception:
+                    break  # _execute already quarantined the pool
+                replayed += 1
+        finally:
+            self._recovering = False
+        self.recovered = replayed
+        if not self.read_only:
+            self._checkpoint()
+        return replayed
 
     def insert(self, features: Any) -> dict[str, Any]:
-        ids = self.writer.insert_nodes(np.asarray(features, dtype=np.float64))
-        self.publish()
-        return {"ids": ids, "n_alive": self.writer.n_alive}
+        return self._submit("insert", {"features": _feature_list(features)})
 
     def update(self, nodes: Any, features: Any) -> dict[str, Any]:
-        self.writer.update_features(nodes, np.asarray(features, dtype=np.float64))
-        self.publish()
-        return {"updated": int(np.atleast_1d(np.asarray(nodes)).size)}
+        return self._submit(
+            "update", {"nodes": _jsonable(nodes), "features": _feature_list(features)}
+        )
 
     def delete(self, nodes: Any) -> dict[str, Any]:
-        self.writer.delete_nodes(nodes)
-        self.publish()
-        return {
-            "n_alive": self.writer.n_alive,
-            "tombstones": self.writer.n_nodes - self.writer.n_alive,
-        }
+        return self._submit("delete", {"nodes": _jsonable(nodes)})
 
     def compact(self) -> dict[str, Any]:
-        remap = self.writer.compact()
-        self.publish()
-        return {"remap": remap, "n_nodes": self.writer.n_nodes}
+        return self._submit("compact", {})
 
     def reassign(self) -> dict[str, Any]:
-        moves = self.writer.reassign_clusters()
-        self.publish()
-        return {"moves": int(moves)}
+        return self._submit("reassign", {})
 
     def stats(self) -> dict[str, Any]:
+        now = time.time()
         return {
+            "status": self.status,
             "generation": self.generation,
             "replicas": self.n_replicas,
             "served_per_replica": [replica.served for replica in self._replicas],
             "checkpoints": self.checkpoints,
+            "last_checkpoint_age_s": (
+                round(now - self.last_checkpoint_time, 3)
+                if self.last_checkpoint_time is not None
+                else None
+            ),
+            "failure": self.failure,
+            "last_seq": self.last_seq,
+            "recovered": self.recovered,
+            "wal": (
+                {"path": str(self.wal.path), "depth": self.wal.depth}
+                if self.wal is not None
+                else None
+            ),
             "writer": {
                 "n_nodes": self.writer.n_nodes,
                 "n_alive": self.writer.n_alive,
@@ -275,6 +524,12 @@ class MicroBatcher:
     one event-loop → worker-thread round-trip.  Per-request validation
     errors come back as per-request exceptions (the session validates the
     batch up front), so one bad request never fails its batch-mates.
+
+    No admitted request is ever left waiting forever: an unexpected
+    ``predict_batch`` exception (replica died, injected fault) resolves
+    *every* future of the batch with that error, and stopping the batcher —
+    including cancellation mid-window — fails still-queued and half-collected
+    futures with :class:`ServerDrainingError` instead of leaking them.
     """
 
     def __init__(
@@ -306,7 +561,13 @@ class MicroBatcher:
             self._dispatcher = asyncio.create_task(self._dispatch_loop())
 
     async def stop(self, *, drain_timeout_s: float = 10.0) -> None:
-        """Finish queued and in-flight work, then stop the dispatcher."""
+        """Finish queued and in-flight work, then stop the dispatcher.
+
+        Work still pending when the drain deadline expires is *failed*, not
+        abandoned: every queued future resolves with
+        :class:`ServerDrainingError` so no client is left waiting on a
+        response that will never come.
+        """
         loop = asyncio.get_running_loop()
         deadline = loop.time() + drain_timeout_s
         while (self.pending or self._tasks) and loop.time() < deadline:
@@ -316,6 +577,16 @@ class MicroBatcher:
             with suppress(asyncio.CancelledError):
                 await self._dispatcher
             self._dispatcher = None
+        while not self._queue.empty():
+            self._abort_batch([self._queue.get_nowait()])
+
+    def _abort_batch(self, batch: list) -> None:
+        """Fail a batch that will never be dispatched (shutdown path)."""
+        error = ServerDrainingError("server stopped before the request was served")
+        for _, future in batch:
+            if not future.done():
+                future.set_exception(error)
+        self.pending -= len(batch)
 
     async def submit(self, request: Mapping[str, Any]) -> Any:
         """Queue one predict request; resolves to its result (or raises).
@@ -338,22 +609,35 @@ class MicroBatcher:
     async def _dispatch_loop(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
-            batch = [await self._queue.get()]
-            if self.window_s > 0:
-                deadline = loop.time() + self.window_s
-                while len(batch) < self.max_batch_size:
-                    remaining = deadline - loop.time()
-                    if remaining <= 0:
-                        break
-                    try:
-                        batch.append(
-                            await asyncio.wait_for(self._queue.get(), remaining)
-                        )
-                    except asyncio.TimeoutError:
-                        break
+            batch: list = []
+            try:
+                batch.append(await self._queue.get())
+                if self.window_s > 0:
+                    deadline = loop.time() + self.window_s
+                    while len(batch) < self.max_batch_size:
+                        remaining = deadline - loop.time()
+                        if remaining <= 0:
+                            break
+                        try:
+                            batch.append(
+                                await asyncio.wait_for(self._queue.get(), remaining)
+                            )
+                        except asyncio.TimeoutError:
+                            break
+            except asyncio.CancelledError:
+                # Shutdown mid-collection: the half-built batch would leak
+                # its futures (clients waiting forever) — fail them instead.
+                self._abort_batch(batch)
+                raise
             task = asyncio.create_task(self._run_batch(batch))
             self._tasks.add(task)
             task.add_done_callback(self._tasks.discard)
+
+    @staticmethod
+    def _dispatch(session: InferenceSession, requests: list) -> list:
+        """The worker-thread body of one batch (fault-injectable)."""
+        fault_point("batcher.before_dispatch")
+        return session.predict_batch(requests, on_error="return")
 
     async def _run_batch(self, batch: list) -> None:
         loop = asyncio.get_running_loop()
@@ -361,10 +645,19 @@ class MicroBatcher:
         try:
             async with self.pool.acquire() as session:
                 results = await loop.run_in_executor(
-                    self.executor,
-                    partial(session.predict_batch, requests, on_error="return"),
+                    self.executor, partial(self._dispatch, session, requests)
                 )
-        except Exception as error:  # replica died: fail the whole batch
+        except asyncio.CancelledError:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(
+                        ServerDrainingError("server stopped mid-batch")
+                    )
+            raise
+        except Exception as error:
+            # Replica died or predict_batch itself raised: every submitter
+            # of the batch gets the error (mapped to a structured 500
+            # upstream) — never a silently dropped future.
             for _, future in batch:
                 if not future.done():
                     future.set_exception(error)
@@ -395,6 +688,14 @@ class MicroBatcher:
         }
 
 
+def _existing_bundle(path: Path) -> Path | None:
+    """``path`` if a bundle exists there (with or without the .npz suffix)."""
+    if path.exists():
+        return path
+    alternate = path.with_suffix(path.suffix + ".npz")
+    return alternate if alternate.exists() else None
+
+
 class ServingServer:
     """Asyncio HTTP/JSON front-end over a :class:`SessionPool`.
 
@@ -403,7 +704,9 @@ class ServingServer:
     ========  ==============  ====================================================
     method    path            body → response
     ========  ==============  ====================================================
-    GET       ``/healthz``    → ``{"status", "generation", "n_alive"}``
+    GET       ``/healthz``    → ``{"status": "ok"|"degraded"|"draining",
+                              "generation", "n_alive", "queue_depth",
+                              "wal_depth", "last_checkpoint_age_s"}``
     GET       ``/stats``      → server / batcher / pool statistics
     POST      ``/predict``    ``{"node": 3}`` or ``{"nodes": [...]|null,
                               "output": "labels"|"logits"|"embeddings"}``
@@ -417,19 +720,39 @@ class ServingServer:
 
     Error mapping: invalid request → 400 with ``{"error": ...}`` (scoped to
     the one request even inside a coalesced batch), queue full → 429,
-    draining → 503, unknown path → 404.
+    draining or writer quarantined → 503 (the latter with ``Retry-After``),
+    deadline expired → 504, unexpected failure → structured 500 JSON (the
+    connection survives), unknown path → 404.
+
+    Startup is restart-aware: when ``config.checkpoint_path`` names an
+    existing bundle, the server loads *it* (the newest published generation)
+    instead of the cold bundle argument, then replays the WAL suffix via
+    :meth:`SessionPool.recover` — after a crash, predictions are
+    bit-identical to a server that never died.
     """
 
     def __init__(self, frozen: FrozenModel | str | Path, config: ServerConfig | None = None):
-        if not isinstance(frozen, FrozenModel):
-            frozen = FrozenModel.load(frozen)
         self.config = config or ServerConfig()
+        checkpoint = (
+            _existing_bundle(Path(self.config.checkpoint_path))
+            if self.config.checkpoint_path
+            else None
+        )
+        if checkpoint is not None:
+            # Warm restart: the checkpoint is a later generation of the same
+            # bundle (it carries the WAL high-water mark for replay dedup).
+            frozen = FrozenModel.load(checkpoint)
+        elif not isinstance(frozen, FrozenModel):
+            frozen = FrozenModel.load(frozen)
         self.pool = SessionPool(
             frozen,
             replicas=self.config.replicas,
             cluster_assignment=self.config.cluster_assignment,
             checkpoint_path=self.config.checkpoint_path,
+            wal_path=self.config.wal_path,
+            wal_fsync=self.config.wal_fsync,
         )
+        self.recovered = self.pool.recover()
         # One worker per replica plus a dedicated slot for the write path,
         # so a publish can never deadlock behind a full read fleet.
         self._executor = ThreadPoolExecutor(
@@ -488,10 +811,19 @@ class ServingServer:
             self._server = None
         self._executor.shutdown(wait=True, cancel_futures=True)
 
+    @property
+    def status(self) -> str:
+        """The health state machine: ``ok`` → ``degraded`` → ``draining``."""
+        if self._draining:
+            return "draining"
+        return self.pool.status
+
     def stats(self) -> dict[str, Any]:
         return {
+            "status": self.status,
             "draining": self._draining,
             "connections": self.connections,
+            "recovered": self.recovered,
             "batcher": self.batcher.stats(),
             "pool": self.pool.stats(),
             "config": {
@@ -499,6 +831,9 @@ class ServingServer:
                 "batch_window_ms": self.config.batch_window_ms,
                 "max_batch_size": self.config.max_batch_size,
                 "max_queue_depth": self.config.max_queue_depth,
+                "request_timeout_s": self.config.request_timeout_s,
+                "write_timeout_s": self.config.write_timeout_s,
+                "wal": self.config.wal_path is not None,
             },
         }
 
@@ -548,9 +883,13 @@ class ServingServer:
                         body = await reader.readexactly(length)
                     except asyncio.IncompleteReadError:
                         break
-                status, payload = await self._route(method, target.partition("?")[0], body)
+                status, payload, extra = await self._route(
+                    method, target.partition("?")[0], body
+                )
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-                await self._respond(writer, status, payload, keep_alive=keep_alive)
+                await self._respond(
+                    writer, status, payload, keep_alive=keep_alive, extra_headers=extra
+                )
                 if not keep_alive:
                     break
         finally:
@@ -566,12 +905,17 @@ class ServingServer:
         payload: dict[str, Any],
         *,
         keep_alive: bool = False,
+        extra_headers: Mapping[str, str] | None = None,
     ) -> None:
         data = json.dumps(payload).encode()
+        extras = "".join(
+            f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(data)}\r\n"
+            f"{extras}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + data)
@@ -581,72 +925,140 @@ class ServingServer:
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    def _health_payload(self) -> dict[str, Any]:
+        pool_stats = self.pool.stats()
+        payload: dict[str, Any] = {
+            "status": self.status,
+            "generation": self.pool.generation,
+            "n_alive": self.pool.writer.n_alive,
+            "queue_depth": self.batcher.pending,
+            "wal_depth": (
+                self.pool.wal.depth if self.pool.wal is not None else None
+            ),
+            "last_checkpoint_age_s": pool_stats["last_checkpoint_age_s"],
+        }
+        if self.pool.failure is not None:
+            payload["failure"] = self.pool.failure
+        return payload
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict, dict[str, str] | None]:
         try:
             if method == "GET":
                 if path in ("/healthz", "/health"):
-                    return 200, {
-                        "status": "draining" if self._draining else "ok",
-                        "generation": self.pool.generation,
-                        "n_alive": self.pool.writer.n_alive,
-                    }
+                    return 200, self._health_payload(), None
                 if path == "/stats":
-                    return 200, _jsonable(self.stats())
-                return 404, {"error": f"unknown path {path!r}"}
+                    return 200, _jsonable(self.stats()), None
+                return 404, {"error": f"unknown path {path!r}"}, None
             if method != "POST":
-                return 405, {"error": f"unsupported method {method!r}"}
+                return 405, {"error": f"unsupported method {method!r}"}, None
             if self._draining:
-                return 503, {"error": "server is draining"}
+                return 503, {"error": "server is draining"}, None
             try:
                 payload = json.loads(body.decode() or "{}")
             except (json.JSONDecodeError, UnicodeDecodeError) as error:
-                return 400, {"error": f"invalid JSON body: {error}"}
+                return 400, {"error": f"invalid JSON body: {error}"}, None
             if not isinstance(payload, Mapping):
-                return 400, {"error": "request body must be a JSON object"}
+                return 400, {"error": "request body must be a JSON object"}, None
             if path == "/predict":
                 return await self._route_predict(payload)
             if path in ("/insert", "/update", "/delete", "/compact", "/reassign"):
                 return await self._route_write(path, payload)
-            return 404, {"error": f"unknown path {path!r}"}
+            return 404, {"error": f"unknown path {path!r}"}, None
         except ServerOverloadedError as error:
-            return 429, {"error": str(error)}
+            return 429, {"error": str(error)}, None
+        except ServerDrainingError as error:
+            return 503, {"error": str(error)}, None
+        except WriterQuarantinedError as error:
+            return (
+                503,
+                {"error": str(error), "status": "degraded"},
+                {"Retry-After": "30"},
+            )
         except ConfigurationError as error:
-            return 400, {"error": str(error)}
-        except Exception as error:  # pragma: no cover - defensive
-            return 500, {"error": f"{type(error).__name__}: {error}"}
+            return 400, {"error": str(error)}, None
+        except Exception as error:
+            # Never drop the connection on an internal failure: every error
+            # maps to a structured JSON body the client can parse.
+            return (
+                500,
+                {"error": f"{type(error).__name__}: {error}",
+                 "type": type(error).__name__},
+                None,
+            )
 
-    async def _route_predict(self, payload: Mapping[str, Any]) -> tuple[int, dict]:
+    async def _route_predict(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[int, dict, dict[str, str] | None]:
         if "node" in payload and "nodes" not in payload:
             nodes: Any = payload["node"]
         else:
             nodes = payload.get("nodes")
         request = {"nodes": nodes, "output": payload.get("output", "labels")}
+        timeout = self.config.request_timeout_s
         try:
-            result = await self.batcher.submit(request)
+            if timeout is not None:
+                result = await asyncio.wait_for(self.batcher.submit(request), timeout)
+            else:
+                result = await self.batcher.submit(request)
+        except asyncio.TimeoutError:
+            return (
+                504,
+                {"error": f"predict deadline of {timeout}s exceeded",
+                 "timeout_s": timeout},
+                None,
+            )
         except ConfigurationError as error:
-            return 400, {"error": str(error)}
-        return 200, {"result": _jsonable(result), "generation": self.pool.generation}
+            return 400, {"error": str(error)}, None
+        return (
+            200,
+            {"result": _jsonable(result), "generation": self.pool.generation},
+            None,
+        )
 
-    async def _route_write(self, path: str, payload: Mapping[str, Any]) -> tuple[int, dict]:
+    async def _route_write(
+        self, path: str, payload: Mapping[str, Any]
+    ) -> tuple[int, dict, dict[str, str] | None]:
         loop = asyncio.get_running_loop()
         if path == "/insert":
             if "features" not in payload:
-                return 400, {"error": "/insert needs a 'features' matrix"}
+                return 400, {"error": "/insert needs a 'features' matrix"}, None
             call = partial(self.pool.insert, payload["features"])
         elif path == "/update":
             if "nodes" not in payload or "features" not in payload:
-                return 400, {"error": "/update needs 'nodes' and 'features'"}
+                return 400, {"error": "/update needs 'nodes' and 'features'"}, None
             call = partial(self.pool.update, payload["nodes"], payload["features"])
         elif path == "/delete":
             if "nodes" not in payload:
-                return 400, {"error": "/delete needs 'nodes'"}
+                return 400, {"error": "/delete needs 'nodes'"}, None
             call = partial(self.pool.delete, payload["nodes"])
         elif path == "/compact":
             call = self.pool.compact
         else:
             call = self.pool.reassign
-        async with self._write_lock:
-            result = await loop.run_in_executor(self._executor, call)
+        timeout = self.config.write_timeout_s
+        try:
+            async with self._write_lock:
+                future = loop.run_in_executor(self._executor, call)
+                if timeout is not None:
+                    result = await asyncio.wait_for(future, timeout)
+                else:
+                    result = await future
+        except asyncio.TimeoutError:
+            # The worker thread is still running somewhere past its budget;
+            # its final state is unknowable, so the writer can no longer be
+            # trusted — degrade to read-only rather than risk serving (or
+            # checkpointing) a half-applied mutation later.
+            self.pool.quarantine(
+                f"write to {path} exceeded its {timeout}s deadline"
+            )
+            return (
+                504,
+                {"error": f"write deadline of {timeout}s exceeded; pool "
+                          f"degraded to read-only", "timeout_s": timeout},
+                None,
+            )
         result = dict(result)
         result["generation"] = self.pool.generation
-        return 200, _jsonable(result)
+        return 200, _jsonable(result), None

@@ -65,9 +65,13 @@ from repro.hypergraph.kmeans import assign_to_centroids
 from repro.hypergraph.laplacian import compactness_hyperedge_weights
 from repro.hypergraph.neighbors import IncrementalBackend
 from repro.hypergraph.refresh import OperatorCache, TopologyRefreshEngine
+from repro.serving.faults import declare_fault_point, fault_point
 from repro.serving.frozen import FrozenModel, TopologySlot, _DHGCNPlan, _ModulePlan
 
 _OUTPUTS = ("labels", "logits", "embeddings")
+
+declare_fault_point("session.mid_mutation", "feature state mutated, topology stale")
+declare_fault_point("session.before_refresh", "start of the scoped refresh cascade")
 
 
 def _node_index(nodes: Any, context: str) -> np.ndarray:
@@ -390,6 +394,7 @@ class InferenceSession:
             )
         self._features[index] = values
         self._moved[index] = True
+        fault_point("session.mid_mutation")
         self._mark_stale()
 
     def insert_nodes(self, new_features: np.ndarray) -> np.ndarray:
@@ -425,6 +430,7 @@ class InferenceSession:
             [self._deleted, np.zeros(new_features.shape[0], dtype=bool)]
         )
         self._inserted += new_features.shape[0]
+        fault_point("session.mid_mutation")
         self._mark_stale()
         return np.arange(first, self.n_nodes, dtype=np.int64)
 
@@ -721,6 +727,7 @@ class InferenceSession:
 
     def _refresh(self) -> None:
         """Scoped topology refresh + forward, cascading through the layers."""
+        fault_point("session.before_refresh")
         plan = self.plan
         n = self.n_nodes
         alive = self.alive_ids

@@ -41,10 +41,15 @@ from repro.errors import ConfigurationError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.neighbors import IncrementalBackend, NeighborBackend
 from repro.hypergraph.refresh import OperatorCache
+from repro.serving.faults import declare_fault_point, fault_point
 from repro.utils.io import pack_csr, unpack_csr
 
 #: Format tag written into every archive (bump on incompatible layout change).
 STORE_FORMAT = "repro-operator-store/v1"
+
+declare_fault_point("store.before_fsync", "archive assembled in the temp file")
+declare_fault_point("store.before_replace", "temp archive durable, not yet visible")
+declare_fault_point("store.after_replace", "new archive visible at its final path")
 
 
 def pack_hypergraph(hypergraph: Hypergraph, prefix: str = "") -> dict[str, np.ndarray]:
@@ -175,8 +180,11 @@ class OperatorStore:
             with open(temp, "wb") as handle:
                 np.savez_compressed(handle, **arrays)
                 handle.flush()
+                fault_point("store.before_fsync")
                 os.fsync(handle.fileno())
+            fault_point("store.before_replace")
             os.replace(temp, path)
+            fault_point("store.after_replace")
         finally:
             temp.unlink(missing_ok=True)
         return path
