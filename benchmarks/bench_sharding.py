@@ -1,0 +1,257 @@
+"""Sharded k-NN benchmark (``repro.hypergraph.sharding``).
+
+Three measurements over one clustered synthetic node set:
+
+**Cross-shard bit-identity (asserted).**  A seeded churn script (movers,
+deletions, insertions) runs through :class:`ShardedBackend` at shard counts
+{1, 2, 4}; after *every* step the merged cross-shard answer must equal the
+brute-force reference bit for bit.  This is the contract that makes shard
+rebalancing a pure cost decision — partitioning can never change an answer,
+only where the work happens.
+
+**Churn-refresh cost (asserted).**  The same churn script timed against the
+unsharded exact backend, which owns no state and pays a full O(n²) rebuild
+at every refresh — the baseline a stateless serving tier pays.  The sharded
+backend repairs per-shard candidate lists instead and must finish the whole
+script **>= 1.5x** faster at 4 shards.  The stateful unsharded incremental
+backend runs the identical script and is *reported* alongside (it is the
+serial cost floor: one global candidate list does strictly less bookkeeping
+than four per-shard lists — what sharding buys over it is not serial speed
+but independent per-shard repair units, which is what the process pool and
+the per-shard memory budget scale on).
+
+**Parallel rebuild (reported).**  One full per-shard rebuild, serial vs a
+warm 4-worker process pool.  Shards are disjoint corpus slices, so the
+passes parallelise across processes; the wall-clock ratio is reported with
+the machine's core count rather than asserted, because CI runners (and this
+container) may expose a single core, where pool IPC can only lose.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_sharding.py``);
+``REPRO_BENCH_QUICK=1`` selects the CI smoke configuration.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import emit  # noqa: E402
+
+from repro.hypergraph import (  # noqa: E402
+    ExactBackend,
+    IncrementalBackend,
+    ShardedBackend,
+    knn_indices_bruteforce,
+    make_shard_map,
+)
+from repro.training.results import ResultTable  # noqa: E402
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+N_NODES = 1600 if QUICK else 2400
+N_DIMS = 16
+N_CLUSTERS = 4
+N_SHARDS = 4
+K = 8
+CHURN_ROUNDS = 4 if QUICK else 8
+MOVERS_PER_ROUND = 10
+DELETES_PER_ROUND = 8
+INSERTS_PER_ROUND = 6
+#: The asserted floor: sharded churn refresh vs the stateless exact rebuild.
+SPEEDUP_BAR = 1.5
+#: Shard counts swept by the bit-identity phase.
+IDENTITY_SHARD_COUNTS = (1, 2, 4)
+
+
+def _clustered_features(seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=30.0, size=(N_CLUSTERS, N_DIMS))
+    labels = rng.integers(0, N_CLUSTERS, size=n)
+    return centers[labels] + rng.normal(scale=0.5, size=(n, N_DIMS))
+
+
+def _churn_script(backend, features: np.ndarray) -> dict:
+    """Run the seeded churn script through ``backend``; one query per step.
+
+    Every backend sees the byte-identical sequence of feature matrices, so
+    the timings are directly comparable (answers are pinned bit-exact by
+    the identity phase, which replays this exact script).
+    """
+    rng = np.random.default_rng(99)
+    current = features.copy()
+    backend.query(current, K)  # warm build: untimed state priming
+    start = time.perf_counter()
+    for _ in range(CHURN_ROUNDS):
+        # movers: perturb a handful of rows in place
+        ids = rng.choice(current.shape[0], size=MOVERS_PER_ROUND, replace=False)
+        current = current.copy()
+        current[ids] += rng.normal(scale=1.0, size=(ids.size, N_DIMS))
+        backend.query(current, K)
+        # insert: append fresh rows (stateful backends grow their state)
+        grown = np.vstack(
+            [current, _clustered_features(int(rng.integers(1 << 30)), INSERTS_PER_ROUND)]
+        )
+        getattr(backend, "insert", lambda _f: False)(grown)
+        current = grown
+        backend.query(current, K)
+        # delete: shrink (stateful backends repair their state)
+        keep = np.ones(current.shape[0], dtype=bool)
+        keep[rng.choice(current.shape[0], size=DELETES_PER_ROUND, replace=False)] = False
+        backend.delete(keep)
+        current = current[keep]
+        backend.query(current, K)
+    elapsed = time.perf_counter() - start
+    return {"elapsed_s": elapsed, "queries": 3 * CHURN_ROUNDS}
+
+
+def _verify_bit_identity(features: np.ndarray) -> int:
+    """Every step of the churn script, at every shard count, vs brute force."""
+    checked = 0
+    for n_shards in IDENTITY_SHARD_COUNTS:
+        rng = np.random.default_rng(99)
+        backend = ShardedBackend(n_shards=n_shards)
+        current = features.copy()
+        backend.query(current, K)
+        for _ in range(CHURN_ROUNDS):
+            ids = rng.choice(current.shape[0], size=MOVERS_PER_ROUND, replace=False)
+            current = current.copy()
+            current[ids] += rng.normal(scale=1.0, size=(ids.size, N_DIMS))
+            assert np.array_equal(
+                backend.query(current, K), knn_indices_bruteforce(current, K)
+            ), f"mover step diverged at {n_shards} shards"
+            grown = np.vstack(
+                [current, _clustered_features(int(rng.integers(1 << 30)), INSERTS_PER_ROUND)]
+            )
+            backend.insert(grown)
+            current = grown
+            assert np.array_equal(
+                backend.query(current, K), knn_indices_bruteforce(current, K)
+            ), f"insert step diverged at {n_shards} shards"
+            keep = np.ones(current.shape[0], dtype=bool)
+            keep[
+                rng.choice(current.shape[0], size=DELETES_PER_ROUND, replace=False)
+            ] = False
+            backend.delete(keep)
+            current = current[keep]
+            assert np.array_equal(
+                backend.query(current, K), knn_indices_bruteforce(current, K)
+            ), f"delete step diverged at {n_shards} shards"
+            checked += 3
+    return checked
+
+
+def _measure_parallel_rebuild(features: np.ndarray) -> dict:
+    """One full per-shard rebuild: serial vs a warm 4-worker process pool."""
+    shard_map = make_shard_map(features, N_SHARDS, seed=0)
+
+    serial = ShardedBackend(n_shards=N_SHARDS, shard_map=shard_map)
+    start = time.perf_counter()
+    serial.query(features, K)
+    serial_s = time.perf_counter() - start
+
+    pooled = ShardedBackend(n_shards=N_SHARDS, shard_map=shard_map, workers=N_SHARDS)
+    pool = pooled._ensure_pool()
+    list(pool.map(int, range(N_SHARDS)))  # spawn cost paid before the clock
+    start = time.perf_counter()
+    result = pooled.query(features, K)
+    pooled_s = time.perf_counter() - start
+    pooled.close()
+    assert np.array_equal(result, serial.query(features, K))
+    return {
+        "serial_s": serial_s,
+        "pooled_s": pooled_s,
+        "speedup": serial_s / pooled_s,
+        "cores": os.cpu_count() or 1,
+    }
+
+
+def main() -> None:
+    mode = "quick" if QUICK else "full"
+    print(
+        f"sharding benchmark ({mode} mode): n={N_NODES}, k={K}, "
+        f"{N_SHARDS} shards, {CHURN_ROUNDS} churn rounds"
+    )
+    features = _clustered_features(0, N_NODES)
+
+    # -- Phase 1: cross-shard bit-identity (asserted) ------------------- #
+    checked = _verify_bit_identity(features)
+    print(
+        f"bit-identity: {checked} churn-step answers match brute force "
+        f"across shard counts {IDENTITY_SHARD_COUNTS}"
+    )
+
+    # -- Phase 2: churn-refresh cost (asserted) ------------------------- #
+    backends = [
+        ("exact (full rebuild)", ExactBackend()),
+        ("incremental t=0", IncrementalBackend(tolerance=0.0)),
+        (f"sharded @ {N_SHARDS}", ShardedBackend(n_shards=N_SHARDS)),
+    ]
+    table = ResultTable(
+        ["backend", "total (s)", "ms / refresh", "rows requeried"],
+        title=(
+            f"Churn refresh: {CHURN_ROUNDS} rounds of move+insert+delete "
+            f"over n={N_NODES}, k={K}"
+        ),
+    )
+    rows = {}
+    for label, backend in backends:
+        run = _churn_script(backend, features)
+        stats = getattr(backend, "stats", dict)()
+        run["rows_requeried"] = stats.get("rows_requeried", 3 * CHURN_ROUNDS * N_NODES)
+        rows[label] = run
+        table.add_row(
+            [
+                label,
+                round(run["elapsed_s"], 4),
+                round(run["elapsed_s"] / run["queries"] * 1e3, 2),
+                run["rows_requeried"],
+            ]
+        )
+
+    # -- Phase 3: parallel rebuild (reported) --------------------------- #
+    rebuild = _measure_parallel_rebuild(features)
+    rebuild_table = ResultTable(
+        ["rebuild", "seconds", "speedup", "cores"],
+        title=f"Full per-shard rebuild: serial vs {N_SHARDS}-worker process pool",
+    )
+    rebuild_table.add_row(["serial", round(rebuild["serial_s"], 4), 1.0, rebuild["cores"]])
+    rebuild_table.add_row(
+        [
+            f"{N_SHARDS} workers",
+            round(rebuild["pooled_s"], 4),
+            round(rebuild["speedup"], 2),
+            rebuild["cores"],
+        ]
+    )
+
+    emit(table, "bench_sharding_refresh", extra={"mode": mode, "rows": rows})
+    emit(
+        rebuild_table,
+        "bench_sharding_rebuild",
+        extra={"mode": mode, "rows": rebuild, "speedup_bar": SPEEDUP_BAR},
+    )
+
+    exact_s = rows["exact (full rebuild)"]["elapsed_s"]
+    sharded_s = rows[f"sharded @ {N_SHARDS}"]["elapsed_s"]
+    speedup = exact_s / sharded_s
+    assert sharded_s * SPEEDUP_BAR <= exact_s, (
+        f"sharded churn refresh only reached {speedup:.2f}x over the unsharded "
+        f"exact rebuild (bar: {SPEEDUP_BAR}x; {sharded_s:.3f}s vs {exact_s:.3f}s)"
+    )
+    print(
+        f"OK: sharded@{N_SHARDS} refreshed the churn script {speedup:.2f}x faster "
+        f"than the unsharded exact rebuild (bar {SPEEDUP_BAR}x), answers "
+        f"bit-identical at shard counts {IDENTITY_SHARD_COUNTS}; "
+        f"{N_SHARDS}-worker rebuild speedup {rebuild['speedup']:.2f}x on "
+        f"{rebuild['cores']} core(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -159,6 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument(
         "--result", default=None, help="also save the TrainResult as JSON here"
     )
+    export.add_argument(
+        "--shards", type=int, default=None,
+        help="also persist a k-means shard map over this many shards into the "
+        "bundle meta; sessions and servers loading the bundle come up sharded "
+        "(per-shard neighbour state, scoped repairs, rebalance on compact)",
+    )
 
     predict = subparsers.add_parser(
         "predict", help="answer queries from a serving bundle"
@@ -253,6 +259,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--cluster-assignment", choices=("nearest", "frozen"), default="nearest",
         help="cluster policy for nodes inserted through POST /insert",
     )
+    serve.add_argument(
+        "--shards", type=int, default=None,
+        help="serve with a sharded session pool over this many k-means shards "
+        "(a bundle exported with --shards comes up sharded automatically)",
+    )
+    serve.add_argument(
+        "--refresh-workers", type=int, default=None,
+        help="process-pool size for parallel per-shard candidate rebuilds "
+        "(default: serial; only meaningful with sharding)",
+    )
     return parser
 
 
@@ -338,13 +354,24 @@ def _command_export(args: argparse.Namespace) -> int:
     )
     trainer = Trainer(model, dataset, config)
     result = trainer.train()
-    trainer.export_frozen(args.out)
+    frozen = trainer.export_frozen(args.out)
+    if args.shards:
+        from repro.hypergraph.sharding import make_shard_map
+
+        # The map rides in the bundle meta; anything loading the bundle
+        # (InferenceSession via SessionPool, `repro serve`) comes up sharded.
+        frozen.meta["shard_map"] = make_shard_map(
+            frozen.features, args.shards, seed=args.seed
+        ).to_meta()
+        frozen.save(args.out)
     if args.result:
         result.save(args.result)
     print(f"dataset      : {dataset.name} ({dataset.n_nodes} nodes)")
     print(f"model        : {args.model} ({result.n_parameters} parameters)")
     print(f"test accuracy: {result.test_accuracy:.4f}")
     print(f"bundle       : {args.out}")
+    if args.shards:
+        print(f"shards       : {args.shards}")
     if args.result:
         print(f"result       : {args.result}")
     return 0
@@ -423,6 +450,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         request_timeout_s=args.request_timeout_s or None,
         write_timeout_s=args.write_timeout_s or None,
         cluster_assignment=args.cluster_assignment,
+        shards=args.shards,
+        refresh_workers=args.refresh_workers,
     )
 
     async def run() -> None:

@@ -130,15 +130,30 @@ def as_feature_matrix(features: np.ndarray) -> np.ndarray:
     return features
 
 
-def _validate(features: np.ndarray, k: int, include_self: bool) -> np.ndarray:
+def _validate(
+    features: np.ndarray, k: int, include_self: bool, *, clamp_k: bool = False
+) -> tuple[np.ndarray, int]:
+    """Normalise ``features`` and validate (or clamp) ``k``.
+
+    Returns ``(features, k)``.  By default an infeasible ``k`` raises — the
+    historical contract, pinned by the backend suite.  With ``clamp_k=True``
+    the requested ``k`` is reduced to the largest feasible value instead,
+    which is what churned serving sessions need: after heavy deletion a shard
+    (or the whole session) can drop below ``k + 1`` rows, and the refresh
+    should degrade to "every survivor is a neighbour" rather than crash the
+    writer.  A population with no feasible neighbour at all (``n == 0``, or
+    ``n == 1`` without ``include_self``) still raises.
+    """
     features = as_feature_matrix(features)
     n = features.shape[0]
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     limit = n if include_self else n - 1
     if k > limit:
-        raise ValueError(f"k={k} is too large for {n} nodes (include_self={include_self})")
-    return features
+        if not clamp_k or limit < 1:
+            raise ValueError(f"k={k} is too large for {n} nodes (include_self={include_self})")
+        k = limit
+    return features, k
 
 
 def knn_indices_bruteforce(
@@ -147,13 +162,14 @@ def knn_indices_bruteforce(
     *,
     include_self: bool = False,
     metric: str = "euclidean",
+    clamp_k: bool = False,
 ) -> np.ndarray:
     """Reference k-NN via the full distance matrix (O(n²) memory).
 
     Kept as the ground truth every other backend is verified against; prefer
     :func:`knn_indices` everywhere else.
     """
-    features = _validate(features, k, include_self)
+    features, k = _validate(features, k, include_self, clamp_k=clamp_k)
     n = features.shape[0]
     distances = distance_block(features, features, metric=metric)
     if not include_self:
@@ -171,6 +187,7 @@ def knn_indices(
     metric: str = "euclidean",
     block_size: int | None = None,
     backend=None,
+    clamp_k: bool = False,
 ) -> np.ndarray:
     """Indices of the ``k`` nearest neighbours of every row of ``features``.
 
@@ -193,6 +210,10 @@ def knn_indices(
         registered backend name (``"exact"``, ``"incremental"``, ``"lsh"``)
         or a :class:`repro.hypergraph.neighbors.NeighborBackend` instance.
         Named backends are constructed with this ``block_size``.
+    clamp_k:
+        When ``True`` an infeasible ``k`` is clamped to the population limit
+        (``n - 1``, or ``n`` with ``include_self``) instead of raising; a
+        population with no feasible neighbour still raises.
 
     Returns
     -------
@@ -205,9 +226,11 @@ def knn_indices(
         from repro.hypergraph.neighbors import resolve_backend
 
         resolved = resolve_backend(backend, block_size=block_size)
-        return resolved.query(features, k, include_self=include_self, metric=metric)
+        return resolved.query(
+            features, k, include_self=include_self, metric=metric, clamp_k=clamp_k
+        )
 
-    features = _validate(features, k, include_self)
+    features, k = _validate(features, k, include_self, clamp_k=clamp_k)
     n = features.shape[0]
     indices, _ = knn_query_rows(
         features,
@@ -228,6 +251,7 @@ def knn_query_rows(
     include_self: bool = False,
     metric: str = "euclidean",
     block_size: int | None = None,
+    clamp_k: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Exact k-NN restricted to the query ``rows`` (chunked, tie-safe).
 
@@ -239,7 +263,7 @@ def knn_query_rows(
     locally re-sorts) these values, so they must come from the same kernel,
     not a recomputation.
     """
-    features = _validate(features, k, include_self)
+    features, k = _validate(features, k, include_self, clamp_k=clamp_k)
     rows = np.asarray(rows, dtype=np.int64)
     if rows.ndim != 1:
         raise ShapeError(f"rows must be 1-D, got shape {rows.shape}")
@@ -260,6 +284,71 @@ def knn_query_rows(
         _topk_rows(slab, k, out=out)
         distances[start : start + chunk.shape[0]] = np.take_along_axis(slab, out, axis=1)
     return indices, distances
+
+
+def knn_against_corpus(
+    queries: np.ndarray,
+    corpus: np.ndarray,
+    t: int,
+    *,
+    metric: str = "euclidean",
+    block_size: int | None = None,
+    corpus_ids: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Top-``t`` members of ``corpus`` for every row of ``queries``.
+
+    The asymmetric primitive of the sharded backend
+    (:mod:`repro.hypergraph.sharding`): each shard is a *corpus* slice of the
+    node set, and every query row ranks that slice independently.  Returns
+    ``(indices, distances)``, both ``(len(queries), t)``, ordered by the
+    documented ``(distance, index)`` tie-break.
+
+    ``corpus_ids`` optionally maps corpus rows back to global node ids; it
+    must be **strictly increasing** so that the local-column tie-break used
+    by the top-``t`` selection coincides with the global-id tie-break — this
+    is what makes a per-shard top-``t`` merge bit-identical to an unsharded
+    search (shard member lists come from ``np.flatnonzero``, which is sorted
+    by construction).  No self-exclusion happens here: a query that is itself
+    a corpus member ranks itself at distance zero, and callers drop it after
+    merging.
+    """
+    queries = as_feature_matrix(queries)
+    corpus = as_feature_matrix(corpus)
+    if queries.dtype != corpus.dtype:
+        raise ValueError(
+            f"queries ({queries.dtype}) and corpus ({corpus.dtype}) dtypes must match"
+        )
+    if queries.shape[1] != corpus.shape[1]:
+        raise ShapeError(
+            f"queries have {queries.shape[1]} columns, corpus has {corpus.shape[1]}"
+        )
+    m = corpus.shape[0]
+    if t <= 0 or t > m:
+        raise ValueError(f"t={t} must be in [1, {m}] for a corpus of {m} rows")
+    if corpus_ids is None:
+        corpus_ids = np.arange(m, dtype=np.int64)
+    else:
+        corpus_ids = np.asarray(corpus_ids, dtype=np.int64)
+        if corpus_ids.shape != (m,):
+            raise ShapeError(f"corpus_ids must have shape ({m},), got {corpus_ids.shape}")
+        if m > 1 and np.any(np.diff(corpus_ids) <= 0):
+            raise ValueError("corpus_ids must be strictly increasing")
+    if block_size is None:
+        block_size = DEFAULT_BLOCK_SIZE
+    block_size = int(block_size)
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+
+    n_queries = queries.shape[0]
+    local = np.empty((n_queries, t), dtype=np.int64)
+    distances = np.empty((n_queries, t), dtype=queries.dtype)
+    for start in range(0, n_queries, block_size):
+        stop = min(start + block_size, n_queries)
+        slab = distance_block(queries[start:stop], corpus, metric=metric)
+        out = local[start:stop]
+        _topk_rows(slab, t, out=out)
+        distances[start:stop] = np.take_along_axis(slab, out, axis=1)
+    return corpus_ids[local], distances
 
 
 def _topk_rows(distances: np.ndarray, k: int, out: np.ndarray) -> None:

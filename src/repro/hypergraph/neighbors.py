@@ -29,7 +29,10 @@ The backend contract (pinned per-backend by
 * validation is uniform: non-2-D features raise
   :class:`~repro.errors.ShapeError`; ``k <= 0``, ``k`` too large for ``n``
   (including empty feature matrices) raise :class:`ValueError` — every
-  backend shares the kernel's validator;
+  backend shares the kernel's validator.  ``query(..., clamp_k=True)`` opts
+  into clamping an infeasible ``k`` to the population limit instead (the
+  small-population escape hatch churned serving sessions and small shards
+  rely on); a population with no feasible neighbour at all still raises;
 * ``update(moved_mask, features)`` lets callers push an explicit movement
   hint into stateful backends; stateless backends return ``None``;
 * ``delete(keep_mask)`` shrinks stateful backends' cached rows to a keep
@@ -73,8 +76,13 @@ class NeighborBackend(abc.ABC):
         *,
         include_self: bool = False,
         metric: str = "euclidean",
+        clamp_k: bool = False,
     ) -> np.ndarray:
-        """``(n, k)`` int64 neighbour indices of every row of ``features``."""
+        """``(n, k)`` int64 neighbour indices of every row of ``features``.
+
+        With ``clamp_k=True`` an infeasible ``k`` is clamped to the population
+        limit (the returned array is then ``(n, limit)``) instead of raising.
+        """
 
     def update(self, moved_mask: np.ndarray, features: np.ndarray) -> np.ndarray | None:
         """Push a movement hint into a stateful backend.
@@ -121,9 +129,10 @@ class ExactBackend(NeighborBackend):
     def __init__(self, *, block_size: int | None = None) -> None:
         self.block_size = block_size
 
-    def query(self, features, k, *, include_self=False, metric="euclidean"):
+    def query(self, features, k, *, include_self=False, metric="euclidean", clamp_k=False):
         return _knn.knn_indices(
-            features, k, include_self=include_self, metric=metric, block_size=self.block_size
+            features, k, include_self=include_self, metric=metric,
+            block_size=self.block_size, clamp_k=clamp_k,
         )
 
     def __repr__(self) -> str:
@@ -288,8 +297,10 @@ class IncrementalBackend(NeighborBackend):
         self._states = restored[-self.max_states :]
 
     # ------------------------------------------------------------------ #
-    def query(self, features, k, *, include_self=False, metric="euclidean"):
-        return self._query(features, k, include_self, metric, forced_movers=None)
+    def query(self, features, k, *, include_self=False, metric="euclidean", clamp_k=False):
+        return self._query(
+            features, k, include_self, metric, forced_movers=None, clamp_k=clamp_k
+        )
 
     def update(self, moved_mask, features):
         """Refresh using an explicit mover hint (requires a prior query).
@@ -534,8 +545,10 @@ class IncrementalBackend(NeighborBackend):
             return np.sqrt(eps) * (1.0 + radius) + 16 * eps * (1.0 + kth)
         return 16 * np.finfo(features.dtype).eps * (1.0 + kth)
 
-    def _query(self, features, k, include_self, metric, forced_movers):
-        features = _knn._validate(features, k, include_self)
+    def _query(self, features, k, include_self, metric, forced_movers, clamp_k=False):
+        # Clamp BEFORE the signature is built so a small-population query
+        # matches (and maintains) the state cached for the feasible k.
+        features, k = _knn._validate(features, k, include_self, clamp_k=clamp_k)
         n = features.shape[0]
         signature = (n, features.shape[1], features.dtype.name, k, bool(include_self), metric)
         # Best-match selection: among states of this signature, follow the one
@@ -761,8 +774,8 @@ class LSHBackend(NeighborBackend):
     #: heavily and the shared slab stays near the sum of the pool sizes.
     RERANK_CHUNK = 64
 
-    def query(self, features, k, *, include_self=False, metric="euclidean"):
-        features = _knn._validate(features, k, include_self)
+    def query(self, features, k, *, include_self=False, metric="euclidean", clamp_k=False):
+        features, k = _knn._validate(features, k, include_self, clamp_k=clamp_k)
         n, d = features.shape
         bits = self._resolve_bits(n)
         probes = min(self.n_probes, bits)

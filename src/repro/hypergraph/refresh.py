@@ -160,6 +160,7 @@ class OperatorCache:
         include_self: bool = False,
         metric: str = "euclidean",
         backend: NeighborBackend,
+        clamp_k: bool = False,
     ) -> np.ndarray:
         """Memoised ``backend.query`` keyed by embedding content.
 
@@ -168,12 +169,16 @@ class OperatorCache:
         computations and does not touch the backend, which is safe precisely
         because the key covers the full embedding bytes: identical content
         means the backend would have found identical neighbours (and, for the
-        incremental backend, zero movers).
+        incremental backend, zero movers).  ``clamp_k`` is part of the key:
+        a clamped small-population answer has a different column count than
+        the (raising) strict one, so the two can never shadow each other.
         """
         features = np.asarray(features)
         if not self.enabled:
             self.neighbor_misses += 1
-            return backend.query(features, k, include_self=include_self, metric=metric)
+            return backend.query(
+                features, k, include_self=include_self, metric=metric, clamp_k=clamp_k
+            )
         key = (
             _features_digest(features),
             features.shape,
@@ -182,6 +187,7 @@ class OperatorCache:
             bool(include_self),
             metric,
             backend.cache_key(),
+            bool(clamp_k),
         )
         cached = self._neighbor_entries.get(key)
         if cached is not None:
@@ -189,7 +195,9 @@ class OperatorCache:
             self.neighbor_hits += 1
             return cached
         self.neighbor_misses += 1
-        indices = backend.query(features, k, include_self=include_self, metric=metric)
+        indices = backend.query(
+            features, k, include_self=include_self, metric=metric, clamp_k=clamp_k
+        )
         indices.setflags(write=False)
         self._neighbor_entries[key] = indices
         while len(self._neighbor_entries) > self.max_neighbor_entries:
@@ -389,6 +397,7 @@ class TopologyRefreshEngine:
         *,
         include_self: bool = False,
         metric: str = "euclidean",
+        clamp_k: bool = False,
     ) -> np.ndarray:
         """k-NN indices through the engine's backend, memoised by content.
 
@@ -399,7 +408,8 @@ class TopologyRefreshEngine:
         The returned array is read-only and shared; copy before mutating.
         """
         return self.cache.neighbor_indices(
-            features, k, include_self=include_self, metric=metric, backend=self.backend
+            features, k, include_self=include_self, metric=metric,
+            backend=self.backend, clamp_k=clamp_k,
         )
 
     def propagation_operator(

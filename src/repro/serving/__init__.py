@@ -15,6 +15,12 @@ The serving layer turns a trained model into a deployable artefact:
   freezes back into a bundleable model with
   :meth:`InferenceSession.to_frozen` and fans out to read replicas with
   :meth:`InferenceSession.fork`;
+* :class:`ShardedSession` — the same session over a k-means-partitioned
+  node set: per-shard neighbour state with scoped repairs, mutations
+  routed by a persisted shard map (``repro export --shards N``), and a
+  rebalance on :meth:`InferenceSession.compact`; cross-shard answers are
+  merged deterministically and stay bit-identical to the unsharded exact
+  backend at every shard count;
 * :class:`ServingServer` (``repro.serving.server``) — a batched asyncio
   HTTP/JSON front-end: a micro-batching request queue over a
   :class:`SessionPool` of forked read replicas, a single-writer mutation
@@ -69,7 +75,7 @@ from repro.serving.server import (
     SessionPool,
     WriterQuarantinedError,
 )
-from repro.serving.session import InferenceSession
+from repro.serving.session import InferenceSession, ShardedSession
 from repro.serving.store import OperatorStore, pack_hypergraph, unpack_hypergraph
 from repro.serving.wal import (
     WAL_HEADER,
@@ -92,6 +98,7 @@ __all__ = [
     "ServerOverloadedError",
     "ServingServer",
     "SessionPool",
+    "ShardedSession",
     "TopologySlot",
     "WAL_HEADER",
     "WALCorruptionError",

@@ -78,9 +78,10 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.hypergraph.sharding import ShardedBackend
 from repro.serving.faults import declare_fault_point, fault_point
 from repro.serving.frozen import FrozenModel
-from repro.serving.session import InferenceSession
+from repro.serving.session import InferenceSession, ShardedSession
 from repro.serving.wal import WALRecord, WriteAheadLog
 
 __all__ = [
@@ -189,10 +190,18 @@ class ServerConfig:
     wal_fsync: bool = True
     request_timeout_s: float | None = 30.0
     write_timeout_s: float | None = 120.0
+    shards: int | None = None
+    refresh_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
             raise ConfigurationError(f"replicas must be >= 1, got {self.replicas}")
+        if self.shards is not None and self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.refresh_workers is not None and self.refresh_workers < 1:
+            raise ConfigurationError(
+                f"refresh_workers must be >= 1, got {self.refresh_workers}"
+            )
         if self.batch_window_ms < 0:
             raise ConfigurationError(
                 f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
@@ -255,12 +264,32 @@ class SessionPool:
         checkpoint_path: str | Path | None = None,
         wal_path: str | Path | None = None,
         wal_fsync: bool = True,
+        shards: int | None = None,
+        refresh_workers: int | None = None,
     ) -> None:
         if replicas < 1:
             raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
         self.n_replicas = int(replicas)
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
-        self.writer = InferenceSession(frozen, cluster_assignment=cluster_assignment)
+        # A pool is sharded when asked explicitly (``shards=``) or when the
+        # bundle itself is — a persisted shard map or a restored sharded
+        # backend.  Either way the whole fleet (writer + forks) is sharded;
+        # recovery and checkpointing are inherited unchanged because
+        # ShardedSession is a drop-in InferenceSession.
+        sharded = (
+            shards is not None
+            or frozen.meta.get("shard_map") is not None
+            or isinstance(frozen.engine.backend, ShardedBackend)
+        )
+        if sharded:
+            self.writer: InferenceSession = ShardedSession(
+                frozen,
+                cluster_assignment=cluster_assignment,
+                n_shards=shards,
+                refresh_workers=refresh_workers,
+            )
+        else:
+            self.writer = InferenceSession(frozen, cluster_assignment=cluster_assignment)
         self.generation = 0
         self.checkpoints = 0
         self.read_only = False
@@ -288,20 +317,35 @@ class SessionPool:
     def _pick(self) -> _Replica:
         replicas = self._replicas
         start = self._counter
-        self._counter = (self._counter + 1) % len(replicas)
         for offset in range(len(replicas)):
-            replica = replicas[(start + offset) % len(replicas)]
+            index = (start + offset) % len(replicas)
+            replica = replicas[index]
             if not replica.lock.locked():
+                # Advance the cursor *past the replica actually chosen* —
+                # advancing by one while handing out start+offset lands the
+                # next request on an already-borrowed replica and starves
+                # the ones behind it under sustained load.
+                self._counter = (index + 1) % len(replicas)
                 return replica
+        self._counter = (start + 1) % len(replicas)
         return replicas[start % len(replicas)]
 
     @asynccontextmanager
     async def acquire(self):
-        """Borrow one read replica (round-robin, preferring an idle one)."""
+        """Borrow one read replica (round-robin, preferring an idle one).
+
+        The lock is released in a ``finally`` so a raising request handler
+        (or a cancellation landing inside the body) can never leave the
+        replica permanently busy — a leaked lock would silently shrink the
+        read fleet one failure at a time.
+        """
         replica = self._pick()
-        async with replica.lock:
+        await replica.lock.acquire()
+        try:
             replica.served += 1
             yield replica.session
+        finally:
+            replica.lock.release()
 
     # -- failure containment ------------------------------------------- #
     @property
@@ -511,6 +555,7 @@ class SessionPool:
                 "refreshes": self.writer.refreshes,
                 "forwards": self.writer.forwards,
                 "compactions": self.writer.compactions,
+                "sharded": isinstance(self.writer, ShardedSession),
             },
         }
 
@@ -751,6 +796,8 @@ class ServingServer:
             checkpoint_path=self.config.checkpoint_path,
             wal_path=self.config.wal_path,
             wal_fsync=self.config.wal_fsync,
+            shards=self.config.shards,
+            refresh_workers=self.config.refresh_workers,
         )
         self.recovered = self.pool.recover()
         # One worker per replica plus a dedicated slot for the write path,
@@ -834,6 +881,7 @@ class ServingServer:
                 "request_timeout_s": self.config.request_timeout_s,
                 "write_timeout_s": self.config.write_timeout_s,
                 "wal": self.config.wal_path is not None,
+                "shards": self.config.shards,
             },
         }
 

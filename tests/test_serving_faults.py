@@ -487,6 +487,115 @@ def test_crash_recovery_matrix(point, bundle_path, chaos_reference, tmp_path):
 
 
 # --------------------------------------------------------------------------- #
+# Targeted chaos: crash between compact() and WAL truncate
+# --------------------------------------------------------------------------- #
+_COMPACT_CHILD = """
+import os, sys
+from pathlib import Path
+import numpy as np
+sys.path.insert(0, os.environ["CHAOS_SRC"])
+from repro.serving import FrozenModel, SessionPool
+
+shards = int(os.environ["CHAOS_SHARDS"])
+ckpt = Path(os.environ["CHAOS_CKPT"])
+frozen = FrozenModel.load(ckpt if ckpt.exists() else os.environ["CHAOS_BUNDLE"])
+kwargs = {"shards": shards} if shards else {}
+pool = SessionPool(frozen, replicas=1, checkpoint_path=ckpt,
+                   wal_path=os.environ["CHAOS_WAL"], **kwargs)
+pool.recover()
+
+def rows(seed, n):
+    return np.random.default_rng(seed).normal(
+        size=(n, pool.writer.features.shape[1])
+    )
+
+# Seq-guarded, per-op-seeded script: a restarted process resumes exactly
+# where the WAL says the crashed one stopped.
+if pool.last_seq < 1:
+    pool.delete([3, 11])          # pre-compact node ids ride the WAL
+if pool.last_seq < 2:
+    pool.update([7], rows(71, 1))  # pre-compact id again
+if pool.last_seq < 3:
+    pool.compact()                 # rebalance + checkpoint: the crash window
+if pool.last_seq < 4:
+    pool.insert(rows(73, 2))
+print("COMPLETED", pool.last_seq)
+"""
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("shards", [None, 4], ids=["unsharded", "sharded"])
+@pytest.mark.parametrize("point", ["pool.before_checkpoint", "pool.after_checkpoint"])
+def test_crash_between_compact_and_wal_truncate(point, shards, bundle_path, tmp_path):
+    """``compact()`` remaps ids (and rebalances shards), checkpoints, then
+    truncates the WAL.  A crash inside that window leaves records that
+    reference *pre-compact* node ids in the journal; a restart must replay
+    them bit-identically — from the pre-compact checkpoint when the new one
+    never landed (``before_checkpoint``), or dedup them all by sequence
+    number when it did (``after_checkpoint``).  Sharded and unsharded pools
+    must both recover to the same exact state.
+
+    Checkpoints are skipped while tombstones exist, so the compact's
+    checkpoint is exactly the second crossing (after the one at pool init):
+    ``crash@2`` is deterministic, unlike the randomized matrix above.
+    """
+
+    def rows(seed, n, n_cols):
+        return np.random.default_rng(seed).normal(size=(n, n_cols))
+
+    # Uncrashed, unsharded reference for every state the recovery must hit.
+    reference = SessionPool(FrozenModel.load(bundle_path), replicas=1)
+    n_cols = reference.writer.features.shape[1]
+    reference.delete([3, 11])
+    reference.update([7], rows(71, 1, n_cols))
+    reference.compact()
+    after_compact = reference.writer.predict(output="logits").copy()
+    reference.insert(rows(73, 2, n_cols))
+    final = reference.writer.predict(output="logits").copy()
+
+    ckpt, wal = tmp_path / "ckpt.npz", tmp_path / "mut.wal"
+    env = {key: value for key, value in os.environ.items() if key != "REPRO_FAULTS"}
+    env.update(
+        CHAOS_SRC=str(SRC_DIR),
+        CHAOS_BUNDLE=str(bundle_path),
+        CHAOS_CKPT=str(ckpt),
+        CHAOS_WAL=str(wal),
+        CHAOS_SHARDS=str(shards or 0),
+        REPRO_FAULTS=f"{point}=crash@2",
+    )
+    run = subprocess.run(
+        [sys.executable, "-c", _COMPACT_CHILD],
+        env=env, capture_output=True, text=True, timeout=180,
+    )
+    assert run.returncode == CRASH_EXIT_CODE, run.stderr
+    assert ckpt.exists()  # at least the init checkpoint always lands
+
+    recovered = SessionPool(
+        FrozenModel.load(ckpt), replicas=1, checkpoint_path=ckpt, wal_path=wal
+    )
+    # The shard map rides the checkpoint meta: no shards= argument here, yet
+    # the recovered writer is sharded exactly when the crashed one was.
+    assert recovered.stats()["writer"]["sharded"] is (shards is not None)
+    if point == "pool.before_checkpoint":
+        # The compact's checkpoint never hit disk: the journal replays the
+        # delete, the update and the compact on the pre-compact snapshot.
+        assert recovered.recover() == 3
+    else:
+        # The checkpoint landed but the truncate didn't: every journalled
+        # record is subsumed by its wal_seq and must be deduplicated.
+        assert recovered.recover() == 0
+    assert recovered.last_seq == 3
+    assert not recovered.read_only, recovered.failure
+    assert np.array_equal(
+        recovered.writer.predict(output="logits"), after_compact
+    ), f"recovered state diverges after crash at {point!r} (shards={shards})"
+
+    # Finishing the script lands on the uncrashed run's exact final state.
+    recovered.insert(rows(73, 2, n_cols))
+    assert np.array_equal(recovered.writer.predict(output="logits"), final)
+
+
+# --------------------------------------------------------------------------- #
 # HTTP front-end: deadlines, degraded mode, structured failures
 # --------------------------------------------------------------------------- #
 async def _http(reader, writer, method, path, payload=None):

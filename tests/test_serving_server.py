@@ -567,6 +567,254 @@ class TestServingServerHTTP:
 
 
 # --------------------------------------------------------------------------- #
+# SessionPool.acquire: exception safety + round-robin fairness
+# --------------------------------------------------------------------------- #
+class TestAcquireRegression:
+    """A raising request handler must never leak a permanently-busy replica,
+    and the round-robin cursor must advance past the replica actually chosen
+    (not blindly by one) so a skipped-over busy replica doesn't make the next
+    pick land on the same neighbour forever."""
+
+    def test_raising_handler_never_leaks_a_busy_replica(self, bundle_path):
+        pool = SessionPool(FrozenModel.load(bundle_path), replicas=2)
+
+        async def scenario():
+            async def request(i):
+                async with pool.acquire() as session:
+                    await asyncio.sleep(0)
+                    if i % 2:
+                        raise RuntimeError("handler blew up")
+                    return session.predict([0])
+
+            results = await asyncio.gather(
+                *[request(i) for i in range(20)], return_exceptions=True
+            )
+            assert sum(isinstance(r, RuntimeError) for r in results) == 10
+            # No replica is left locked, and the fleet still serves.
+            assert all(not replica.lock.locked() for replica in pool._replicas)
+            async with pool.acquire() as session:
+                session.predict([0])
+
+        asyncio.run(scenario())
+
+    def test_raising_predict_batch_under_concurrency(self, bundle_path):
+        # End-to-end through the MicroBatcher: predict_batch itself blowing
+        # up fails every submitter of the batch but releases the replica, so
+        # the very next request succeeds on the same fleet.
+        pool = SessionPool(FrozenModel.load(bundle_path), replicas=2)
+        executor = ThreadPoolExecutor(max_workers=2)
+        batcher = MicroBatcher(
+            pool, executor, window_s=0.02, max_batch_size=64, max_queue_depth=128
+        )
+        originals = [replica.session.predict_batch for replica in pool._replicas]
+
+        def boom(requests, on_error="return"):
+            raise RuntimeError("replica died mid-batch")
+
+        async def scenario():
+            batcher.start()
+            for replica in pool._replicas:
+                replica.session.predict_batch = boom
+            failures = await asyncio.gather(
+                *[batcher.submit({"nodes": [i]}) for i in range(8)],
+                return_exceptions=True,
+            )
+            assert all(isinstance(f, RuntimeError) for f in failures)
+            assert all(not replica.lock.locked() for replica in pool._replicas)
+            for replica, original in zip(pool._replicas, originals):
+                replica.session.predict_batch = original
+            recovered = await batcher.submit({"nodes": [0]})
+            await batcher.stop()
+            return recovered
+
+        recovered = asyncio.run(scenario())
+        direct = InferenceSession(FrozenModel.load(bundle_path))
+        assert np.array_equal(recovered, direct.predict([0]))
+        executor.shutdown()
+
+    def test_round_robin_cycles_all_replicas(self, bundle_path):
+        pool = SessionPool(FrozenModel.load(bundle_path), replicas=3)
+
+        async def scenario():
+            for _ in range(9):
+                async with pool.acquire():
+                    pass
+
+        asyncio.run(scenario())
+        assert [replica.served for replica in pool._replicas] == [3, 3, 3]
+
+    def test_round_robin_stays_fair_around_a_busy_replica(self, bundle_path):
+        pool = SessionPool(FrozenModel.load(bundle_path), replicas=3)
+
+        async def scenario():
+            blocked = pool._replicas[0]
+            await blocked.lock.acquire()  # replica 0 wedged for the duration
+            try:
+                for _ in range(8):
+                    async with pool.acquire():
+                        pass
+            finally:
+                blocked.lock.release()
+
+        asyncio.run(scenario())
+        served = [replica.served for replica in pool._replicas]
+        assert served[0] == 0
+        # The two free replicas split the work evenly — the cursor advances
+        # past the chosen replica, it does not keep re-landing on one.
+        assert sum(served[1:]) == 8 and abs(served[1] - served[2]) <= 1
+
+    def test_all_busy_acquire_waits_instead_of_failing(self, bundle_path):
+        pool = SessionPool(FrozenModel.load(bundle_path), replicas=2)
+
+        async def scenario():
+            for replica in pool._replicas:
+                await replica.lock.acquire()
+
+            async def late_request():
+                async with pool.acquire() as session:
+                    return session.predict([1])
+
+            waiter = asyncio.ensure_future(late_request())
+            await asyncio.sleep(0)
+            assert not waiter.done()  # parked, not errored
+            for replica in pool._replicas:
+                replica.lock.release()
+            return await asyncio.wait_for(waiter, timeout=5)
+
+        result = asyncio.run(scenario())
+        direct = InferenceSession(FrozenModel.load(bundle_path))
+        assert np.array_equal(result, direct.predict([1]))
+
+
+# --------------------------------------------------------------------------- #
+# Sharded serving: ShardedSession + sharded SessionPool
+# --------------------------------------------------------------------------- #
+class TestShardedServing:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_sharded_session_lifecycle_matches_unsharded(
+        self, tiny_citation_dataset, bundle_path, n_shards
+    ):
+        from repro.serving import ShardedSession
+
+        dataset = tiny_citation_dataset
+        plain = InferenceSession(FrozenModel.load(bundle_path))
+        sharded = ShardedSession(FrozenModel.load(bundle_path), n_shards=n_shards)
+
+        def check(stage):
+            assert np.array_equal(
+                sharded.predict(output="logits"),
+                plain.predict(output="logits"),
+            ), stage
+
+        check("fresh")
+        rows = _new_rows(dataset, 5)
+        plain.insert_nodes(rows)
+        sharded.insert_nodes(rows)
+        check("insert")
+        plain.update_features([2, 8], dataset.features[[2, 8]] + 0.2)
+        sharded.update_features([2, 8], dataset.features[[2, 8]] + 0.2)
+        check("update")
+        plain.delete_nodes([0, 7, 11])
+        sharded.delete_nodes([0, 7, 11])
+        check("delete")
+        assert np.array_equal(plain.compact(), sharded.compact())
+        check("compact")
+        sharded.close()
+
+    def test_sharded_bundle_round_trips_and_auto_shards(
+        self, tmp_path, tiny_citation_dataset, bundle_path
+    ):
+        from repro.hypergraph.sharding import ShardedBackend
+        from repro.serving import ShardedSession
+
+        dataset = tiny_citation_dataset
+        session = ShardedSession(FrozenModel.load(bundle_path), n_shards=3)
+        session.insert_nodes(_new_rows(dataset, 3))
+        session.predict()
+        reference = session.predict(output="logits")
+        frozen = session.to_frozen()
+        assert frozen.meta["shard_map"] is not None
+        out = tmp_path / "sharded_bundle.npz"
+        frozen.save(out)
+        session.close()
+
+        # A pool over the saved bundle auto-detects the shard map: the
+        # writer comes back sharded without any explicit shards= argument.
+        pool = SessionPool(FrozenModel.load(out), replicas=2)
+        assert isinstance(pool.writer, ShardedSession)
+        assert isinstance(pool.writer.backend, ShardedBackend)
+        assert pool.stats()["writer"]["sharded"] is True
+        assert np.array_equal(pool.writer.predict(output="logits"), reference)
+        for replica in pool._replicas:
+            assert np.array_equal(
+                replica.session.predict(output="logits"), reference
+            )
+
+    def test_sharded_pool_matches_unsharded_pool_bit_for_bit(
+        self, tiny_citation_dataset, bundle_path
+    ):
+        dataset = tiny_citation_dataset
+        plain = SessionPool(FrozenModel.load(bundle_path), replicas=2)
+        sharded = SessionPool(FrozenModel.load(bundle_path), replicas=2, shards=4)
+        assert sharded.stats()["writer"]["sharded"] is True
+        assert plain.stats()["writer"]["sharded"] is False
+
+        rows = _new_rows(dataset, 4)
+        plain.insert(rows)
+        sharded.insert(rows)
+        plain.delete([3, 5])
+        sharded.delete([3, 5])
+        plain.compact()
+        sharded.compact()
+        expected = plain.writer.predict(output="logits")
+        assert np.array_equal(sharded.writer.predict(output="logits"), expected)
+        for replica in sharded._replicas:
+            assert np.array_equal(
+                replica.session.predict(output="logits"), expected
+            )
+
+    def test_http_serving_with_shards(self, tiny_citation_dataset, bundle_path):
+        dataset = tiny_citation_dataset
+        direct = InferenceSession(FrozenModel.load(bundle_path))
+        server_cls = TestServingServerHTTP()
+
+        async def scenario(server, client):
+            status, stats = await client.request("GET", "/stats")
+            assert status == 200
+            assert stats["pool"]["writer"]["sharded"] is True
+            assert stats["config"]["shards"] == 2
+
+            status, answer = await client.request(
+                "POST", "/predict", {"nodes": [0, 3, 8], "output": "logits"}
+            )
+            assert status == 200
+            assert np.array_equal(
+                np.asarray(answer["result"]),
+                direct.predict([0, 3, 8], output="logits"),
+            )
+
+            rows = _new_rows(dataset, 3).tolist()
+            status, inserted = await client.request(
+                "POST", "/insert", {"features": rows}
+            )
+            assert status == 200 and len(inserted["ids"]) == 3
+            status, answer = await client.request(
+                "POST", "/predict", {"nodes": inserted["ids"]}
+            )
+            assert status == 200 and len(answer["result"]) == 3
+
+            status, deleted = await client.request(
+                "POST", "/delete", {"nodes": [inserted["ids"][0]]}
+            )
+            assert status == 200 and deleted["tombstones"] == 1
+            status, compacted = await client.request("POST", "/compact", {})
+            assert status == 200
+            assert compacted["n_nodes"] == dataset.n_nodes + 2
+
+        server_cls._serve(bundle_path, scenario, shards=2)
+
+
+# --------------------------------------------------------------------------- #
 # CLI: repro serve
 # --------------------------------------------------------------------------- #
 class TestServeCLI:
