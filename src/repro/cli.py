@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six sub-commands mirror the common workflows::
+Seven sub-commands mirror the common workflows::
 
     python -m repro.cli datasets
     python -m repro.cli train   --dataset cora-cocitation --model dhgcn --epochs 150
@@ -11,6 +11,7 @@ Six sub-commands mirror the common workflows::
     python -m repro.cli predict --bundle bundle.npz --nodes 0 5 42 --output labels
     python -m repro.cli serve   --bundle bundle.npz --replicas 2 \
                                 --batch-window-ms 2 --port 8100
+    python -m repro.cli stats   http://127.0.0.1:8100
 
 ``export`` trains a dynamic-topology model and writes a serving bundle
 (weights + resolved operators + incremental neighbour state, see
@@ -25,6 +26,10 @@ coalesced into micro-batches off one cached forward, reads fan out over
 forked replica sessions, writes (``/insert``, ``/update``, ``/delete``,
 ``/compact``, ``/reassign``) serialise through a single writer session and
 republish, and a bounded queue sheds overload with HTTP 429.
+``stats`` polls a running server's ``GET /stats`` and pretty-prints the
+telemetry, batcher/pool counters and latency percentiles (``--json`` passes
+the raw payload through); the server side exposes the same numbers as a
+Prometheus text exposition on ``GET /metrics``.
 
 The CLI intentionally stays thin: every command is a few calls into the public
 API, so scripts and notebooks can do exactly the same things programmatically.
@@ -269,6 +274,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size for parallel per-shard candidate rebuilds "
         "(default: serial; only meaningful with sharding)",
     )
+    serve.add_argument(
+        "--trace-sample-rate", type=float, default=0.0,
+        help="fraction of requests whose per-stage span breakdown is emitted "
+        "as a structured JSON trace log line (0 disables sampling; slow "
+        "requests above --slow-ms are always logged)",
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, default=None,
+        help="requests slower than this always emit a trace log line, "
+        "regardless of the sample rate",
+    )
+    serve.add_argument(
+        "--profile", action="store_true",
+        help="attach an op profiler to the serving path; per-op forward "
+        "totals appear in GET /metrics as repro_op_seconds_total{op=...} "
+        "and in GET /stats under 'profile'",
+    )
+    serve.add_argument(
+        "--no-metrics", action="store_true",
+        help="disable the metrics registry entirely (GET /metrics serves an "
+        "empty exposition; counters/histograms become no-ops)",
+    )
+
+    stats = subparsers.add_parser(
+        "stats", help="fetch and pretty-print GET /stats from a running server"
+    )
+    stats.add_argument(
+        "url", help="server base URL, e.g. http://127.0.0.1:8100 "
+        "(a full /stats URL also works)",
+    )
+    stats.add_argument(
+        "--json", action="store_true", dest="raw_json",
+        help="print the raw JSON payload instead of the summary tables",
+    )
+    stats.add_argument(
+        "--timeout", type=float, default=5.0, help="HTTP timeout in seconds"
+    )
     return parser
 
 
@@ -437,6 +479,12 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     if args.faults:
         configure_faults(args.faults)
+    if args.no_metrics:
+        # A disabled registry makes every instrument a no-op and renders an
+        # empty exposition — the cheapest way to opt out process-wide.
+        from repro.obs import MetricsRegistry, set_registry
+
+        set_registry(MetricsRegistry(enabled=False))
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -452,6 +500,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         cluster_assignment=args.cluster_assignment,
         shards=args.shards,
         refresh_workers=args.refresh_workers,
+        trace_sample_rate=args.trace_sample_rate,
+        slow_ms=args.slow_ms,
+        profile=args.profile,
     )
 
     async def run() -> None:
@@ -486,6 +537,122 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fetch_stats(url: str, timeout: float) -> dict:
+    """GET ``<url>/stats`` (or ``url`` verbatim if it already ends in /stats)."""
+    import json
+    import urllib.request
+
+    target = url.rstrip("/")
+    if not target.endswith("/stats"):
+        target += "/stats"
+    with urllib.request.urlopen(target, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _print_kv_block(title: str, rows: dict) -> None:
+    print(title)
+    width = max((len(key) for key in rows), default=0)
+    for key, value in rows.items():
+        print(f"  {key:<{width}} : {value}")
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    import json
+
+    payload = _fetch_stats(args.url, args.timeout)
+    if args.raw_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    telemetry = payload.get("telemetry", {})
+    _print_kv_block(f"server ({payload.get('status', '?')})", {
+        "uptime_s": telemetry.get("uptime_s"),
+        "generation": telemetry.get("generation"),
+        "n_alive": telemetry.get("n_alive"),
+        "connections": payload.get("connections"),
+        "queue_depth": telemetry.get("queue_depth"),
+        "wal_depth": telemetry.get("wal_depth"),
+        "last_checkpoint_age_s": telemetry.get("last_checkpoint_age_s"),
+        "recovered_mutations": telemetry.get("recovered_mutations"),
+    })
+
+    batcher = payload.get("batcher", {})
+    if batcher:
+        print()
+        _print_kv_block("batcher", {
+            "requests": batcher.get("requests"),
+            "batches": batcher.get("batches"),
+            "mean_batch_size": batcher.get("mean_batch_size"),
+            "max_batch_size": batcher.get("max_batch_size"),
+            "rejected (429)": batcher.get("rejected"),
+            "expired (504)": batcher.get("expired"),
+            "pending": batcher.get("pending"),
+        })
+
+    pool = payload.get("pool", {})
+    if pool:
+        print()
+        _print_kv_block("pool", {
+            "replicas": pool.get("replicas"),
+            "served_per_replica": pool.get("served_per_replica"),
+            "checkpoints": pool.get("checkpoints"),
+            "last_seq": pool.get("last_seq"),
+            "failure": pool.get("failure"),
+        })
+
+    metrics = payload.get("metrics", {})
+    histograms = metrics.get("histograms", {})
+    latency_rows = []
+    for name, entry in sorted(histograms.items()):
+        for row in entry.get("values", []):
+            labels = row.get("labels") or {}
+            suffix = (
+                "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels else ""
+            )
+            count = row.get("count", 0)
+            if not count:
+                continue
+            latency_rows.append((
+                name + suffix, count,
+                row.get("p50"), row.get("p95"), row.get("p99"),
+            ))
+    if latency_rows:
+        print()
+        print("latency (seconds)")
+        width = max(len(row[0]) for row in latency_rows)
+        print(f"  {'metric':<{width}} {'count':>8} {'p50':>10} {'p95':>10} {'p99':>10}")
+        for name, count, p50, p95, p99 in latency_rows:
+            quantiles = "".join(
+                f" {q:>10.6f}" if isinstance(q, (int, float)) else f" {'-':>10}"
+                for q in (p50, p95, p99)
+            )
+            print(f"  {name:<{width}} {count:>8}{quantiles}")
+
+    counters = metrics.get("counters", {})
+    requests_entry = counters.get("repro_requests_total")
+    if requests_entry and requests_entry.get("values"):
+        print()
+        print("requests")
+        for row in requests_entry["values"]:
+            labels = row.get("labels", {})
+            value = row.get("value")
+            if isinstance(value, float) and value.is_integer():
+                value = int(value)
+            print(f"  {labels.get('route', '?'):<12} "
+                  f"status={labels.get('status', '?'):<4} "
+                  f"{value}")
+
+    profile = payload.get("profile")
+    if profile:
+        print()
+        print("profile (hottest ops)")
+        for row in profile[:8]:
+            print(f"  {row['op']:<16} {row['total_seconds'] * 1000:8.1f} ms "
+                  f"({row['calls']} calls)")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -501,6 +668,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_predict(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "stats":
+        return _command_stats(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

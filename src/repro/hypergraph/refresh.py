@@ -43,6 +43,7 @@ from repro.errors import ConfigurationError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.laplacian import hypergraph_laplacian, hypergraph_propagation_operator
 from repro.hypergraph.neighbors import NeighborBackend, resolve_backend
+from repro.obs.tracing import span
 from repro.precision import resolve_dtype
 
 #: Default LRU capacity; sized for a full benchmark sweep (one static operator
@@ -407,10 +408,11 @@ class TopologyRefreshEngine:
         ``neighbor_hits`` / ``neighbor_misses`` counters in :meth:`stats`.
         The returned array is read-only and shared; copy before mutating.
         """
-        return self.cache.neighbor_indices(
-            features, k, include_self=include_self, metric=metric,
-            backend=self.backend, clamp_k=clamp_k,
-        )
+        with span("knn"):
+            return self.cache.neighbor_indices(
+                features, k, include_self=include_self, metric=metric,
+                backend=self.backend, clamp_k=clamp_k,
+            )
 
     def propagation_operator(
         self,
@@ -423,9 +425,10 @@ class TopologyRefreshEngine:
         hypergraphs, eval passes) — shared across engines regardless of their
         neighbour backend, since the operator is a pure function of the
         fingerprinted structure."""
-        return self.cache.propagation_operator(
-            hypergraph, self_loop_isolated=self_loop_isolated, dtype=dtype
-        )
+        with span("operator"):
+            return self.cache.propagation_operator(
+                hypergraph, self_loop_isolated=self_loop_isolated, dtype=dtype
+            )
 
     def refresh_operator(
         self,
@@ -450,12 +453,13 @@ class TopologyRefreshEngine:
         """
         if previous is not None and previous.fingerprint() != hypergraph.fingerprint():
             self.discard(previous)
-        return self.cache.propagation_operator(
-            hypergraph,
-            self_loop_isolated=self_loop_isolated,
-            dtype=dtype,
-            context=self.backend.cache_key(),
-        )
+        with span("operator"):
+            return self.cache.propagation_operator(
+                hypergraph,
+                self_loop_isolated=self_loop_isolated,
+                dtype=dtype,
+                context=self.backend.cache_key(),
+            )
 
     def laplacian(
         self, hypergraph: Hypergraph, *, dtype: np.dtype | str | None = None

@@ -250,6 +250,7 @@ class ShardedBackend(NeighborBackend):
         self.rows_inserted = 0
         self.rows_deleted = 0
         self.rebalances = 0
+        self.repair_calls = 0
         self._states: list[dict] = []
         self._pool = None
 
@@ -275,6 +276,14 @@ class ShardedBackend(NeighborBackend):
             "rows_inserted": self.rows_inserted,
             "rows_deleted": self.rows_deleted,
             "rebalances": self.rebalances,
+            "repair_calls": self.repair_calls,
+            # Shards touched per mover repair — the routing fan-out of one
+            # mutation (n_shards means every repair re-ranked everywhere).
+            "mean_repair_fanout": (
+                round(self.shard_requeries / self.repair_calls, 3)
+                if self.repair_calls
+                else 0.0
+            ),
             "states": len(self._states),
         }
 
@@ -500,6 +509,7 @@ class ShardedBackend(NeighborBackend):
         results are partition-independent, so reassignment is a rebalance
         decision, never a correctness one.
         """
+        self.repair_calls += 1
         assignment = state["assignment"]
         block = int(self.block_size) if self.block_size else _knn.DEFAULT_BLOCK_SIZE
         for shard_index, shard in enumerate(state["shards"]):

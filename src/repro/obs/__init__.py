@@ -1,0 +1,44 @@
+"""Observability layer: metrics registry and request tracing.
+
+The serving stack reports through this package; see
+:mod:`repro.obs.metrics` for the instrument model and
+:mod:`repro.obs.tracing` for the contextvar span propagation.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.tracing import (
+    Trace,
+    activate,
+    current_trace,
+    current_traces,
+    record_span,
+    set_span_profiler,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Trace",
+    "activate",
+    "current_trace",
+    "current_traces",
+    "get_registry",
+    "record_span",
+    "set_registry",
+    "set_span_profiler",
+    "span",
+    "use_registry",
+]

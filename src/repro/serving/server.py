@@ -67,22 +67,34 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import asynccontextmanager, suppress
 from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.hypergraph.sharding import ShardedBackend
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import (
+    Trace,
+    activate,
+    current_trace,
+    current_traces,
+    record_span,
+    set_span_profiler,
+)
 from repro.serving.faults import declare_fault_point, fault_point
 from repro.serving.frozen import FrozenModel
 from repro.serving.session import InferenceSession, ShardedSession
 from repro.serving.wal import WALRecord, WriteAheadLog
+from repro.utils.logging import get_logger, log_event
+from repro.utils.profiling import OpProfiler
 
 __all__ = [
     "MicroBatcher",
@@ -192,6 +204,15 @@ class ServerConfig:
     write_timeout_s: float | None = 120.0
     shards: int | None = None
     refresh_workers: int | None = None
+    #: Fraction of traced requests whose span breakdown is emitted as a
+    #: structured JSON log line (``repro.serving.trace``); requests slower
+    #: than ``slow_ms`` are always logged regardless of the sample rate.
+    #: Tracing itself is enabled whenever either knob is set.
+    trace_sample_rate: float = 0.0
+    slow_ms: float | None = None
+    #: Attach an :class:`~repro.utils.profiling.OpProfiler` to the serving
+    #: span stream; per-op totals surface as ``repro_op_seconds_total``.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -218,17 +239,26 @@ class ServerConfig:
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise ConfigurationError(f"{name} must be > 0 or None, got {value}")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ConfigurationError(
+                f"trace_sample_rate must be in [0, 1], got {self.trace_sample_rate}"
+            )
+        if self.slow_ms is not None and self.slow_ms < 0:
+            raise ConfigurationError(
+                f"slow_ms must be >= 0 or None, got {self.slow_ms}"
+            )
 
 
 class _Replica:
     """One read session plus the lock serialising access to it."""
 
-    __slots__ = ("session", "lock", "served")
+    __slots__ = ("session", "lock", "served", "index")
 
-    def __init__(self, session: InferenceSession) -> None:
+    def __init__(self, session: InferenceSession, index: int = 0) -> None:
         self.session = session
         self.lock = asyncio.Lock()
         self.served = 0
+        self.index = index
 
 
 class SessionPool:
@@ -309,6 +339,29 @@ class SessionPool:
                 record for record in self.wal.read_records()
                 if record.seq > self.last_seq
             ]
+        registry = get_registry()
+        self._metric_mutations = registry.counter(
+            "repro_mutations_total",
+            "Mutations applied by the writer, including WAL replay",
+            ("op",),
+        )
+        self._metric_acquires = registry.counter(
+            "repro_replica_acquire_total", "Read-replica borrow count", ("replica",)
+        )
+        self._metric_busy = registry.counter(
+            "repro_replica_busy_seconds_total",
+            "Seconds each read replica spent borrowed",
+            ("replica",),
+        )
+        self._metric_publish = registry.histogram(
+            "repro_publish_seconds", "Replica fan-out latency per publish"
+        )
+        self._metric_checkpoint = registry.histogram(
+            "repro_checkpoint_seconds", "Checkpoint snapshot + persist latency"
+        )
+        self._metric_checkpoints = registry.counter(
+            "repro_checkpoints_total", "Checkpoints persisted"
+        )
         self._counter = 0
         self._replicas: list[_Replica] = []
         self.publish()
@@ -340,11 +393,18 @@ class SessionPool:
         read fleet one failure at a time.
         """
         replica = self._pick()
+        wait_start = time.perf_counter()
         await replica.lock.acquire()
+        busy_start = time.perf_counter()
+        record_span("replica_acquire", busy_start - wait_start)
         try:
             replica.served += 1
+            self._metric_acquires.inc(replica=str(replica.index))
             yield replica.session
         finally:
+            self._metric_busy.inc(
+                time.perf_counter() - busy_start, replica=str(replica.index)
+            )
             replica.lock.release()
 
     # -- failure containment ------------------------------------------- #
@@ -380,10 +440,14 @@ class SessionPool:
         """
         fault_point("pool.before_publish")
         self.writer.predict()  # one refresh + forward for the whole fleet
+        fanout_start = time.perf_counter()
         self._replicas = [
-            _Replica(self.writer.fork(seed_cache=False))
-            for _ in range(self.n_replicas)
+            _Replica(self.writer.fork(seed_cache=False), index)
+            for index in range(self.n_replicas)
         ]
+        fanout = time.perf_counter() - fanout_start
+        record_span("publish", fanout)
+        self._metric_publish.observe(fanout)
         self.generation += 1
         fault_point("pool.after_publish")
         if not self._recovering and not self._pending_records:
@@ -393,10 +457,15 @@ class SessionPool:
         """Persist the published generation + its WAL seq; truncate the WAL."""
         if self.checkpoint_path is None or self.writer.n_alive != self.writer.n_nodes:
             return
+        start = time.perf_counter()
         snapshot = self.writer.to_frozen()
         snapshot.meta["wal_seq"] = self.last_seq
         fault_point("pool.before_checkpoint")
         snapshot.save(self.checkpoint_path)
+        elapsed = time.perf_counter() - start
+        record_span("checkpoint", elapsed)
+        self._metric_checkpoint.observe(elapsed)
+        self._metric_checkpoints.inc()
         self.checkpoints += 1
         self.last_checkpoint_time = time.time()
         fault_point("pool.after_checkpoint")
@@ -420,7 +489,20 @@ class SessionPool:
         if self.wal is not None:
             self.wal.append(op, payload, seq)
         self.last_seq = seq
-        return self._execute(op, payload)
+        trace = current_trace()
+        start = time.perf_counter()
+        before = trace.total() if trace is not None else 0.0
+        result = self._execute(op, payload)
+        if trace is not None:
+            # Everything the apply did outside an instrumented stage
+            # (validation, hyperedge assembly, cluster bookkeeping) — the
+            # residual keeps the write trace's spans summing to its wall
+            # time instead of only the instrumented fraction.
+            residual = (time.perf_counter() - start) - (trace.total() - before)
+            if residual > 0:
+                trace.add("apply", residual)
+        self._metric_mutations.inc(op=op)
+        return result
 
     def _execute(self, op: str, payload: Mapping[str, Any]) -> dict[str, Any]:
         """Apply one (already journalled) mutation and republish.
@@ -504,6 +586,7 @@ class SessionPool:
                 except Exception:
                     break  # _execute already quarantined the pool
                 replayed += 1
+                self._metric_mutations.inc(op=record.op)
         finally:
             self._recovering = False
         self.recovered = replayed
@@ -560,6 +643,31 @@ class SessionPool:
         }
 
 
+class _Pending:
+    """One queued predict request with its admission timestamp and traces.
+
+    ``enqueued`` is recorded at admission and carried with the future, so the
+    deadline check covers the whole time since the client was admitted —
+    queue wait included — instead of restarting at dispatch; ``dequeued`` is
+    stamped when the dispatcher pops the item into a batch, splitting the
+    pre-dispatch time into queue-wait and batch-assembly spans.
+    """
+
+    __slots__ = ("request", "future", "enqueued", "dequeued", "traces")
+
+    def __init__(
+        self,
+        request: Mapping[str, Any],
+        future: asyncio.Future,
+        traces: tuple[Trace, ...],
+    ) -> None:
+        self.request = request
+        self.future = future
+        self.enqueued = time.perf_counter()
+        self.dequeued = self.enqueued
+        self.traces = traces
+
+
 class MicroBatcher:
     """Coalesces concurrent predict requests into ``predict_batch`` calls.
 
@@ -575,6 +683,14 @@ class MicroBatcher:
     *every* future of the batch with that error, and stopping the batcher —
     including cancellation mid-window — fails still-queued and half-collected
     futures with :class:`ServerDrainingError` instead of leaking them.
+
+    Deadlines cover queue time: every request carries its admission
+    timestamp, and a request whose age exceeds ``timeout_s`` when its batch
+    dispatches is answered with :class:`asyncio.TimeoutError` *without*
+    being evaluated — an expired client has already been answered 504
+    upstream, so computing its prediction would only steal replica time from
+    live requests.  Requests whose futures were cancelled by an upstream
+    ``wait_for`` are likewise dropped at dispatch.
     """
 
     def __init__(
@@ -585,21 +701,42 @@ class MicroBatcher:
         window_s: float,
         max_batch_size: int,
         max_queue_depth: int,
+        timeout_s: float | None = None,
     ) -> None:
         self.pool = pool
         self.executor = executor
         self.window_s = float(window_s)
         self.max_batch_size = int(max_batch_size)
         self.max_queue_depth = int(max_queue_depth)
+        self.timeout_s = timeout_s
         self._queue: asyncio.Queue = asyncio.Queue()
         self._tasks: set[asyncio.Task] = set()
         self._dispatcher: asyncio.Task | None = None
         self.pending = 0
         self.requests = 0
         self.rejected = 0
+        self.expired = 0
         self.batches = 0
         self.batched_requests = 0
         self.max_batch_observed = 0
+        registry = get_registry()
+        self._metric_shed = registry.counter(
+            "repro_requests_shed_total",
+            "Predict requests rejected at admission (HTTP 429)",
+        )
+        self._metric_expired = registry.counter(
+            "repro_requests_expired_total",
+            "Admitted predict requests dropped past their deadline",
+        )
+        self._metric_batch_size = registry.histogram(
+            "repro_batch_size",
+            "Realized micro-batch sizes",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        )
+        self._metric_queue_wait = registry.histogram(
+            "repro_queue_wait_seconds",
+            "Admission-to-dispatch wait of batched predict requests",
+        )
 
     def start(self) -> None:
         if self._dispatcher is None:
@@ -625,12 +762,12 @@ class MicroBatcher:
         while not self._queue.empty():
             self._abort_batch([self._queue.get_nowait()])
 
-    def _abort_batch(self, batch: list) -> None:
+    def _abort_batch(self, batch: list[_Pending]) -> None:
         """Fail a batch that will never be dispatched (shutdown path)."""
         error = ServerDrainingError("server stopped before the request was served")
-        for _, future in batch:
-            if not future.done():
-                future.set_exception(error)
+        for item in batch:
+            if not item.future.done():
+                item.future.set_exception(error)
         self.pending -= len(batch)
 
     async def submit(self, request: Mapping[str, Any]) -> Any:
@@ -642,21 +779,32 @@ class MicroBatcher:
         """
         if self.pending >= self.max_queue_depth:
             self.rejected += 1
+            self._metric_shed.inc()
             raise ServerOverloadedError(
                 f"request queue is full ({self.max_queue_depth} pending)"
             )
         future = asyncio.get_running_loop().create_future()
         self.pending += 1
         self.requests += 1
-        self._queue.put_nowait((request, future))
-        return await future
+        self._queue.put_nowait(_Pending(request, future, current_traces()))
+        try:
+            return await future
+        except asyncio.CancelledError:
+            # An upstream ``wait_for`` cancels *this coroutine*, not the
+            # future; marking the future cancelled is what lets the
+            # dispatcher skip the abandoned request instead of burning a
+            # replica on an answer nobody is waiting for.
+            future.cancel()
+            raise
 
     async def _dispatch_loop(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
-            batch: list = []
+            batch: list[_Pending] = []
             try:
-                batch.append(await self._queue.get())
+                item = await self._queue.get()
+                item.dequeued = time.perf_counter()
+                batch.append(item)
                 if self.window_s > 0:
                     deadline = loop.time() + self.window_s
                     while len(batch) < self.max_batch_size:
@@ -664,11 +812,11 @@ class MicroBatcher:
                         if remaining <= 0:
                             break
                         try:
-                            batch.append(
-                                await asyncio.wait_for(self._queue.get(), remaining)
-                            )
+                            item = await asyncio.wait_for(self._queue.get(), remaining)
                         except asyncio.TimeoutError:
                             break
+                        item.dequeued = time.perf_counter()
+                        batch.append(item)
             except asyncio.CancelledError:
                 # Shutdown mid-collection: the half-built batch would leak
                 # its futures (clients waiting forever) — fail them instead.
@@ -679,23 +827,78 @@ class MicroBatcher:
             task.add_done_callback(self._tasks.discard)
 
     @staticmethod
-    def _dispatch(session: InferenceSession, requests: list) -> list:
-        """The worker-thread body of one batch (fault-injectable)."""
-        fault_point("batcher.before_dispatch")
-        return session.predict_batch(requests, on_error="return")
+    def _dispatch(
+        session: InferenceSession, requests: list, traces: tuple[Trace, ...]
+    ) -> list:
+        """The worker-thread body of one batch (fault-injectable).
 
-    async def _run_batch(self, batch: list) -> None:
-        loop = asyncio.get_running_loop()
-        requests = [request for request, _ in batch]
-        try:
-            async with self.pool.acquire() as session:
-                results = await loop.run_in_executor(
-                    self.executor, partial(self._dispatch, session, requests)
+        ``run_in_executor`` does not carry contextvars into the worker
+        thread, so the batch's traces are re-activated here explicitly —
+        session-level spans (a forward on a cold cache, k-NN during a
+        refresh) land on every member request of the coalesced batch.
+        """
+        fault_point("batcher.before_dispatch")
+        with activate(*traces):
+            return session.predict_batch(requests, on_error="return")
+
+    def _expire(self, batch: list[_Pending]) -> list[_Pending]:
+        """Split off items already answered or past their deadline.
+
+        Returns the live remainder.  Cancelled futures (upstream 504
+        already sent) are dropped silently; items older than ``timeout_s``
+        resolve with :class:`asyncio.TimeoutError` so the submitter's own
+        deadline handling fires even if its ``wait_for`` has not yet.
+        """
+        now = time.perf_counter()
+        live: list[_Pending] = []
+        for item in batch:
+            if item.future.done():
+                self.expired += 1
+                self._metric_expired.inc()
+                continue
+            if self.timeout_s is not None and now - item.enqueued > self.timeout_s:
+                self.expired += 1
+                self._metric_expired.inc()
+                item.future.set_exception(
+                    asyncio.TimeoutError(
+                        f"request spent {now - item.enqueued:.3f}s queued, "
+                        f"over its {self.timeout_s}s deadline"
+                    )
                 )
+                continue
+            live.append(item)
+        return live
+
+    async def _run_batch(self, batch: list[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        live = self._expire(batch)
+        dispatch_start = time.perf_counter()
+        traces: tuple[Trace, ...] = ()
+        self._metric_queue_wait.observe_many(
+            dispatch_start - item.enqueued for item in live
+        )
+        for item in live:
+            traces += item.traces
+            for trace in item.traces:
+                trace.meta["batch_size"] = len(live)
+                trace.add("queue_wait", item.dequeued - item.enqueued)
+                trace.add("batch_assembly", dispatch_start - item.dequeued)
+        before = traces[0].total() if traces else 0.0
+        requests = [item.request for item in live]
+        try:
+            if live:
+                with activate(*traces):
+                    async with self.pool.acquire() as session:
+                        results = await loop.run_in_executor(
+                            self.executor,
+                            partial(self._dispatch, session, requests, traces),
+                        )
+            else:
+                results = []
         except asyncio.CancelledError:
-            for _, future in batch:
-                if not future.done():
-                    future.set_exception(
+            for item in live:
+                if not item.future.done():
+                    item.future.set_exception(
                         ServerDrainingError("server stopped mid-batch")
                     )
             raise
@@ -703,27 +906,39 @@ class MicroBatcher:
             # Replica died or predict_batch itself raised: every submitter
             # of the batch gets the error (mapped to a structured 500
             # upstream) — never a silently dropped future.
-            for _, future in batch:
-                if not future.done():
-                    future.set_exception(error)
+            for item in live:
+                if not item.future.done():
+                    item.future.set_exception(error)
         else:
-            for (_, future), result in zip(batch, results):
-                if future.done():
+            for item, result in zip(live, results):
+                if item.future.done():
                     continue
                 if isinstance(result, ConfigurationError):
-                    future.set_exception(result)
+                    item.future.set_exception(result)
                 else:
-                    future.set_result(result)
+                    item.future.set_result(result)
         finally:
+            if traces:
+                # The executor round-trip minus what the worker recorded:
+                # thread handoff + result marshalling, billed once so the
+                # trace's spans sum to the request's dispatch wall time.
+                recorded = traces[0].total() - before
+                residual = (time.perf_counter() - dispatch_start) - recorded
+                if residual > 0:
+                    for trace in traces:
+                        trace.add("dispatch", residual)
             self.pending -= len(batch)
             self.batches += 1
-            self.batched_requests += len(batch)
-            self.max_batch_observed = max(self.max_batch_observed, len(batch))
+            self.batched_requests += len(live)
+            if live:
+                self._metric_batch_size.observe(len(live))
+            self.max_batch_observed = max(self.max_batch_observed, len(live))
 
     def stats(self) -> dict[str, Any]:
         return {
             "requests": self.requests,
             "rejected": self.rejected,
+            "expired": self.expired,
             "batches": self.batches,
             "pending": self.pending,
             "mean_batch_size": (
@@ -752,7 +967,10 @@ class ServingServer:
     GET       ``/healthz``    → ``{"status": "ok"|"degraded"|"draining",
                               "generation", "n_alive", "queue_depth",
                               "wal_depth", "last_checkpoint_age_s"}``
-    GET       ``/stats``      → server / batcher / pool statistics
+    GET       ``/stats``      → server / batcher / pool statistics plus a
+                              full metrics-registry snapshot
+    GET       ``/metrics``    → Prometheus text exposition (version 0.0.4)
+                              of the process metrics registry
     POST      ``/predict``    ``{"node": 3}`` or ``{"nodes": [...]|null,
                               "output": "labels"|"logits"|"embeddings"}``
                               → ``{"result", "generation"}`` (coalesced)
@@ -811,11 +1029,157 @@ class ServingServer:
             window_s=self.config.batch_window_ms / 1000.0,
             max_batch_size=self.config.max_batch_size,
             max_queue_depth=self.config.max_queue_depth,
+            timeout_s=self.config.request_timeout_s,
         )
         self._write_lock = asyncio.Lock()
         self._server: asyncio.base_events.Server | None = None
         self._draining = False
         self.connections = 0
+        self.started_at = time.time()
+        self._start_clock = time.perf_counter()
+        self._tracing = (
+            self.config.trace_sample_rate > 0 or self.config.slow_ms is not None
+        )
+        self._slow_s = (
+            self.config.slow_ms / 1000.0 if self.config.slow_ms is not None else None
+        )
+        self._trace_log = get_logger("serving.trace")
+        self.profiler: OpProfiler | None = None
+        if self.config.profile:
+            self.profiler = OpProfiler()
+            set_span_profiler(self.profiler)
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        """Register the server's instrument families and the scrape collector.
+
+        Counters mirroring sources that keep their own cumulative totals
+        (operator cache, neighbour memo, shard backend, the ``--profile``
+        profiler) are refreshed by :meth:`_collect_metrics` right before
+        every ``/metrics`` / ``/stats`` render, same code path as
+        ``/healthz`` — one source of truth per number.
+        """
+        registry = self.registry = get_registry()
+        self._metric_requests = registry.counter(
+            "repro_requests_total", "HTTP requests served", ("route", "status")
+        )
+        self._metric_latency = registry.histogram(
+            "repro_request_seconds", "End-to-end HTTP request latency", ("route",)
+        )
+        gauges = {
+            "uptime": ("repro_uptime_seconds", "Seconds since server start"),
+            "generation": ("repro_generation", "Published generation count"),
+            "queue_depth": ("repro_queue_depth", "Pending predict requests"),
+            "wal_depth": ("repro_wal_depth", "Unreplayed records in the journal"),
+            "checkpoint_age": (
+                "repro_checkpoint_age_seconds", "Age of the newest checkpoint",
+            ),
+            "n_alive": ("repro_n_alive", "Alive (queryable) nodes"),
+            "recovered": (
+                "repro_recovered_mutations", "WAL records replayed at startup",
+            ),
+            "connections": ("repro_connections", "Open HTTP connections"),
+            "cache_bytes": (
+                "repro_operator_cache_bytes", "Resident bytes of cached operators",
+            ),
+        }
+        self._gauges = {
+            key: registry.gauge(name, help) for key, (name, help) in gauges.items()
+        }
+        mirrors = {
+            "hits": ("repro_operator_cache_hits_total", "Operator cache hits"),
+            "misses": ("repro_operator_cache_misses_total", "Operator cache misses"),
+            "evictions": (
+                "repro_operator_cache_evictions_total", "Operator cache evictions",
+            ),
+            "neighbor_hits": (
+                "repro_neighbor_memo_hits_total", "Neighbour-memo hits",
+            ),
+            "neighbor_misses": (
+                "repro_neighbor_memo_misses_total", "Neighbour-memo misses",
+            ),
+        }
+        self._cache_mirrors = {
+            key: registry.counter(name, help) for key, (name, help) in mirrors.items()
+        }
+        shard_mirrors = {
+            "full_rebuilds": (
+                "repro_shard_full_rebuilds_total", "Whole-corpus shard rebuilds",
+            ),
+            "shard_requeries": (
+                "repro_shard_requeries_total", "Per-shard re-rank passes",
+            ),
+            "rows_requeried": (
+                "repro_shard_rows_requeried_total", "Rows re-ranked across shards",
+            ),
+            "rebalances": ("repro_shard_rebalances_total", "Shard-map rebalances"),
+            "repair_calls": (
+                "repro_shard_repairs_total", "Mover-repair invocations",
+            ),
+        }
+        self._shard_mirrors = {
+            key: registry.counter(name, help)
+            for key, (name, help) in shard_mirrors.items()
+        }
+        self._gauge_shard_size = registry.gauge(
+            "repro_shard_size", "Rows per shard", ("shard",)
+        )
+        self._metric_op_seconds = registry.counter(
+            "repro_op_seconds_total",
+            "Per-stage serving seconds recorded by --profile",
+            ("op",),
+        )
+        registry.add_collector(self._collect_metrics)
+
+    def _live_telemetry(self) -> dict[str, Any]:
+        """The live operational numbers, computed in exactly one place.
+
+        ``/healthz``, the metrics collector and the enriched ``/stats`` all
+        consume this dict — they can never disagree about WAL depth, queue
+        depth or checkpoint age again.
+        """
+        return {
+            "uptime_s": round(time.perf_counter() - self._start_clock, 3),
+            "generation": self.pool.generation,
+            "n_alive": self.pool.writer.n_alive,
+            "queue_depth": self.batcher.pending,
+            "wal_depth": self.pool.wal.depth if self.pool.wal is not None else None,
+            "last_checkpoint_age_s": (
+                round(time.time() - self.pool.last_checkpoint_time, 3)
+                if self.pool.last_checkpoint_time is not None
+                else None
+            ),
+            "recovered_mutations": self.recovered,
+        }
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time refresh of gauges and mirrored counters."""
+        telemetry = self._live_telemetry()
+        gauges = self._gauges
+        gauges["uptime"].set(telemetry["uptime_s"])
+        gauges["generation"].set(telemetry["generation"])
+        gauges["queue_depth"].set(telemetry["queue_depth"])
+        gauges["n_alive"].set(telemetry["n_alive"])
+        gauges["recovered"].set(telemetry["recovered_mutations"])
+        gauges["connections"].set(self.connections)
+        if telemetry["wal_depth"] is not None:
+            gauges["wal_depth"].set(telemetry["wal_depth"])
+        if telemetry["last_checkpoint_age_s"] is not None:
+            gauges["checkpoint_age"].set(telemetry["last_checkpoint_age_s"])
+        engine = self.pool.writer.engine.stats()
+        for key, counter in self._cache_mirrors.items():
+            counter.set_total(engine[key])
+        gauges["cache_bytes"].set(engine["bytes"])
+        backend = self.pool.writer.backend
+        if isinstance(backend, ShardedBackend):
+            shard_stats = backend.stats()
+            for key, counter in self._shard_mirrors.items():
+                counter.set_total(shard_stats[key])
+            for index, size in enumerate(shard_stats["shard_sizes"]):
+                self._gauge_shard_size.set(size, shard=str(index))
+        if self.profiler is not None:
+            for name, op_record in list(self.profiler.records.items()):
+                self._metric_op_seconds.set_total(op_record.forward_seconds, op=name)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -857,6 +1221,11 @@ class ServingServer:
                 await asyncio.wait_for(self._server.wait_closed(), timeout=1.0)
             self._server = None
         self._executor.shutdown(wait=True, cancel_futures=True)
+        self.registry.remove_collector(self._collect_metrics)
+        if self.profiler is not None:
+            previous = set_span_profiler(None)
+            if previous is not None and previous is not self.profiler:
+                set_span_profiler(previous)  # another server's; put it back
 
     @property
     def status(self) -> str:
@@ -866,13 +1235,15 @@ class ServingServer:
         return self.pool.status
 
     def stats(self) -> dict[str, Any]:
-        return {
+        payload = {
             "status": self.status,
             "draining": self._draining,
             "connections": self.connections,
             "recovered": self.recovered,
+            "telemetry": self._live_telemetry(),
             "batcher": self.batcher.stats(),
             "pool": self.pool.stats(),
+            "metrics": self.registry.snapshot(),
             "config": {
                 "replicas": self.config.replicas,
                 "batch_window_ms": self.config.batch_window_ms,
@@ -882,8 +1253,14 @@ class ServingServer:
                 "write_timeout_s": self.config.write_timeout_s,
                 "wal": self.config.wal_path is not None,
                 "shards": self.config.shards,
+                "trace_sample_rate": self.config.trace_sample_rate,
+                "slow_ms": self.config.slow_ms,
+                "profile": self.config.profile,
             },
         }
+        if self.profiler is not None:
+            payload["profile"] = self.profiler.table()
+        return payload
 
     # ------------------------------------------------------------------ #
     # HTTP plumbing
@@ -931,7 +1308,7 @@ class ServingServer:
                         body = await reader.readexactly(length)
                     except asyncio.IncompleteReadError:
                         break
-                status, payload, extra = await self._route(
+                status, payload, extra = await self._serve_request(
                     method, target.partition("?")[0], body
                 )
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
@@ -950,18 +1327,24 @@ class ServingServer:
     async def _respond(
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict[str, Any],
+        payload: dict[str, Any] | bytes,
         *,
         keep_alive: bool = False,
         extra_headers: Mapping[str, str] | None = None,
     ) -> None:
-        data = json.dumps(payload).encode()
+        if isinstance(payload, bytes):
+            # Pre-rendered body (the Prometheus text exposition of /metrics).
+            data = payload
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(payload).encode()
+            content_type = "application/json"
         extras = "".join(
             f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
         )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"{extras}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
@@ -973,31 +1356,82 @@ class ServingServer:
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
-    def _health_payload(self) -> dict[str, Any]:
-        pool_stats = self.pool.stats()
-        payload: dict[str, Any] = {
-            "status": self.status,
-            "generation": self.pool.generation,
-            "n_alive": self.pool.writer.n_alive,
-            "queue_depth": self.batcher.pending,
-            "wal_depth": (
-                self.pool.wal.depth if self.pool.wal is not None else None
-            ),
-            "last_checkpoint_age_s": pool_stats["last_checkpoint_age_s"],
+    #: Routes whose label appears on request metrics; anything else is
+    #: bucketed as ``other`` so a path-scanning client can't explode the
+    #: label cardinality.
+    _ROUTES = frozenset(
+        {
+            "/healthz", "/health", "/stats", "/metrics", "/predict",
+            "/insert", "/update", "/delete", "/compact", "/reassign",
         }
+    )
+    #: Routes that do real per-request work and are worth a trace.
+    _TRACED = frozenset(
+        {"/predict", "/insert", "/update", "/delete", "/compact", "/reassign"}
+    )
+
+    def _health_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"status": self.status, **self._live_telemetry()}
         if self.pool.failure is not None:
             payload["failure"] = self.pool.failure
         return payload
 
+    async def _serve_request(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict | bytes, dict[str, str] | None]:
+        """Route one request under its metrics/trace envelope.
+
+        Every request lands in ``repro_requests_total`` and
+        ``repro_request_seconds``; when tracing is enabled, work routes get
+        a per-request :class:`~repro.obs.tracing.Trace` activated for the
+        duration, and its span breakdown is emitted as one structured JSON
+        log line when sampled (or always, for requests over ``slow_ms``).
+        """
+        route = path if path in self._ROUTES else "other"
+        trace = (
+            Trace.new() if self._tracing and path in self._TRACED else None
+        )
+        start = time.perf_counter()
+        if trace is not None:
+            with activate(trace):
+                status, payload, extra = await self._route(method, path, body)
+        else:
+            status, payload, extra = await self._route(method, path, body)
+        duration = time.perf_counter() - start
+        self._metric_requests.inc(route=route, status=str(status))
+        self._metric_latency.observe(duration, route=route)
+        if trace is not None:
+            slow = self._slow_s is not None and duration >= self._slow_s
+            if slow or (
+                self.config.trace_sample_rate > 0
+                and random.random() < self.config.trace_sample_rate
+            ):
+                log_event(
+                    self._trace_log,
+                    "request",
+                    trace_id=trace.trace_id,
+                    route=route,
+                    method=method,
+                    status=status,
+                    duration_ms=round(duration * 1e3, 3),
+                    slow=slow,
+                    generation=self.pool.generation,
+                    spans_ms=trace.spans_ms(),
+                    **trace.meta,
+                )
+        return status, payload, extra
+
     async def _route(
         self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict, dict[str, str] | None]:
+    ) -> tuple[int, dict | bytes, dict[str, str] | None]:
         try:
             if method == "GET":
                 if path in ("/healthz", "/health"):
                     return 200, self._health_payload(), None
                 if path == "/stats":
                     return 200, _jsonable(self.stats()), None
+                if path == "/metrics":
+                    return 200, self.registry.render().encode("utf-8"), None
                 return 404, {"error": f"unknown path {path!r}"}, None
             if method != "POST":
                 return 405, {"error": f"unsupported method {method!r}"}, None
@@ -1045,6 +1479,9 @@ class ServingServer:
             nodes = payload.get("nodes")
         request = {"nodes": nodes, "output": payload.get("output", "labels")}
         timeout = self.config.request_timeout_s
+        trace = current_trace()
+        start = time.perf_counter()
+        before = trace.total() if trace is not None else 0.0
         try:
             if timeout is not None:
                 result = await asyncio.wait_for(self.batcher.submit(request), timeout)
@@ -1059,6 +1496,12 @@ class ServingServer:
             )
         except ConfigurationError as error:
             return 400, {"error": str(error)}, None
+        if trace is not None:
+            # Submit-to-resume time the batcher could not see: mostly the
+            # event-loop wake-up after the batch resolved this future.
+            residual = (time.perf_counter() - start) - (trace.total() - before)
+            if residual > 0:
+                trace.add("dispatch", residual)
         return (
             200,
             {"result": _jsonable(result), "generation": self.pool.generation},
@@ -1086,13 +1529,32 @@ class ServingServer:
         else:
             call = self.pool.reassign
         timeout = self.config.write_timeout_s
+        trace = current_trace()
         try:
+            lock_start = time.perf_counter()
             async with self._write_lock:
-                future = loop.run_in_executor(self._executor, call)
+                exec_start = time.perf_counter()
+                if trace is not None:
+                    # Writes queue on the single-writer lock the way predicts
+                    # queue in the batcher — bill the wait under the same name.
+                    trace.add("queue_wait", exec_start - lock_start)
+                before = trace.total() if trace is not None else 0.0
+                future = loop.run_in_executor(
+                    self._executor, partial(self._traced_call, call, current_traces())
+                )
                 if timeout is not None:
                     result = await asyncio.wait_for(future, timeout)
                 else:
                     result = await future
+                if trace is not None:
+                    # Executor round-trip minus the worker-recorded spans:
+                    # the thread handoff cost, kept so spans sum to wall time.
+                    residual = (
+                        (time.perf_counter() - exec_start)
+                        - (trace.total() - before)
+                    )
+                    if residual > 0:
+                        trace.add("dispatch", residual)
         except asyncio.TimeoutError:
             # The worker thread is still running somewhere past its budget;
             # its final state is unknowable, so the writer can no longer be
@@ -1110,3 +1572,10 @@ class ServingServer:
         result = dict(result)
         result["generation"] = self.pool.generation
         return 200, _jsonable(result), None
+
+    @staticmethod
+    def _traced_call(call: Callable[[], dict], traces: tuple[Trace, ...]) -> dict:
+        """Run a write in the worker thread with the request's traces active
+        (``run_in_executor`` does not carry contextvars across threads)."""
+        with activate(*traces):
+            return call()

@@ -66,6 +66,7 @@ from repro.hypergraph.laplacian import compactness_hyperedge_weights
 from repro.hypergraph.neighbors import IncrementalBackend
 from repro.hypergraph.refresh import OperatorCache, TopologyRefreshEngine
 from repro.hypergraph.sharding import ShardedBackend, ShardMap, make_shard_map
+from repro.obs.tracing import span
 from repro.serving.faults import declare_fault_point, fault_point
 from repro.serving.frozen import FrozenModel, TopologySlot, _DHGCNPlan, _ModulePlan
 
@@ -758,7 +759,8 @@ class InferenceSession:
         if self._stale_topology:
             self._refresh()
         elif self._stale_outputs:
-            self._layer_inputs, self._logits = self.plan.run(self._features)
+            with span("forward"):
+                self._layer_inputs, self._logits = self.plan.run(self._features)
             self.forwards += 1
             self._stale_outputs = False
 
@@ -787,7 +789,8 @@ class InferenceSession:
             slot = self._slots.get(position)
             if slot is not None:
                 self._refresh_slot(slot, hidden, alive, reassign)
-            hidden = plan.apply_layer(position, hidden)
+            with span("forward"):
+                hidden = plan.apply_layer(position, hidden)
         self._layer_inputs = layer_inputs
         self._logits = hidden
         self._moved[:] = False
@@ -879,9 +882,10 @@ class InferenceSession:
         parts: list[Hypergraph] = []
         if slot.use_knn:
             k = min(slot.k_neighbors, max(alive.size - 1, 1))
-            rows = self._neighbor_rows(
-                slot, embedding[alive] if masked else embedding, k
-            )
+            with span("knn"):
+                rows = self._neighbor_rows(
+                    slot, embedding[alive] if masked else embedding, k
+                )
             parts.append(
                 hyperedges_from_neighbor_indices(
                     rows, node_ids=alive if masked else None, n_nodes=n
@@ -1014,7 +1018,8 @@ class InferenceSession:
         # of the previous pass", and deliberately independent of whether a
         # cached forward happens to exist, so identical mutation sequences
         # give identical logits regardless of interleaved predict() calls.
-        baseline_inputs, _ = plan.run(self._features[: n - self._inserted])
+        with span("forward"):
+            baseline_inputs, _ = plan.run(self._features[: n - self._inserted])
         reference = baseline_inputs[-1]
         if reference.shape[0] != n:
             # New nodes belong to no static hyperedge; their (padding) rows

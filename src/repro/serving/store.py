@@ -31,6 +31,7 @@ from __future__ import annotations
 import ast
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -42,6 +43,7 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.neighbors import IncrementalBackend, NeighborBackend
 from repro.hypergraph.refresh import OperatorCache
 from repro.hypergraph.sharding import ShardedBackend
+from repro.obs.metrics import get_registry
 from repro.serving.faults import declare_fault_point, fault_point
 from repro.utils.io import pack_csr, unpack_csr
 
@@ -176,6 +178,7 @@ class OperatorStore:
         }
         arrays["__manifest__"] = np.asarray(json.dumps(manifest))
         temp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+        start = time.perf_counter()
         try:
             # A file handle keeps numpy from appending a second ``.npz``.
             with open(temp, "wb") as handle:
@@ -188,6 +191,11 @@ class OperatorStore:
             fault_point("store.after_replace")
         finally:
             temp.unlink(missing_ok=True)
+        # Histogram only — no trace span: the serving pool wraps this call
+        # in its own "checkpoint" span and nested spans would double-count.
+        get_registry().histogram(
+            "repro_store_save_seconds", "Atomic bundle archive write latency"
+        ).observe(time.perf_counter() - start)
         return path
 
     @classmethod

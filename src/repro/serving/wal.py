@@ -39,11 +39,14 @@ import hashlib
 import json
 import os
 import struct
+import time
 from contextlib import suppress
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import record_span
 from repro.serving.faults import declare_fault_point, fault_point
 
 __all__ = ["WAL_HEADER", "WALCorruptionError", "WALError", "WALRecord", "WriteAheadLog"]
@@ -161,6 +164,13 @@ class WriteAheadLog:
         self._depth = len(records)
         self._last_seq = records[-1].seq if records else 0
         self._handle = open(self.path, "ab")
+        registry = get_registry()
+        self._metric_append = registry.histogram(
+            "repro_wal_append_seconds", "WAL record frame write + flush latency"
+        )
+        self._metric_fsync = registry.histogram(
+            "repro_wal_fsync_seconds", "WAL per-record fsync latency"
+        )
 
     # ------------------------------------------------------------------ #
     @property
@@ -186,11 +196,19 @@ class WriteAheadLog:
             separators=(",", ":"),
         ).encode("utf-8")
         fault_point("wal.before_append")
+        start = time.perf_counter()
         self._handle.write(_LEN.pack(len(record)) + _digest(record) + record)
         fault_point("wal.before_fsync")
         self._handle.flush()
+        elapsed = time.perf_counter() - start
+        record_span("wal_append", elapsed)
+        self._metric_append.observe(elapsed)
         if self.fsync:
+            start = time.perf_counter()
             os.fsync(self._handle.fileno())
+            elapsed = time.perf_counter() - start
+            record_span("wal_fsync", elapsed)
+            self._metric_fsync.observe(elapsed)
         fault_point("wal.after_fsync")
         self._depth += 1
         self._last_seq = int(seq)

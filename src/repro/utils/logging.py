@@ -7,7 +7,9 @@ stay in control of handlers and levels.
 
 from __future__ import annotations
 
+import json
 import logging
+from typing import Any
 
 _LIBRARY_LOGGER_NAME = "repro"
 
@@ -22,6 +24,18 @@ def get_logger(name: str | None = None) -> logging.Logger:
     if name.startswith(_LIBRARY_LOGGER_NAME + "."):
         return logging.getLogger(name)
     return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
+
+
+def log_event(logger: logging.Logger, event: str, /, **fields: Any) -> None:
+    """Emit one structured JSON event line at INFO level.
+
+    The line is a single JSON object with an ``event`` key first, suitable
+    for ``jq``-style processing; non-serialisable values fall back to
+    ``str``.  The serving trace log (``repro.serving.trace``) is built on
+    this.
+    """
+    payload = {"event": event, **fields}
+    logger.info(json.dumps(payload, default=str, separators=(",", ":")))
 
 
 def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
