@@ -1,21 +1,82 @@
-"""Post-hoc analysis tools: embedding quality, classification reports, gate tracking."""
+"""Analysis tools: post-hoc statistics, the project linter and sanitizers.
 
-from repro.analysis.embedding import (
-    class_separation_ratio,
-    extract_embeddings,
-    pca_project,
-    silhouette_score,
-)
-from repro.analysis.report import classification_report, per_class_accuracy
-from repro.analysis.tracking import GateTracker, TopologyTracker
+Two halves live here:
 
-__all__ = [
-    "extract_embeddings",
-    "pca_project",
-    "silhouette_score",
-    "class_separation_ratio",
-    "classification_report",
-    "per_class_accuracy",
-    "GateTracker",
-    "TopologyTracker",
-]
+* post-hoc *statistics* over trained models — embedding quality, per-class
+  reports, gate/topology tracking (``embedding``/``report``/``tracking``);
+* *correctness tooling* — the ``repro lint`` AST rule engine
+  (``lint``/``rules``) and the runtime lock-discipline sanitizer
+  (``sanitize``).
+
+Exports resolve lazily (PEP 562): the statistics half pulls in the full
+model stack, while :mod:`repro.analysis.sanitize` must stay import-light so
+``repro.obs`` / ``repro.serving`` can decorate their classes without an
+import cycle.
+"""
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "extract_embeddings": "repro.analysis.embedding",
+    "pca_project": "repro.analysis.embedding",
+    "silhouette_score": "repro.analysis.embedding",
+    "class_separation_ratio": "repro.analysis.embedding",
+    "classification_report": "repro.analysis.report",
+    "per_class_accuracy": "repro.analysis.report",
+    "GateTracker": "repro.analysis.tracking",
+    "TopologyTracker": "repro.analysis.tracking",
+    "Finding": "repro.analysis.lint",
+    "LintError": "repro.analysis.lint",
+    "ModuleInfo": "repro.analysis.lint",
+    "Rule": "repro.analysis.lint",
+    "run_lint": "repro.analysis.lint",
+    "format_findings": "repro.analysis.lint",
+    "load_baseline": "repro.analysis.lint",
+    "write_baseline": "repro.analysis.lint",
+    "PROJECT_RULES": "repro.analysis.rules",
+    "all_rules": "repro.analysis.rules",
+    "LockDisciplineError": "repro.analysis.sanitize",
+    "guard_attrs": "repro.analysis.sanitize",
+    "sanitize_locks_enabled": "repro.analysis.sanitize",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.analysis.embedding import (
+        class_separation_ratio,
+        extract_embeddings,
+        pca_project,
+        silhouette_score,
+    )
+    from repro.analysis.lint import (
+        Finding,
+        LintError,
+        ModuleInfo,
+        Rule,
+        format_findings,
+        load_baseline,
+        run_lint,
+        write_baseline,
+    )
+    from repro.analysis.report import classification_report, per_class_accuracy
+    from repro.analysis.rules import PROJECT_RULES, all_rules
+    from repro.analysis.sanitize import (
+        LockDisciplineError,
+        guard_attrs,
+        sanitize_locks_enabled,
+    )
+    from repro.analysis.tracking import GateTracker, TopologyTracker
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return __all__

@@ -10,6 +10,8 @@ from __future__ import annotations
 import numpy as np
 from scipy.spatial.distance import cdist
 
+from repro.precision import resolve_dtype
+
 from repro.autograd.tensor import Tensor, no_grad
 from repro.errors import ShapeError
 from repro.models.base import BaseNodeClassifier
@@ -26,7 +28,7 @@ def extract_embeddings(model: BaseNodeClassifier, features: np.ndarray) -> np.nd
     """
     model.eval()
     with no_grad():
-        output = model(Tensor(np.asarray(features, dtype=np.float64)))
+        output = model(Tensor(np.asarray(features, dtype=resolve_dtype("float64"))))
     return output.data.copy()
 
 
@@ -37,7 +39,7 @@ def pca_project(embeddings: np.ndarray, n_components: int = 2) -> np.ndarray:
     enough to verify visually (or numerically, through
     :func:`class_separation_ratio`) that classes separate.
     """
-    embeddings = np.asarray(embeddings, dtype=np.float64)
+    embeddings = np.asarray(embeddings, dtype=resolve_dtype("float64"))
     if embeddings.ndim != 2:
         raise ShapeError(f"embeddings must be 2-D, got shape {embeddings.shape}")
     if not 1 <= n_components <= embeddings.shape[1]:
@@ -55,7 +57,7 @@ def silhouette_score(embeddings: np.ndarray, labels: np.ndarray) -> float:
     Ranges from -1 (wrong clustering) to +1 (dense, well-separated clusters).
     Classes with a single member are skipped (their silhouette is undefined).
     """
-    embeddings = np.asarray(embeddings, dtype=np.float64)
+    embeddings = np.asarray(embeddings, dtype=resolve_dtype("float64"))
     labels = check_1d_labels(np.asarray(labels), embeddings.shape[0])
     unique = np.unique(labels)
     if unique.size < 2:
@@ -85,7 +87,7 @@ def silhouette_score(embeddings: np.ndarray, labels: np.ndarray) -> float:
 
 def class_separation_ratio(embeddings: np.ndarray, labels: np.ndarray) -> float:
     """Ratio of between-class to within-class scatter (higher = better separated)."""
-    embeddings = np.asarray(embeddings, dtype=np.float64)
+    embeddings = np.asarray(embeddings, dtype=resolve_dtype("float64"))
     labels = check_1d_labels(np.asarray(labels), embeddings.shape[0])
     overall_mean = embeddings.mean(axis=0)
     within = 0.0

@@ -1,0 +1,315 @@
+"""AST-based project-invariant lint engine (``repro lint``).
+
+The serving stack's correctness rests on conventions the test suite can only
+sample: blocking calls must leave the event loop via ``run_in_executor``,
+dtypes must flow through :mod:`repro.precision`, RNG must come from seeded
+generators, ``fault_point`` names must match their declarations, metric names
+must follow the Prometheus vocabulary, and locked state must only be touched
+under its lock.  This module is the engine that machine-checks those
+conventions; the project rule pack lives in :mod:`repro.analysis.rules` and is
+catalogued in ``docs/lint-rules.md``.
+
+Design: a :class:`Rule` sees parsed modules (:class:`ModuleInfo`, which pairs
+the AST with the raw text so suppression comments can be honoured) and yields
+:class:`Finding` records.  Per-file rules implement :meth:`Rule.check_module`;
+cross-file invariants (declaration/use consistency, registry contracts)
+implement :meth:`Rule.check_project` and see every module at once.
+
+Suppression: append ``# repro-lint: disable=RL006`` (comma-separate several
+ids, or ``disable=all``) to the offending line.  A baseline file — a counted
+multiset of ``(rule, path, message)`` — can absorb legacy findings, but the
+shipped tree keeps an empty baseline by policy.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "ModuleInfo",
+    "Rule",
+    "collect_modules",
+    "format_findings",
+    "load_baseline",
+    "run_lint",
+    "write_baseline",
+]
+
+#: Matches a suppression comment anywhere on a line.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s-]+)")
+
+#: Directories never descended into when collecting files.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", ".pytest_cache"}
+
+
+class LintError(Exception):
+    """A lint invocation itself is broken (bad path, unknown rule id, ...)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    severity: str  # "error" | "warning"
+    path: str  # posix path as reported (relative to the lint root when possible)
+    line: int
+    message: str
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Line-number-free identity used by baseline matching.
+
+        Keying on ``(rule, path, message)`` instead of the line number keeps a
+        baseline stable across edits that merely shift code up or down.
+        """
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} [{self.severity}] {self.message}"
+
+
+class ModuleInfo:
+    """One parsed source file: path, text, AST and suppression table."""
+
+    def __init__(self, path: Path, relpath: str, text: str) -> None:
+        self.path = path
+        #: Posix-style path as reported in findings and matched by rule scopes.
+        self.relpath = relpath
+        self.text = text
+        self.tree = ast.parse(text, filename=str(path))
+        self._suppressed: dict[int, set[str]] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")}
+                self._suppressed[lineno] = {rule for rule in rules if rule}
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True when ``line`` carries a disable comment covering ``rule``."""
+        rules = self._suppressed.get(line)
+        return bool(rules) and (rule in rules or "all" in rules)
+
+    def in_scope(self, *fragments: str) -> bool:
+        """True when the module path contains any of the posix fragments."""
+        return any(fragment in self.relpath for fragment in fragments)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ModuleInfo({self.relpath!r})"
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`id` / :attr:`description` and implement
+    :meth:`check_module` (per-file pass) and/or :meth:`check_project`
+    (cross-file pass).  Helpers :meth:`finding` / :meth:`at` build findings
+    with the rule's id and severity filled in.
+    """
+
+    id: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, modules: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        return iter(())
+
+    def at(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``'s line."""
+        return self.finding(module, getattr(node, "lineno", 1), message)
+
+    def finding(self, module: ModuleInfo, line: int, message: str) -> Finding:
+        return Finding(self.id, self.severity, module.relpath, int(line), message)
+
+
+# --------------------------------------------------------------------------- #
+# File collection
+# --------------------------------------------------------------------------- #
+def _iter_python_files(path: Path) -> Iterator[Path]:
+    if path.is_file():
+        if path.suffix == ".py":
+            yield path
+        return
+    for candidate in sorted(path.rglob("*.py")):
+        if not any(part in _SKIP_DIRS for part in candidate.parts):
+            yield candidate
+
+
+def collect_modules(
+    paths: Sequence[str | Path], *, root: str | Path | None = None
+) -> list[ModuleInfo]:
+    """Parse every ``*.py`` under ``paths`` into :class:`ModuleInfo` records.
+
+    Reported paths are made relative to ``root`` (default: the current
+    directory) when possible, falling back to the absolute posix path — rule
+    scopes match on posix fragments like ``"repro/serving/"`` either way.
+    Raises :class:`LintError` for a path that does not exist or a file that
+    does not parse (a linter that silently skips unparsable code certifies
+    nothing).
+    """
+    base = Path(root) if root is not None else Path.cwd()
+    modules: list[ModuleInfo] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise LintError(f"lint path does not exist: {path}")
+        for file in _iter_python_files(path):
+            resolved = file.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            try:
+                relpath = resolved.relative_to(base.resolve()).as_posix()
+            except ValueError:
+                relpath = resolved.as_posix()
+            try:
+                modules.append(ModuleInfo(resolved, relpath, resolved.read_text()))
+            except SyntaxError as error:
+                raise LintError(f"{relpath} does not parse: {error}") from error
+    return modules
+
+
+# --------------------------------------------------------------------------- #
+# Baseline
+# --------------------------------------------------------------------------- #
+def load_baseline(path: str | Path) -> dict[tuple[str, str, str], int]:
+    """Load a baseline file into a counted multiset of finding keys."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise LintError(f"cannot read baseline {path}: {error}") from error
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise LintError(f"baseline {path} is not a repro-lint baseline")
+    counts: dict[tuple[str, str, str], int] = {}
+    for entry in payload["findings"]:
+        key = (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    """Persist ``findings`` as a baseline (counted, line-number free)."""
+    counts: dict[tuple[str, str, str], int] = {}
+    for finding in findings:
+        key = finding.baseline_key()
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "version": 1,
+        "findings": [
+            {"rule": rule, "path": rel, "message": message, "count": count}
+            for (rule, rel, message), count in sorted(counts.items())
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _apply_baseline(
+    findings: list[Finding], baseline: Mapping[tuple[str, str, str], int]
+) -> list[Finding]:
+    remaining = dict(baseline)
+    kept: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            kept.append(finding)
+    return kept
+
+
+# --------------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------------- #
+def _select_rules(
+    rules: Sequence[Rule],
+    select: Iterable[str] | None,
+    ignore: Iterable[str] | None,
+) -> list[Rule]:
+    known = {rule.id for rule in rules}
+    for requested in list(select or []) + list(ignore or []):
+        if requested not in known:
+            raise LintError(
+                f"unknown rule id {requested!r}; known: {sorted(known)}"
+            )
+    chosen = [rule for rule in rules if not select or rule.id in set(select)]
+    if ignore:
+        chosen = [rule for rule in chosen if rule.id not in set(ignore)]
+    return chosen
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule],
+    *,
+    root: str | Path | None = None,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    baseline: Mapping[tuple[str, str, str], int] | None = None,
+) -> list[Finding]:
+    """Run ``rules`` over ``paths``; returns surviving findings, sorted.
+
+    Suppression comments are honoured per line; a ``baseline`` multiset
+    absorbs matching findings (each baseline entry cancels at most ``count``
+    occurrences).  The result is sorted by (path, line, rule) for stable
+    output and stable baselines.
+    """
+    modules = collect_modules(paths, root=root)
+    active = _select_rules(rules, select, ignore)
+    by_path = {module.relpath: module for module in modules}
+    findings: list[Finding] = []
+    for rule in active:
+        produced: list[Finding] = []
+        for module in modules:
+            produced.extend(rule.check_module(module))
+        produced.extend(rule.check_project(modules))
+        for finding in produced:
+            module = by_path.get(finding.path)
+            if module is not None and module.is_suppressed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    if baseline:
+        findings = _apply_baseline(findings, baseline)
+    return findings
+
+
+def format_findings(
+    findings: Sequence[Finding], *, fmt: str = "text", rules: Sequence[Rule] = ()
+) -> str:
+    """Render findings as human-readable text or a JSON report document."""
+    if fmt == "json":
+        return json.dumps(
+            {
+                "version": 1,
+                "count": len(findings),
+                "rules": {rule.id: rule.description for rule in rules},
+                "findings": [finding.to_dict() for finding in findings],
+            },
+            indent=2,
+        )
+    if fmt != "text":
+        raise LintError(f"unknown format {fmt!r} (expected 'text' or 'json')")
+    if not findings:
+        return "repro lint: clean"
+    lines = [finding.render() for finding in findings]
+    lines.append(f"repro lint: {len(findings)} finding(s)")
+    return "\n".join(lines)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.precision import resolve_dtype
+
 from repro.training.metrics import confusion_matrix
 from repro.training.results import ResultTable
 from repro.utils.validation import check_1d_labels
@@ -14,8 +16,8 @@ def per_class_accuracy(predictions: np.ndarray, targets: np.ndarray, n_classes: 
     predictions = check_1d_labels(np.asarray(predictions))
     targets = check_1d_labels(np.asarray(targets))
     matrix = confusion_matrix(predictions, targets, n_classes)
-    support = matrix.sum(axis=1).astype(np.float64)
-    correct = np.diag(matrix).astype(np.float64)
+    support = matrix.sum(axis=1).astype(resolve_dtype("float64"))
+    correct = np.diag(matrix).astype(resolve_dtype("float64"))
     return np.divide(correct, support, out=np.zeros_like(correct), where=support > 0)
 
 
@@ -37,9 +39,9 @@ def classification_report(
             f"class_names must have {n_classes} entries, got {len(class_names)}"
         )
 
-    true_positive = np.diag(matrix).astype(np.float64)
-    predicted = matrix.sum(axis=0).astype(np.float64)
-    actual = matrix.sum(axis=1).astype(np.float64)
+    true_positive = np.diag(matrix).astype(resolve_dtype("float64"))
+    predicted = matrix.sum(axis=0).astype(resolve_dtype("float64"))
+    actual = matrix.sum(axis=1).astype(resolve_dtype("float64"))
     precision = np.divide(true_positive, predicted, out=np.zeros_like(true_positive), where=predicted > 0)
     recall = np.divide(true_positive, actual, out=np.zeros_like(true_positive), where=actual > 0)
     denominator = precision + recall

@@ -1,0 +1,209 @@
+"""Runtime lock-discipline sanitizer — the dynamic witness for rule RL006.
+
+The static rule in :mod:`repro.analysis.rules` proves lock-guarded attributes
+are only *written in this codebase* under their lock; this module proves the
+discipline holds at runtime, across threads, for whatever code paths the test
+suite actually drives — including monkeypatched tests and cross-object access
+the AST cannot see.
+
+Usage: decorate a threaded class with the attributes its lock guards::
+
+    @guard_attrs("_lock", "_metrics", "_collectors")
+    class MetricsRegistry:
+        ...
+
+When the process was started with ``REPRO_SANITIZE=locks`` (the serving test
+suite sets it in ``tests/conftest.py``), the decorator installs data
+descriptors that assert the calling thread holds the named lock on **every
+read and write** of a guarded attribute, raising :class:`LockDisciplineError`
+on a violation.  Without the environment flag the decorator returns the class
+untouched — production code pays nothing.
+
+Mechanics: the lock attribute itself is wrapped in an :class:`_OwnedLock`
+proxy the moment it is assigned, so ``with self._lock:`` transparently
+records the owning thread.  ``__init__`` runs exempt (single-threaded
+construction is the universal idiom), tracked by a per-instance depth counter
+so nested construction (``publish()`` called from ``__init__``) stays exempt
+too.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+from typing import Any, Callable, TypeVar
+
+__all__ = [
+    "LockDisciplineError",
+    "guard_attrs",
+    "sanitize_locks_enabled",
+]
+
+_T = TypeVar("_T", bound=type)
+
+_INIT_DEPTH = "_repro_sanitize_init_depth"
+
+
+class LockDisciplineError(AssertionError):
+    """A lock-guarded attribute was touched without holding its lock."""
+
+
+def sanitize_locks_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` contains the ``locks`` sanitizer."""
+    flags = os.environ.get("REPRO_SANITIZE", "")
+    return "locks" in {part.strip() for part in flags.split(",")}
+
+
+class _OwnedLock:
+    """A ``threading.Lock`` proxy that remembers the owning thread.
+
+    ``threading.Lock`` deliberately has no owner concept; the sanitizer needs
+    one to ask "does *this* thread hold the lock right now?".  The proxy
+    forwards the full lock surface and records :func:`threading.get_ident`
+    on acquire.  Non-reentrant, exactly like the lock it wraps.
+    """
+
+    __slots__ = ("_lock", "_owner")
+
+    def __init__(self, lock: Any | None = None) -> None:
+        self._lock = lock if lock is not None else threading.Lock()
+        self._owner: int | None = None
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+        return acquired
+
+    def release(self) -> None:
+        self._owner = None
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "_OwnedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    @property
+    def held_by_current_thread(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "locked" if self.locked() else "unlocked"
+        return f"_OwnedLock({state}, owner={self._owner})"
+
+
+class _LockSlot:
+    """Descriptor for the lock attribute: wraps assigned locks in _OwnedLock."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __get__(self, obj: Any, objtype: type | None = None) -> Any:
+        if obj is None:
+            return self
+        try:
+            return obj.__dict__[self.name]
+        except KeyError:
+            raise AttributeError(self.name) from None
+
+    def __set__(self, obj: Any, value: Any) -> None:
+        if not isinstance(value, _OwnedLock):
+            value = _OwnedLock(value)
+        obj.__dict__[self.name] = value
+
+
+class _GuardedAttr:
+    """Descriptor asserting the guard lock is held on every read and write."""
+
+    def __init__(self, name: str, lock_name: str, cls_name: str) -> None:
+        self.name = name
+        self.lock_name = lock_name
+        self.cls_name = cls_name
+
+    def _check(self, obj: Any, action: str) -> None:
+        if obj.__dict__.get(_INIT_DEPTH, 0):
+            return  # constructing: single-threaded by idiom, lock may not exist
+        lock = obj.__dict__.get(self.lock_name)
+        if isinstance(lock, _OwnedLock) and not lock.held_by_current_thread:
+            raise LockDisciplineError(
+                f"{action} of lock-guarded {self.cls_name}.{self.name} "
+                f"without holding {self.cls_name}.{self.lock_name} "
+                f"(thread {threading.current_thread().name!r})"
+            )
+
+    def __get__(self, obj: Any, objtype: type | None = None) -> Any:
+        if obj is None:
+            return self
+        self._check(obj, "read")
+        try:
+            # A data descriptor shadows the instance __dict__, so the slot
+            # name itself is free to use as backing storage.
+            return obj.__dict__[self.name]
+        except KeyError:
+            raise AttributeError(self.name) from None
+
+    def __set__(self, obj: Any, value: Any) -> None:
+        self._check(obj, "write")
+        obj.__dict__[self.name] = value
+
+    def __delete__(self, obj: Any) -> None:
+        self._check(obj, "delete")
+        try:
+            del obj.__dict__[self.name]
+        except KeyError:
+            raise AttributeError(self.name) from None
+
+
+def _wrap_init(cls: type) -> None:
+    original = cls.__init__
+
+    @functools.wraps(original)
+    def init(self: Any, *args: Any, **kwargs: Any) -> None:
+        self.__dict__[_INIT_DEPTH] = self.__dict__.get(_INIT_DEPTH, 0) + 1
+        try:
+            original(self, *args, **kwargs)
+        finally:
+            self.__dict__[_INIT_DEPTH] -= 1
+
+    cls.__init__ = init
+
+
+def guard_attrs(
+    lock_attr: str, *attrs: str, force: bool = False
+) -> Callable[[_T], _T]:
+    """Class decorator: assert ``lock_attr`` is held around ``attrs`` access.
+
+    No-op (returns the class unchanged) unless ``REPRO_SANITIZE=locks`` was
+    set when the module was imported, or ``force=True`` (used by the
+    sanitizer's own tests).  Guarded classes must use instance ``__dict__``
+    storage; a class whose ``__slots__`` covers a guarded attribute raises
+    :class:`~repro.errors.ConfigurationError` at decoration time rather than
+    silently losing its storage.
+    """
+
+    def decorate(cls: _T) -> _T:
+        if not force and not sanitize_locks_enabled():
+            return cls
+        slots = set(getattr(cls, "__slots__", ()) or ())
+        clashing = slots & (set(attrs) | {lock_attr})
+        if clashing:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"guard_attrs cannot instrument __slots__ attributes "
+                f"{sorted(clashing)} on {cls.__name__}"
+            )
+        setattr(cls, lock_attr, _LockSlot(lock_attr))
+        for attr in attrs:
+            setattr(cls, attr, _GuardedAttr(attr, lock_attr, cls.__name__))
+        _wrap_init(cls)
+        return cls
+
+    return decorate

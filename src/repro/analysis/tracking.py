@@ -10,6 +10,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.precision import resolve_dtype
+
 from repro.core.model import DHGCN
 from repro.hypergraph.metrics import hyperedge_homophily
 
@@ -30,7 +32,7 @@ class GateTracker:
         """``(n_records, n_blocks)`` array of gate values."""
         if not self.gates:
             return np.zeros((0, 0))
-        return np.array(self.gates, dtype=np.float64)
+        return np.array(self.gates, dtype=resolve_dtype("float64"))
 
     def drift(self) -> float:
         """Total absolute change of the mean gate between first and last record."""

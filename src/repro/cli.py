@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -310,6 +311,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument(
         "--timeout", type=float, default=5.0, help="HTTP timeout in seconds"
+    )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the project-invariant AST linter (see docs/lint-rules.md)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: src/repro and benchmarks "
+        "next to the installed package)",
+    )
+    lint.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore", default=None, help="comma-separated rule ids to skip"
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+        help="output format",
+    )
+    lint.add_argument(
+        "--baseline", default=None,
+        help="baseline file absorbing pre-existing findings",
+    )
+    lint.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        help="write the current findings to PATH as a baseline and exit 0",
     )
     return parser
 
@@ -653,6 +683,53 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_lint_paths() -> list[str]:
+    """Lint the source tree and benchmarks next to the installed package."""
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent  # .../src/repro
+    paths = [str(package_root)]
+    benchmarks = package_root.parent.parent / "benchmarks"
+    if benchmarks.is_dir():
+        paths.append(str(benchmarks))
+    return paths
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    """Run the rule pack; exit 0 when clean, 1 on findings, 2 on bad usage."""
+    from repro.analysis.lint import (
+        LintError,
+        format_findings,
+        load_baseline,
+        run_lint,
+        write_baseline,
+    )
+    from repro.analysis.rules import all_rules
+
+    rules = all_rules()
+    try:
+        findings = run_lint(
+            args.paths or _default_lint_paths(),
+            rules,
+            select=args.select.split(",") if args.select else None,
+            ignore=args.ignore.split(",") if args.ignore else None,
+            baseline=load_baseline(args.baseline) if args.baseline else None,
+        )
+    except LintError as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"repro lint: wrote {len(findings)} finding(s) to "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    print(format_findings(findings, fmt=args.fmt, rules=rules))
+    return 1 if findings else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -670,6 +747,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_serve(args)
     if args.command == "stats":
         return _command_stats(args)
+    if args.command == "lint":
+        return _command_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

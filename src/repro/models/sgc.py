@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.precision import resolve_dtype
+
 from repro.autograd.tensor import Tensor
 from repro.data.dataset import NodeClassificationDataset
 from repro.errors import ConfigurationError
@@ -43,7 +45,7 @@ class SGC(BaseNodeClassifier):
         smoothed = dataset.features
         for _ in range(self.k_hops):
             smoothed = operator @ smoothed
-        self._smoothed = np.asarray(smoothed, dtype=np.float64)
+        self._smoothed = np.asarray(smoothed, dtype=resolve_dtype("float64"))
 
     def forward(self, features: Tensor) -> Tensor:
         self.require_setup()

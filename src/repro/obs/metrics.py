@@ -42,6 +42,7 @@ import threading
 from bisect import bisect_left
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
+from repro.analysis.sanitize import guard_attrs
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -89,6 +90,7 @@ def _format_le(edge: float) -> str:
     return "+Inf" if edge == float("inf") else _format_value(edge)
 
 
+@guard_attrs("_lock", "_children")
 class _Instrument:
     """Shared labelled-family machinery of the three instrument kinds."""
 
@@ -139,6 +141,11 @@ class Counter(_Instrument):
     kind = "counter"
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (>= 0) to the child selected by ``labels``.
+
+        A negative ``amount`` raises
+        :class:`~repro.errors.ConfigurationError` — counters only go up.
+        """
         if not self.enabled:
             return
         if amount < 0:
@@ -204,7 +211,11 @@ class Gauge(_Instrument):
             self._children[key] = self._children.get(key, 0.0) + amount
 
     def set_fn(self, fn: Callable[[], float] | None) -> None:
-        """Compute the (unlabelled) value lazily at every scrape."""
+        """Compute the (unlabelled) value lazily at every scrape.
+
+        Raises :class:`~repro.errors.ConfigurationError` on a labelled
+        gauge — a single callback cannot fan out to label children.
+        """
         if self.labelnames:
             raise ConfigurationError(
                 f"gauge {self.name} is labelled; set_fn needs an unlabelled gauge"
@@ -326,7 +337,8 @@ class Histogram(_Instrument):
 
         Within a bucket the distribution is assumed uniform; the overflow
         (``+Inf``) bucket reports the largest finite edge — percentiles are
-        summaries, not exact order statistics.
+        summaries, not exact order statistics.  ``q`` outside [0, 1] raises
+        :class:`~repro.errors.ConfigurationError`.
         """
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"q must be in [0, 1], got {q}")
@@ -402,6 +414,7 @@ class Histogram(_Instrument):
             yield f"{self.name}_count{suffix} {sum(counts)}"
 
 
+@guard_attrs("_lock", "_metrics", "_collectors")
 class MetricsRegistry:
     """Name-keyed instrument store with collectors and two export formats.
 
@@ -517,12 +530,13 @@ class MetricsRegistry:
             metric.clear()
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"MetricsRegistry(enabled={self.enabled}, metrics={len(self._metrics)})"
-        )
+        with self._lock:
+            count = len(self._metrics)
+        return f"MetricsRegistry(enabled={self.enabled}, metrics={count})"
 
 
 _DEFAULT = MetricsRegistry()

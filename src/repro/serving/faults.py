@@ -47,6 +47,7 @@ import os
 import threading
 import time
 
+from repro.analysis.sanitize import guard_attrs
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -113,6 +114,7 @@ def _parse_action(spec: str) -> _Rule:
     return _Rule(action, seconds, after)
 
 
+@guard_attrs("_lock", "_rules", "_hits")
 class FaultRegistry:
     """Declared fault points, armed rules and per-point hit counters."""
 
@@ -136,10 +138,12 @@ class FaultRegistry:
     def set(self, point: str, action: str, *, strict: bool = True) -> None:
         """Arm ``point`` with ``action`` (``crash``/``raise``/``delay:s``[@N]).
 
-        With ``strict`` (default) the point must be declared — catching
+        With ``strict`` (default) the point must be declared — an unknown
+        name raises :class:`~repro.errors.ConfigurationError`, catching
         typos; environment configuration uses ``strict=False`` because it is
         parsed before the serving modules (whose imports declare the points)
-        are loaded.
+        are loaded.  A malformed ``action`` raises
+        :class:`~repro.errors.ConfigurationError` either way.
         """
         if strict and point not in self._points:
             known = ", ".join(sorted(self._points)) or "<none declared yet>"
@@ -151,7 +155,11 @@ class FaultRegistry:
             self._rules[point] = rule
 
     def configure(self, spec: str, *, strict: bool = True) -> None:
-        """Arm several points from ``point=action[,point=action...]``."""
+        """Arm several points from ``point=action[,point=action...]``.
+
+        Raises :class:`~repro.errors.ConfigurationError` for a malformed
+        spec or (under ``strict``) an undeclared point name.
+        """
         for entry in spec.split(","):
             entry = entry.strip()
             if not entry:
@@ -192,6 +200,12 @@ class FaultRegistry:
 
     # -- firing --------------------------------------------------------- #
     def fire(self, point: str) -> None:
+        """Trigger ``point``: run its armed action, if any.
+
+        ``crash`` kills the process with ``os._exit``; ``raise`` raises
+        :class:`FaultInjected`; ``delay:s`` sleeps.  Unarmed points return
+        immediately (the production fast path).
+        """
         with self._lock:
             if not self._rules:
                 return  # fast path: nothing armed anywhere

@@ -58,7 +58,8 @@ def backend_from_cache_key(key: tuple | list) -> NeighborBackend:
     """Reconstruct a neighbour backend from its ``cache_key()`` tuple.
 
     Only the built-in backends are reconstructible; a custom backend's
-    bundle must be loaded with an explicitly provided instance.
+    bundle must be loaded with an explicitly provided instance — anything
+    else raises :class:`~repro.errors.ConfigurationError`.
     """
     key = tuple(key)
     if key and key[0] == "exact":
@@ -159,6 +160,8 @@ class TopologySlot:
     ) -> "TopologySlot":
         """Split a pooled layer hypergraph back into its generator parts.
 
+        Raises :class:`~repro.errors.ConfigurationError` when the pooled
+        edge counts cannot be reconciled with the generator flags.
         Relies on the construction order (k-NN, clusters, static) and on the
         k-NN generator emitting exactly one hyperedge per node.
         """
@@ -408,7 +411,8 @@ class FrozenModel:
         i.e. whatever policy it was trained under.  If the model has never
         run a forward pass its operators are materialised with one
         evaluation forward first (so compiling straight after ``setup()``
-        works too).
+        works too).  A model with no parameters (or an unsupported
+        architecture) raises :class:`~repro.errors.ConfigurationError`.
         """
         from repro.core.model import DHGCN
         from repro.models.dhgnn import DHGNN
@@ -564,7 +568,11 @@ class FrozenModel:
         return prime_backend(self.plan, self.features, self.engine.backend)
 
     def embeddings(self) -> np.ndarray:
-        """Input representation of the final layer (the node embedding)."""
+        """Input representation of the final layer (the node embedding).
+
+        Raises :class:`~repro.errors.ConfigurationError` for generic module
+        plans, which only expose logits.
+        """
         layer_inputs, _ = self.run()
         if isinstance(self.plan, _ModulePlan):
             raise ConfigurationError(
@@ -583,7 +591,9 @@ class FrozenModel:
         operators, per-slot topology parts and the neighbour backend's
         incremental state — a loading process serves its first prediction
         with zero k-NN distance computations and can keep inserting nodes
-        incrementally.  Only the dedicated DHGNN/DHGCN plans are bundleable.
+        incrementally.  Only the dedicated DHGNN/DHGCN plans are bundleable
+        — a generic module plan raises
+        :class:`~repro.errors.ConfigurationError`.
         """
         store = OperatorStore()
         plan = self.plan
@@ -672,6 +682,8 @@ class FrozenModel:
 
         ``backend`` overrides the bundled neighbour backend (it must share
         the captured ``cache_key()`` for incremental state to restore).
+        A file that is not a serving bundle raises
+        :class:`~repro.errors.ConfigurationError`.
         """
         store = OperatorStore.load(path)
         meta = store.meta

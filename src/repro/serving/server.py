@@ -67,7 +67,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-import random
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import asynccontextmanager, suppress
@@ -78,9 +78,11 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
+from repro.analysis.sanitize import guard_attrs
 from repro.errors import ConfigurationError
 from repro.hypergraph.sharding import ShardedBackend
 from repro.obs.metrics import get_registry
+from repro.precision import resolve_dtype
 from repro.obs.tracing import (
     Trace,
     activate,
@@ -95,6 +97,7 @@ from repro.serving.session import InferenceSession, ShardedSession
 from repro.serving.wal import WALRecord, WriteAheadLog
 from repro.utils.logging import get_logger, log_event
 from repro.utils.profiling import OpProfiler
+from repro.utils.rng import as_rng
 
 __all__ = [
     "MicroBatcher",
@@ -159,7 +162,7 @@ def _feature_list(features: Any) -> list:
     replays into bit-identical feature rows.
     """
     try:
-        matrix = np.asarray(features, dtype=np.float64)
+        matrix = np.asarray(features, dtype=resolve_dtype("float64"))
     except (TypeError, ValueError) as error:
         raise ConfigurationError(f"features must be a numeric matrix: {error}") from error
     return matrix.tolist()
@@ -261,6 +264,12 @@ class _Replica:
         self.index = index
 
 
+@guard_attrs(
+    "_lock",
+    "_generation", "_checkpoints", "_read_only", "_failure", "_recovered",
+    "_last_checkpoint_time", "_last_seq", "_replicas", "_counter",
+    "_pending_records", "_recovering",
+)
 class SessionPool:
     """A writer session and N read replicas over one frozen model.
 
@@ -320,24 +329,29 @@ class SessionPool:
             )
         else:
             self.writer = InferenceSession(frozen, cluster_assignment=cluster_assignment)
-        self.generation = 0
-        self.checkpoints = 0
-        self.read_only = False
-        self.failure: str | None = None
-        self.recovered = 0
-        self.last_checkpoint_time: float | None = None
-        #: High-water mutation sequence number.  A checkpoint stores it as
-        #: ``meta["wal_seq"]``, which is what makes WAL replay idempotent: a
-        #: crash between a checkpoint landing and the journal truncation
-        #: replays only records *beyond* the checkpoint.
-        self.last_seq = int(frozen.meta.get("wal_seq", 0))
+        # Mutable pool state lives behind this lock: mutations run in
+        # executor threads while the event loop reads telemetry, so every
+        # access goes through a locked property/method (enforced by lint
+        # rule RL006 and, under REPRO_SANITIZE=locks, at runtime).
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._checkpoints = 0
+        self._read_only = False
+        self._failure: str | None = None
+        self._recovered = 0
+        self._last_checkpoint_time: float | None = None
+        # High-water mutation sequence number.  A checkpoint stores it as
+        # ``meta["wal_seq"]``, which is what makes WAL replay idempotent: a
+        # crash between a checkpoint landing and the journal truncation
+        # replays only records *beyond* the checkpoint.
+        self._last_seq = int(frozen.meta.get("wal_seq", 0))
         self.wal = WriteAheadLog(wal_path, fsync=wal_fsync) if wal_path else None
         self._pending_records: list[WALRecord] = []
         self._recovering = False
         if self.wal is not None:
             self._pending_records = [
                 record for record in self.wal.read_records()
-                if record.seq > self.last_seq
+                if record.seq > self._last_seq
             ]
         registry = get_registry()
         self._metric_mutations = registry.counter(
@@ -366,22 +380,71 @@ class SessionPool:
         self._replicas: list[_Replica] = []
         self.publish()
 
+    # -- locked state accessors ---------------------------------------- #
+    @property
+    def generation(self) -> int:
+        """Monotonic count of published replica generations."""
+        with self._lock:
+            return self._generation
+
+    @property
+    def checkpoints(self) -> int:
+        """Checkpoints persisted by this pool."""
+        with self._lock:
+            return self._checkpoints
+
+    @property
+    def read_only(self) -> bool:
+        """True once the writer is quarantined (see :meth:`quarantine`)."""
+        with self._lock:
+            return self._read_only
+
+    @property
+    def failure(self) -> str | None:
+        """The first writer failure, or ``None`` while healthy."""
+        with self._lock:
+            return self._failure
+
+    @property
+    def recovered(self) -> int:
+        """Mutations replayed from the WAL by the last :meth:`recover`."""
+        with self._lock:
+            return self._recovered
+
+    @property
+    def last_checkpoint_time(self) -> float | None:
+        """Wall-clock time of the newest checkpoint, or ``None``."""
+        with self._lock:
+            return self._last_checkpoint_time
+
+    @property
+    def last_seq(self) -> int:
+        """High-water mutation sequence number."""
+        with self._lock:
+            return self._last_seq
+
+    def replicas(self) -> "list[_Replica]":
+        """Snapshot of the live replica set (telemetry and tests)."""
+        with self._lock:
+            return list(self._replicas)
+
     # -- read path ----------------------------------------------------- #
     def _pick(self) -> _Replica:
-        replicas = self._replicas
-        start = self._counter
-        for offset in range(len(replicas)):
-            index = (start + offset) % len(replicas)
-            replica = replicas[index]
-            if not replica.lock.locked():
-                # Advance the cursor *past the replica actually chosen* —
-                # advancing by one while handing out start+offset lands the
-                # next request on an already-borrowed replica and starves
-                # the ones behind it under sustained load.
-                self._counter = (index + 1) % len(replicas)
-                return replica
-        self._counter = (start + 1) % len(replicas)
-        return replicas[start % len(replicas)]
+        with self._lock:
+            replicas = self._replicas
+            start = self._counter
+            for offset in range(len(replicas)):
+                index = (start + offset) % len(replicas)
+                replica = replicas[index]
+                if not replica.lock.locked():
+                    # Advance the cursor *past the replica actually chosen*
+                    # — advancing by one while handing out start+offset
+                    # lands the next request on an already-borrowed replica
+                    # and starves the ones behind it under sustained load.
+                    self._counter = (index + 1) % len(replicas)
+                    return replica
+            self._counter = (start + 1) % len(replicas)
+            return replicas[start % len(replicas)]
 
     @asynccontextmanager
     async def acquire(self):
@@ -411,7 +474,8 @@ class SessionPool:
     @property
     def status(self) -> str:
         """``"ok"`` or ``"degraded"`` (read-only after a writer failure)."""
-        return "degraded" if self.read_only else "ok"
+        with self._lock:
+            return "degraded" if self._read_only else "ok"
 
     def quarantine(self, reason: str) -> None:
         """Degrade the pool to read-only: the writer can't be trusted.
@@ -421,9 +485,10 @@ class SessionPool:
         write); further writes raise :class:`WriterQuarantinedError` until a
         fresh process recovers from checkpoint + WAL.
         """
-        self.read_only = True
-        if self.failure is None:
-            self.failure = reason
+        with self._lock:
+            self._read_only = True
+            if self._failure is None:
+                self._failure = reason
 
     # -- write path ---------------------------------------------------- #
     def publish(self) -> None:
@@ -441,16 +506,19 @@ class SessionPool:
         fault_point("pool.before_publish")
         self.writer.predict()  # one refresh + forward for the whole fleet
         fanout_start = time.perf_counter()
-        self._replicas = [
+        replicas = [
             _Replica(self.writer.fork(seed_cache=False), index)
             for index in range(self.n_replicas)
         ]
         fanout = time.perf_counter() - fanout_start
         record_span("publish", fanout)
         self._metric_publish.observe(fanout)
-        self.generation += 1
+        with self._lock:
+            self._replicas = replicas
+            self._generation += 1
+            skip_checkpoint = self._recovering or bool(self._pending_records)
         fault_point("pool.after_publish")
-        if not self._recovering and not self._pending_records:
+        if not skip_checkpoint:
             self._checkpoint()
 
     def _checkpoint(self) -> None:
@@ -466,29 +534,39 @@ class SessionPool:
         record_span("checkpoint", elapsed)
         self._metric_checkpoint.observe(elapsed)
         self._metric_checkpoints.inc()
-        self.checkpoints += 1
-        self.last_checkpoint_time = time.time()
+        with self._lock:
+            self._checkpoints += 1
+            self._last_checkpoint_time = time.time()
         fault_point("pool.after_checkpoint")
         if self.wal is not None:
             self.wal.truncate()
 
     def _submit(self, op: str, payload: dict[str, Any]) -> dict[str, Any]:
-        """Journal one mutation (fsync'd), then apply it."""
-        if self.read_only:
-            raise WriterQuarantinedError(
-                f"writer is quarantined ({self.failure}); the pool serves "
-                f"reads only — restart the server to recover from "
-                f"checkpoint + WAL"
-            )
-        if self._pending_records:
-            raise ConfigurationError(
-                f"the WAL at {self.wal.path} holds {len(self._pending_records)} "
-                f"unreplayed records; call recover() before writing"
-            )
-        seq = self.last_seq + 1
+        """Journal one mutation (fsync'd), then apply it.
+
+        A quarantined pool raises :class:`WriterQuarantinedError`; a pool
+        with unreplayed WAL records raises
+        :class:`~repro.errors.ConfigurationError` until :meth:`recover`
+        runs.
+        """
+        with self._lock:
+            if self._read_only:
+                raise WriterQuarantinedError(
+                    f"writer is quarantined ({self._failure}); the pool "
+                    f"serves reads only — restart the server to recover "
+                    f"from checkpoint + WAL"
+                )
+            if self._pending_records:
+                raise ConfigurationError(
+                    f"the WAL at {self.wal.path} holds "
+                    f"{len(self._pending_records)} unreplayed records; call "
+                    f"recover() before writing"
+                )
+            seq = self._last_seq + 1
         if self.wal is not None:
             self.wal.append(op, payload, seq)
-        self.last_seq = seq
+        with self._lock:
+            self._last_seq = seq
         trace = current_trace()
         start = time.perf_counter()
         before = trace.total() if trace is not None else 0.0
@@ -519,7 +597,7 @@ class SessionPool:
             fault_point("pool.before_apply")
             if op == "insert":
                 ids = self.writer.insert_nodes(
-                    np.asarray(payload["features"], dtype=np.float64)
+                    np.asarray(payload["features"], dtype=resolve_dtype("float64"))
                 )
                 fault_point("pool.mid_apply")
                 self.publish()
@@ -527,7 +605,7 @@ class SessionPool:
             if op == "update":
                 nodes = payload["nodes"]
                 self.writer.update_features(
-                    nodes, np.asarray(payload["features"], dtype=np.float64)
+                    nodes, np.asarray(payload["features"], dtype=resolve_dtype("float64"))
                 )
                 fault_point("pool.mid_apply")
                 self.publish()
@@ -571,14 +649,16 @@ class SessionPool:
         truncated.  An unexpected replay failure quarantines the pool:
         reads serve the checkpoint state, writes are refused.
         """
-        if self.wal is None or not self._pending_records:
-            return 0
-        pending, self._pending_records = self._pending_records, []
-        self._recovering = True
+        with self._lock:
+            if self.wal is None or not self._pending_records:
+                return 0
+            pending, self._pending_records = self._pending_records, []
+            self._recovering = True
         replayed = 0
         try:
             for record in pending:
-                self.last_seq = record.seq
+                with self._lock:
+                    self._last_seq = record.seq
                 try:
                     self._execute(record.op, record.payload)
                 except ConfigurationError:
@@ -588,8 +668,9 @@ class SessionPool:
                 replayed += 1
                 self._metric_mutations.inc(op=record.op)
         finally:
-            self._recovering = False
-        self.recovered = replayed
+            with self._lock:
+                self._recovering = False
+                self._recovered = replayed
         if not self.read_only:
             self._checkpoint()
         return replayed
@@ -613,20 +694,29 @@ class SessionPool:
 
     def stats(self) -> dict[str, Any]:
         now = time.time()
+        with self._lock:
+            status = "degraded" if self._read_only else "ok"
+            generation = self._generation
+            served = [replica.served for replica in self._replicas]
+            checkpoints = self._checkpoints
+            last_checkpoint_time = self._last_checkpoint_time
+            failure = self._failure
+            last_seq = self._last_seq
+            recovered = self._recovered
         return {
-            "status": self.status,
-            "generation": self.generation,
+            "status": status,
+            "generation": generation,
             "replicas": self.n_replicas,
-            "served_per_replica": [replica.served for replica in self._replicas],
-            "checkpoints": self.checkpoints,
+            "served_per_replica": served,
+            "checkpoints": checkpoints,
             "last_checkpoint_age_s": (
-                round(now - self.last_checkpoint_time, 3)
-                if self.last_checkpoint_time is not None
+                round(now - last_checkpoint_time, 3)
+                if last_checkpoint_time is not None
                 else None
             ),
-            "failure": self.failure,
-            "last_seq": self.last_seq,
-            "recovered": self.recovered,
+            "failure": failure,
+            "last_seq": last_seq,
+            "recovered": recovered,
             "wal": (
                 {"path": str(self.wal.path), "depth": self.wal.depth}
                 if self.wal is not None
@@ -641,6 +731,16 @@ class SessionPool:
                 "sharded": isinstance(self.writer, ShardedSession),
             },
         }
+
+    def close(self) -> None:
+        """Release the pool's OS resources (today: the WAL file handle).
+
+        Sessions and replicas are plain in-memory state and need no
+        teardown; the journal owns an open append handle that must not
+        outlive the pool.  Idempotent.
+        """
+        if self.wal is not None:
+            self.wal.close()
 
 
 class _Pending:
@@ -1044,6 +1144,9 @@ class ServingServer:
             self.config.slow_ms / 1000.0 if self.config.slow_ms is not None else None
         )
         self._trace_log = get_logger("serving.trace")
+        # Trace sampling draws from a private generator, not the process-wide
+        # `random` state (which tests and model seeding may pin or reset).
+        self._trace_rng = as_rng(None)
         self.profiler: OpProfiler | None = None
         if self.config.profile:
             self.profiler = OpProfiler()
@@ -1186,13 +1289,20 @@ class ServingServer:
     # ------------------------------------------------------------------ #
     @property
     def port(self) -> int:
-        """The bound port (useful with ``port=0`` for an ephemeral one)."""
+        """The bound port (useful with ``port=0`` for an ephemeral one).
+
+        Raises :class:`~repro.errors.ConfigurationError` before
+        :meth:`start` binds the socket.
+        """
         if self._server is None:
             raise ConfigurationError("server is not started")
         return self._server.sockets[0].getsockname()[1]
 
     async def start(self) -> None:
-        """Bind the listening socket and start the dispatcher."""
+        """Bind the listening socket and start the dispatcher.
+
+        Raises :class:`~repro.errors.ConfigurationError` when called twice.
+        """
         if self._server is not None:
             raise ConfigurationError("server is already started")
         self.batcher.start()
@@ -1221,6 +1331,7 @@ class ServingServer:
                 await asyncio.wait_for(self._server.wait_closed(), timeout=1.0)
             self._server = None
         self._executor.shutdown(wait=True, cancel_futures=True)
+        self.pool.close()
         self.registry.remove_collector(self._collect_metrics)
         if self.profiler is not None:
             previous = set_span_profiler(None)
@@ -1404,7 +1515,7 @@ class ServingServer:
             slow = self._slow_s is not None and duration >= self._slow_s
             if slow or (
                 self.config.trace_sample_rate > 0
-                and random.random() < self.config.trace_sample_rate
+                and self._trace_rng.random() < self.config.trace_sample_rate
             ):
                 log_event(
                     self._trace_log,

@@ -435,7 +435,8 @@ class InferenceSession:
         :meth:`IncrementalBackend.insert`, they join the nearest cluster
         hyperedge by centroid, and the static hypergraph is padded (new nodes
         are isolated there, receiving operator self-loops).  An empty matrix
-        is a no-op.
+        is a no-op.  Raises :class:`~repro.errors.ConfigurationError` for a
+        generic module plan or a feature-dimension mismatch.
         """
         if isinstance(self.plan, _ModulePlan):
             raise ConfigurationError(
@@ -503,6 +504,9 @@ class InferenceSession:
 
     def compact(self) -> np.ndarray:
         """Make deletions physical; returns the old→new id remap.
+
+        Raises :class:`~repro.errors.ConfigurationError` for a generic
+        module plan (the lifecycle needs a compiled DHGNN/DHGCN plan).
 
         Flushes any pending mutations through the normal (tombstone-aware)
         refresh, then rebuilds the dense feature matrix without the deleted
@@ -594,7 +598,8 @@ class InferenceSession:
         installed instead: every ``k``-th topology refresh — refreshes happen
         on mutation, so an idle session stays untouched — includes a
         re-assignment pass; returns ``None``.  ``every_n=0`` clears the
-        policy.
+        policy.  Raises :class:`~repro.errors.ConfigurationError` for a
+        generic module plan or a negative ``every_n``.
         """
         if isinstance(self.plan, _ModulePlan):
             raise ConfigurationError(
@@ -650,7 +655,8 @@ class InferenceSession:
         neighbour state, and a session loaded from that bundle answers
         bit-identically with zero k-NN distance computations.  Requires a
         compacted session (tombstones are session-internal laziness, not a
-        bundleable state) and a dedicated DHGNN/DHGCN plan.
+        bundleable state) and a dedicated DHGNN/DHGCN plan — violating
+        either raises :class:`~repro.errors.ConfigurationError`.
         """
         if isinstance(self.plan, _ModulePlan):
             raise ConfigurationError("freezing needs a compiled DHGNN/DHGCN plan")

@@ -38,6 +38,8 @@ from typing import Any, Mapping
 import numpy as np
 import scipy.sparse as sp
 
+from repro.precision import resolve_dtype
+
 from repro.errors import ConfigurationError
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.neighbors import IncrementalBackend, NeighborBackend
@@ -65,7 +67,7 @@ def pack_hypergraph(hypergraph: Hypergraph, prefix: str = "") -> dict[str, np.nd
         f"{prefix}n_nodes": np.asarray(hypergraph.n_nodes, dtype=np.int64),
         f"{prefix}sizes": sizes,
         f"{prefix}members": members,
-        f"{prefix}weights": np.asarray(hypergraph.weights, dtype=np.float64),
+        f"{prefix}weights": np.asarray(hypergraph.weights, dtype=resolve_dtype("float64")),
     }
 
 
@@ -75,7 +77,7 @@ def unpack_hypergraph(arrays: Mapping[str, np.ndarray], prefix: str = "") -> Hyp
     members = np.asarray(arrays[f"{prefix}members"], dtype=np.int64)
     bounds = np.concatenate(([0], np.cumsum(sizes)))
     hyperedges = [members[bounds[i] : bounds[i + 1]].tolist() for i in range(sizes.size)]
-    weights = np.asarray(arrays[f"{prefix}weights"], dtype=np.float64)
+    weights = np.asarray(arrays[f"{prefix}weights"], dtype=resolve_dtype("float64"))
     return Hypergraph(
         int(arrays[f"{prefix}n_nodes"]), hyperedges, weights if weights.size else None
     )
@@ -110,12 +112,18 @@ class OperatorStore:
     # Keyed operators
     # ------------------------------------------------------------------ #
     def put_operator(self, key: tuple, matrix: sp.spmatrix) -> None:
+        """Store ``matrix`` (as CSR) under ``key``.
+
+        Raises :class:`~repro.errors.ConfigurationError` for a non-tuple or
+        non-round-tripping key — keys are persisted as ``repr`` literals.
+        """
         if not isinstance(key, tuple):
             raise ConfigurationError(f"operator keys must be tuples, got {type(key)!r}")
         _validate_key_literal(key)
         self._operators[key] = matrix.tocsr()
 
     def get_operator(self, key: tuple) -> sp.csr_matrix:
+        """The stored operator for ``key``; raises KeyError when absent."""
         if key not in self._operators:
             raise KeyError(f"operator store has no entry for key {key!r}")
         return self._operators[key]
@@ -130,11 +138,17 @@ class OperatorStore:
     # Array groups
     # ------------------------------------------------------------------ #
     def put_group(self, name: str, arrays: Mapping[str, np.ndarray]) -> None:
+        """Store a named group of dense arrays.
+
+        Raises :class:`~repro.errors.ConfigurationError` when ``name``
+        contains ``":"`` (reserved as the archive's key separator).
+        """
         if ":" in name:
             raise ConfigurationError(f"group names must not contain ':', got {name!r}")
         self._groups[name] = {key: np.asarray(value) for key, value in arrays.items()}
 
     def get_group(self, name: str) -> dict[str, np.ndarray]:
+        """The arrays stored under ``name``; raises KeyError when absent."""
         if name not in self._groups:
             raise KeyError(f"operator store has no group {name!r}")
         return dict(self._groups[name])
@@ -200,7 +214,11 @@ class OperatorStore:
 
     @classmethod
     def load(cls, path: str | Path) -> "OperatorStore":
-        """Read an archive written by :meth:`save`."""
+        """Read an archive written by :meth:`save`.
+
+        Raises :class:`~repro.errors.ConfigurationError` when the file is
+        not an operator-store archive or uses an unsupported format version.
+        """
         path = Path(path)
         if not path.exists() and path.suffix != ".npz":
             path = path.with_suffix(path.suffix + ".npz")
@@ -300,7 +318,9 @@ class OperatorStore:
         name) as the captured one; its tolerance / churn configuration may
         differ — the cached states are exact snapshots, valid under any
         staleness policy.  Returns the number of states restored (0 for
-        stateless backends).
+        stateless backends).  A store without a captured backend, or a
+        backend-kind mismatch, raises
+        :class:`~repro.errors.ConfigurationError`.
         """
         description = self.meta.get("backend")
         if description is None:

@@ -39,12 +39,14 @@ import hashlib
 import json
 import os
 import struct
+import threading
 import time
 from contextlib import suppress
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.analysis.sanitize import guard_attrs
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import record_span
 from repro.serving.faults import declare_fault_point, fault_point
@@ -134,6 +136,7 @@ def _fsync_dir(path: Path) -> None:
             os.close(fd)
 
 
+@guard_attrs("_lock", "_depth", "_last_seq", "_handle")
 class WriteAheadLog:
     """Append-only, checksummed, fsync'd mutation journal.
 
@@ -146,6 +149,10 @@ class WriteAheadLog:
     """
 
     def __init__(self, path: str | Path, *, fsync: bool = True) -> None:
+        # The journal is written from writer/executor threads while the
+        # event loop polls depth/last_seq for telemetry; the lock covers the
+        # handle and both counters (lint rule RL006 + REPRO_SANITIZE=locks).
+        self._lock = threading.Lock()
         self.path = Path(path)
         self.fsync = bool(fsync)
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -161,9 +168,10 @@ class WriteAheadLog:
             records = []
             self.path.write_bytes(WAL_HEADER)
             _fsync_dir(self.path.parent)
-        self._depth = len(records)
-        self._last_seq = records[-1].seq if records else 0
-        self._handle = open(self.path, "ab")
+        with self._lock:
+            self._depth = len(records)
+            self._last_seq = records[-1].seq if records else 0
+            self._handle = open(self.path, "ab")
         registry = get_registry()
         self._metric_append = registry.histogram(
             "repro_wal_append_seconds", "WAL record frame write + flush latency"
@@ -176,12 +184,14 @@ class WriteAheadLog:
     @property
     def depth(self) -> int:
         """Number of complete records currently in the journal."""
-        return self._depth
+        with self._lock:
+            return self._depth
 
     @property
     def last_seq(self) -> int:
         """Sequence number of the newest record (0 when empty)."""
-        return self._last_seq
+        with self._lock:
+            return self._last_seq
 
     def append(self, op: str, payload: dict[str, Any], seq: int) -> None:
         """Frame, write and (by default) fsync one record — *before* apply.
@@ -197,26 +207,29 @@ class WriteAheadLog:
         ).encode("utf-8")
         fault_point("wal.before_append")
         start = time.perf_counter()
-        self._handle.write(_LEN.pack(len(record)) + _digest(record) + record)
-        fault_point("wal.before_fsync")
-        self._handle.flush()
-        elapsed = time.perf_counter() - start
-        record_span("wal_append", elapsed)
-        self._metric_append.observe(elapsed)
-        if self.fsync:
-            start = time.perf_counter()
-            os.fsync(self._handle.fileno())
+        with self._lock:
+            self._handle.write(_LEN.pack(len(record)) + _digest(record) + record)
+            fault_point("wal.before_fsync")
+            self._handle.flush()
             elapsed = time.perf_counter() - start
-            record_span("wal_fsync", elapsed)
-            self._metric_fsync.observe(elapsed)
-        fault_point("wal.after_fsync")
-        self._depth += 1
-        self._last_seq = int(seq)
+            record_span("wal_append", elapsed)
+            self._metric_append.observe(elapsed)
+            if self.fsync:
+                start = time.perf_counter()
+                os.fsync(self._handle.fileno())
+                elapsed = time.perf_counter() - start
+                record_span("wal_fsync", elapsed)
+                self._metric_fsync.observe(elapsed)
+            fault_point("wal.after_fsync")
+            self._depth += 1
+            self._last_seq = int(seq)
 
     def read_records(self) -> list[WALRecord]:
         """Every complete record currently on disk (tolerates a torn tail)."""
-        self._handle.flush()
-        records, _ = _scan(self.path.read_bytes(), self.path)
+        with self._lock:
+            self._handle.flush()
+            data = self.path.read_bytes()
+        records, _ = _scan(data, self.path)
         return records
 
     def truncate(self) -> None:
@@ -228,20 +241,31 @@ class WriteAheadLog:
         only costs a redundant (sequence-deduplicated) replay.
         """
         fault_point("wal.before_truncate")
-        self._handle.close()
-        with open(self.path, "wb") as handle:
-            handle.write(WAL_HEADER)
-            handle.flush()
-            os.fsync(handle.fileno())
-        self._handle = open(self.path, "ab")
-        self._depth = 0
+        with self._lock:
+            self._handle.close()
+            with open(self.path, "wb") as handle:
+                handle.write(WAL_HEADER)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle = open(self.path, "ab")
+            self._depth = 0
         fault_point("wal.after_truncate")
 
     def close(self) -> None:
-        if self._handle is not None:
-            with suppress(ValueError, OSError):
-                self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                with suppress(ValueError, OSError):
+                    self._handle.close()
+                self._handle = None
+
+    def __del__(self) -> None:
+        # GC backstop so an abandoned journal never leaks its file handle
+        # (the suite runs with warnings-as-errors, which turns the resulting
+        # ResourceWarning fatal).  Explicit close() remains the contract.
+        with suppress(Exception):
+            self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"WriteAheadLog({str(self.path)!r}, depth={self._depth})"
+        with self._lock:
+            depth = self._depth
+        return f"WriteAheadLog({str(self.path)!r}, depth={depth})"

@@ -13,6 +13,8 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.precision import resolve_dtype
+
 from repro.data.dataset import NodeClassificationDataset
 from repro.models.base import BaseNodeClassifier
 from repro.training.config import TrainConfig
@@ -40,7 +42,7 @@ class ExperimentResult:
 
     @property
     def test_accuracies(self) -> np.ndarray:
-        return np.array([run.test_accuracy for run in self.runs], dtype=np.float64)
+        return np.array([run.test_accuracy for run in self.runs], dtype=resolve_dtype("float64"))
 
     @property
     def mean_test_accuracy(self) -> float:

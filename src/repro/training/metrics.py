@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.precision import resolve_dtype
+
 from repro.errors import ShapeError
 from repro.utils.validation import check_1d_labels
 
@@ -43,9 +45,9 @@ def confusion_matrix(predictions: np.ndarray, targets: np.ndarray, n_classes: in
 
 
 def _per_class_f1(matrix: np.ndarray) -> np.ndarray:
-    true_positive = np.diag(matrix).astype(np.float64)
-    predicted = matrix.sum(axis=0).astype(np.float64)
-    actual = matrix.sum(axis=1).astype(np.float64)
+    true_positive = np.diag(matrix).astype(resolve_dtype("float64"))
+    predicted = matrix.sum(axis=0).astype(resolve_dtype("float64"))
+    actual = matrix.sum(axis=1).astype(resolve_dtype("float64"))
     precision = np.divide(true_positive, predicted, out=np.zeros_like(true_positive), where=predicted > 0)
     recall = np.divide(true_positive, actual, out=np.zeros_like(true_positive), where=actual > 0)
     denominator = precision + recall

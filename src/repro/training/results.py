@@ -6,6 +6,8 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from repro.precision import resolve_dtype
+
 
 class ResultTable:
     """A simple column-oriented results table with markdown rendering.
@@ -96,7 +98,7 @@ class ResultTable:
 
 def format_mean_std(values: Sequence[float], *, percent: bool = True) -> str:
     """Format a list of metric values as ``mean ± std`` (optionally in percent)."""
-    values = np.asarray(list(values), dtype=np.float64)
+    values = np.asarray(list(values), dtype=resolve_dtype("float64"))
     if values.size == 0:
         return "n/a"
     scale = 100.0 if percent else 1.0

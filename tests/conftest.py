@@ -2,6 +2,14 @@
 
 from __future__ import annotations
 
+import os
+
+# The lock-discipline sanitizer (repro.analysis.sanitize) reads this at
+# import time, so it must be set before any ``repro`` module is imported:
+# the whole suite then runs with guarded attributes asserting that their
+# lock is held by the accessing thread.
+os.environ.setdefault("REPRO_SANITIZE", "locks")
+
 import numpy as np
 import pytest
 

@@ -144,3 +144,464 @@ class TestTrackers:
         tracker.update(0, model)
         assert tracker.homophily == []
         assert tracker.improvement() == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# repro lint: engine + rule-pack golden fixtures
+# --------------------------------------------------------------------------- #
+import textwrap
+import threading
+from pathlib import Path
+
+from repro.analysis.lint import LintError, load_baseline, run_lint, write_baseline
+from repro.analysis.rules import all_rules
+from repro.analysis.sanitize import LockDisciplineError, guard_attrs
+from repro.errors import ConfigurationError
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _lint(tmp_path, tree, **kwargs):
+    """Materialise ``{relpath: source}`` under tmp_path and lint it."""
+    for rel, text in tree.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+    return run_lint([tmp_path], all_rules(), root=tmp_path, **kwargs)
+
+
+def _rules_of(findings):
+    return sorted({finding.rule for finding in findings})
+
+
+class TestLintRuleFixtures:
+    """One firing and one non-firing fixture per rule in the pack."""
+
+    def test_rl001_blocking_call_in_async_fires(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/serving/handler.py": """
+                import time
+
+                async def handler(request):
+                    time.sleep(0.1)
+                    return request
+            """,
+        })
+        assert _rules_of(findings) == ["RL001"]
+        assert "time.sleep" in findings[0].message
+
+    def test_rl001_sync_lock_with_in_async_fires(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/serving/handler.py": """
+                async def handler(self):
+                    with self._lock:
+                        return self.value
+            """,
+        })
+        assert _rules_of(findings) == ["RL001"]
+
+    def test_rl001_clean_async_awaits_and_executors(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/serving/handler.py": """
+                import asyncio
+
+                async def handler(self, loop, fn):
+                    await asyncio.sleep(0)
+                    await self.lock.acquire()
+                    return await loop.run_in_executor(None, fn)
+            """,
+        })
+        assert findings == []
+
+    def test_rl002_raw_dtype_literal_fires(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/models/head.py": """
+                import numpy as np
+
+                def zeros(n):
+                    return np.zeros(n, dtype=np.float64)
+            """,
+        })
+        assert _rules_of(findings) == ["RL002"]
+
+    def test_rl002_clean_via_precision_and_whitelist(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/models/head.py": """
+                import numpy as np
+                from repro.precision import resolve_dtype
+
+                def zeros(n):
+                    return np.zeros(n, dtype=resolve_dtype("float64"))
+            """,
+            # The precision policy layer itself may spell dtypes out.
+            "repro/hypergraph/kernel.py": """
+                import numpy as np
+
+                ACC = np.float64
+            """,
+        })
+        assert findings == []
+
+    def test_rl003_global_rng_and_kernel_clock_fire(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/nn/layer.py": """
+                import numpy as np
+
+                def init(n):
+                    return np.random.rand(n)
+            """,
+            "repro/optim/sgd.py": """
+                import random
+                import time
+
+                def step():
+                    return random.random() + time.time()
+            """,
+        })
+        assert _rules_of(findings) == ["RL003"]
+        assert len(findings) == 3  # np.random.rand, random.random, time.time
+
+    def test_rl003_clean_seeded_generator_and_serving_clock(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/nn/layer.py": """
+                import numpy as np
+
+                def init(n, seed):
+                    return np.random.default_rng(seed).random(n)
+            """,
+            # serving legitimately timestamps checkpoints.
+            "repro/serving/pool.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        })
+        assert findings == []
+
+    def test_rl004_undeclared_and_dead_fault_points_fire(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/serving/wal.py": """
+                from repro.serving.faults import fault_point
+
+                def append():
+                    fault_point("wal.mystery")
+            """,
+            "repro/serving/pool.py": """
+                from repro.serving.faults import declare_fault_point
+
+                declare_fault_point("pool.never_crossed", "dead")
+            """,
+        })
+        assert _rules_of(findings) == ["RL004"]
+        assert len(findings) == 2
+
+    def test_rl004_clean_declared_and_used(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/serving/wal.py": """
+                from repro.serving.faults import declare_fault_point, fault_point
+
+                declare_fault_point("wal.before_fsync", "journal flushed")
+
+                def append():
+                    fault_point("wal.before_fsync")
+            """,
+        })
+        assert findings == []
+
+    def test_rl005_bad_metric_names_fire(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/training/loop.py": """
+                def wire(registry):
+                    registry.counter("requests")
+                    registry.histogram("repro_latency")
+                    registry.gauge("repro_queue_total")
+            """,
+        })
+        assert _rules_of(findings) == ["RL005"]
+        messages = " ".join(finding.message for finding in findings)
+        assert "repro_ namespace" in messages
+        assert "_total" in messages
+
+    def test_rl005_kind_conflict_across_files_fires(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/serving/a.py": """
+                def wire(registry):
+                    registry.counter("repro_swaps_total")
+            """,
+            "repro/obs/b.py": """
+                def wire(registry):
+                    registry.gauge("repro_swaps_total")
+            """,
+        })
+        assert "RL005" in _rules_of(findings)
+        assert any("re-registered" in finding.message for finding in findings)
+
+    def test_rl005_clean_vocabulary(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/training/loop.py": """
+                def wire(registry):
+                    registry.counter("repro_requests_total")
+                    registry.histogram("repro_latency_seconds")
+                    registry.gauge("repro_queue_depth")
+            """,
+        })
+        assert findings == []
+
+    def test_rl006_lock_free_access_of_guarded_attr_fires(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/serving/pool.py": """
+                import threading
+
+                class Pool:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = []
+
+                    def add(self, item):
+                        with self._lock:
+                            self._items.append(item)
+
+                    def size(self):
+                        return len(self._items)
+            """,
+        })
+        assert _rules_of(findings) == ["RL006"]
+        assert "Pool._items" in findings[0].message
+
+    def test_rl006_clean_when_every_access_is_locked(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/serving/pool.py": """
+                import threading
+
+                class Pool:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = []
+
+                    def add(self, item):
+                        with self._lock:
+                            self._items.append(item)
+
+                    def size(self):
+                        with self._lock:
+                            return len(self._items)
+            """,
+        })
+        assert findings == []
+
+    _BACKEND_PREAMBLE = """
+        class NeighborBackend:
+            def query(self, features, k, *, include_self=False):
+                raise NotImplementedError
+
+            def update(self, features):
+                pass
+    """
+
+    def test_rl007_signature_drift_and_missing_query_fire(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/hypergraph/neighbors.py": self._BACKEND_PREAMBLE + """
+
+                class Drifted(NeighborBackend):
+                    def query(self, feats, k):
+                        return feats
+
+                class Lazy(NeighborBackend):
+                    pass
+
+                register_neighbor_backend("drifted", Drifted)
+                register_neighbor_backend("lazy", Lazy)
+            """,
+        })
+        assert _rules_of(findings) == ["RL007"]
+        messages = " ".join(finding.message for finding in findings)
+        assert "drifts" in messages
+        assert "never overrides" in messages
+
+    def test_rl007_clean_conforming_backend(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/hypergraph/neighbors.py": self._BACKEND_PREAMBLE + """
+
+                class Exact(NeighborBackend):
+                    def query(self, features, k, *, include_self=False):
+                        return features
+
+                register_neighbor_backend("exact", Exact)
+            """,
+        })
+        assert findings == []
+
+    def test_rl008_undocumented_raise_fires(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/serving/api.py": """
+                class Store:
+                    def load(self, path):
+                        raise ValueError(f"bad path {path}")
+            """,
+        })
+        assert _rules_of(findings) == ["RL008"]
+        assert "load()" in findings[0].message
+
+    def test_rl008_clean_documented_or_private(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/serving/api.py": """
+                class Store:
+                    def load(self, path):
+                        '''Load a bundle; raises ValueError for a bad path.'''
+                        raise ValueError(f"bad path {path}")
+
+                    def _internal(self):
+                        raise RuntimeError("implementation detail")
+            """,
+        })
+        assert findings == []
+
+
+class TestLintEngine:
+    def test_suppression_comment_silences_one_rule(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/models/head.py": """
+                import numpy as np
+
+                ACC = np.float64  # repro-lint: disable=RL002
+            """,
+        })
+        assert findings == []
+
+    def test_suppression_comment_is_rule_specific(self, tmp_path):
+        findings = _lint(tmp_path, {
+            "repro/models/head.py": """
+                import numpy as np
+
+                ACC = np.float64  # repro-lint: disable=RL001
+            """,
+        })
+        assert _rules_of(findings) == ["RL002"]
+
+    def test_baseline_round_trip_absorbs_then_resurfaces(self, tmp_path):
+        tree = {
+            "repro/models/head.py": """
+                import numpy as np
+
+                ACC = np.float64
+            """,
+        }
+        findings = _lint(tmp_path / "project", tree)
+        assert _rules_of(findings) == ["RL002"]
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, findings)
+        baseline = load_baseline(baseline_path)
+        assert _lint(tmp_path / "project", tree, baseline=baseline) == []
+        # A second identical violation exceeds the baselined count and
+        # resurfaces instead of hiding behind the absorbed one.
+        grown = {
+            "repro/models/head.py": """
+                import numpy as np
+
+                ACC = np.float64
+                OTHER = np.float64
+            """,
+        }
+        resurfaced = _lint(tmp_path / "grown", grown, baseline=baseline)
+        assert len(resurfaced) == 1 and resurfaced[0].rule == "RL002"
+
+    def test_select_ignore_and_unknown_rule(self, tmp_path):
+        tree = {
+            "repro/serving/api.py": """
+                import numpy as np
+
+                class Store:
+                    def load(self):
+                        raise ValueError("always")
+
+                ACC = np.float64
+            """,
+        }
+        assert _rules_of(_lint(tmp_path, tree)) == ["RL002", "RL008"]
+        only = _lint(tmp_path, tree, select=["RL008"])
+        assert _rules_of(only) == ["RL008"]
+        without = _lint(tmp_path, tree, ignore=["RL008"])
+        assert _rules_of(without) == ["RL002"]
+        with pytest.raises(LintError, match="unknown rule id"):
+            _lint(tmp_path, tree, select=["RL999"])
+
+    def test_unparsable_file_is_an_error_not_a_skip(self, tmp_path):
+        with pytest.raises(LintError, match="does not parse"):
+            _lint(tmp_path, {"repro/serving/broken.py": "def oops(:\n"})
+
+    def test_shipped_tree_is_clean_with_an_empty_baseline(self):
+        paths = [REPO_ROOT / "src" / "repro"]
+        benchmarks = REPO_ROOT / "benchmarks"
+        if benchmarks.is_dir():
+            paths.append(benchmarks)
+        assert run_lint(paths, all_rules(), root=REPO_ROOT) == []
+
+
+# --------------------------------------------------------------------------- #
+# Lock-discipline runtime sanitizer (REPRO_SANITIZE=locks)
+# --------------------------------------------------------------------------- #
+@guard_attrs("_lock", "_items", force=True)
+class _GuardedBox:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # __init__ is exempt by construction idiom
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def peek_unlocked(self):
+        return list(self._items)
+
+
+class TestLockSanitizer:
+    def test_locked_access_passes_and_unlocked_raises(self):
+        box = _GuardedBox()
+        box.add(1)
+        with pytest.raises(LockDisciplineError, match=r"_GuardedBox\._items"):
+            box.peek_unlocked()
+        with box._lock:  # the owning thread may read under the lock
+            assert box.peek_unlocked() == [1]
+
+    def test_unlocked_write_raises(self):
+        box = _GuardedBox()
+        with pytest.raises(LockDisciplineError, match="write"):
+            box._items = [2]
+
+    def test_other_threads_violations_are_caught(self):
+        box = _GuardedBox()
+        failures = []
+
+        def worker():
+            try:
+                box.peek_unlocked()
+            except LockDisciplineError as error:
+                failures.append(error)
+
+        with box._lock:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert len(failures) == 1  # holding the lock here does not cover them
+
+    def test_slots_clash_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="__slots__"):
+            @guard_attrs("_lock", "_items", force=True)
+            class Slotted:  # noqa: F841 - decoration itself must fail
+                __slots__ = ("_lock", "_items")
+
+    def test_disabled_decorator_is_identity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "")
+        from repro.analysis import sanitize
+
+        @sanitize.guard_attrs("_lock", "_items")
+        class Plain:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def peek(self):
+                return self._items
+
+        assert Plain().peek() == []  # no descriptors installed, no checks

@@ -262,11 +262,12 @@ class TestRegistry:
         registry = MetricsRegistry()
         gauge = registry.gauge("g")
         calls = []
-        registry.add_collector(lambda: (calls.append(1), gauge.set(len(calls)))[0])
+        collector = lambda: (calls.append(1), gauge.set(len(calls)))[0]
+        registry.add_collector(collector)
         registry.render()
         registry.snapshot()
         assert len(calls) == 2
-        registry.remove_collector(registry._collectors[0])
+        registry.remove_collector(collector)
         registry.render()
         assert len(calls) == 2
 

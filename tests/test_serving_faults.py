@@ -908,6 +908,8 @@ def test_cli_serve_survives_kill_dash_nine(bundle_path, tmp_path):
     finally:
         if process.poll() is None:
             process.kill()
+        process.stdout.close()
+        process.stderr.close()
 
     restarted, port = start()
     try:
@@ -919,3 +921,5 @@ def test_cli_serve_survives_kill_dash_nine(bundle_path, tmp_path):
     finally:
         restarted.terminate()
         restarted.wait(timeout=30)
+        restarted.stdout.close()
+        restarted.stderr.close()

@@ -142,7 +142,7 @@ class TestFork:
 # --------------------------------------------------------------------------- #
 class TestSessionPool:
     def _replica_sessions(self, pool):
-        return [replica.session for replica in pool._replicas]
+        return [replica.session for replica in pool.replicas()]
 
     def test_readers_match_frozen_snapshot_across_swap(
         self, tiny_citation_dataset, bundle_path
@@ -591,7 +591,7 @@ class TestAcquireRegression:
             )
             assert sum(isinstance(r, RuntimeError) for r in results) == 10
             # No replica is left locked, and the fleet still serves.
-            assert all(not replica.lock.locked() for replica in pool._replicas)
+            assert all(not replica.lock.locked() for replica in pool.replicas())
             async with pool.acquire() as session:
                 session.predict([0])
 
@@ -606,22 +606,22 @@ class TestAcquireRegression:
         batcher = MicroBatcher(
             pool, executor, window_s=0.02, max_batch_size=64, max_queue_depth=128
         )
-        originals = [replica.session.predict_batch for replica in pool._replicas]
+        originals = [replica.session.predict_batch for replica in pool.replicas()]
 
         def boom(requests, on_error="return"):
             raise RuntimeError("replica died mid-batch")
 
         async def scenario():
             batcher.start()
-            for replica in pool._replicas:
+            for replica in pool.replicas():
                 replica.session.predict_batch = boom
             failures = await asyncio.gather(
                 *[batcher.submit({"nodes": [i]}) for i in range(8)],
                 return_exceptions=True,
             )
             assert all(isinstance(f, RuntimeError) for f in failures)
-            assert all(not replica.lock.locked() for replica in pool._replicas)
-            for replica, original in zip(pool._replicas, originals):
+            assert all(not replica.lock.locked() for replica in pool.replicas())
+            for replica, original in zip(pool.replicas(), originals):
                 replica.session.predict_batch = original
             recovered = await batcher.submit({"nodes": [0]})
             await batcher.stop()
@@ -641,13 +641,13 @@ class TestAcquireRegression:
                     pass
 
         asyncio.run(scenario())
-        assert [replica.served for replica in pool._replicas] == [3, 3, 3]
+        assert [replica.served for replica in pool.replicas()] == [3, 3, 3]
 
     def test_round_robin_stays_fair_around_a_busy_replica(self, bundle_path):
         pool = SessionPool(FrozenModel.load(bundle_path), replicas=3)
 
         async def scenario():
-            blocked = pool._replicas[0]
+            blocked = pool.replicas()[0]
             await blocked.lock.acquire()  # replica 0 wedged for the duration
             try:
                 for _ in range(8):
@@ -657,7 +657,7 @@ class TestAcquireRegression:
                 blocked.lock.release()
 
         asyncio.run(scenario())
-        served = [replica.served for replica in pool._replicas]
+        served = [replica.served for replica in pool.replicas()]
         assert served[0] == 0
         # The two free replicas split the work evenly — the cursor advances
         # past the chosen replica, it does not keep re-landing on one.
@@ -667,7 +667,7 @@ class TestAcquireRegression:
         pool = SessionPool(FrozenModel.load(bundle_path), replicas=2)
 
         async def scenario():
-            for replica in pool._replicas:
+            for replica in pool.replicas():
                 await replica.lock.acquire()
 
             async def late_request():
@@ -677,7 +677,7 @@ class TestAcquireRegression:
             waiter = asyncio.ensure_future(late_request())
             await asyncio.sleep(0)
             assert not waiter.done()  # parked, not errored
-            for replica in pool._replicas:
+            for replica in pool.replicas():
                 replica.lock.release()
             return await asyncio.wait_for(waiter, timeout=5)
 
@@ -745,7 +745,7 @@ class TestShardedServing:
         assert isinstance(pool.writer.backend, ShardedBackend)
         assert pool.stats()["writer"]["sharded"] is True
         assert np.array_equal(pool.writer.predict(output="logits"), reference)
-        for replica in pool._replicas:
+        for replica in pool.replicas():
             assert np.array_equal(
                 replica.session.predict(output="logits"), reference
             )
@@ -768,7 +768,7 @@ class TestShardedServing:
         sharded.compact()
         expected = plain.writer.predict(output="logits")
         assert np.array_equal(sharded.writer.predict(output="logits"), expected)
-        for replica in sharded._replicas:
+        for replica in sharded.replicas():
             assert np.array_equal(
                 replica.session.predict(output="logits"), expected
             )
@@ -851,3 +851,4 @@ class TestServeCLI:
             except subprocess.TimeoutExpired:
                 process.kill()
                 process.wait(timeout=10)
+            process.stderr.close()
